@@ -1,0 +1,124 @@
+// Model-checker performance (google-benchmark): state-space sizes and
+// exploration throughput for the protocol models — the cost of each
+// verification the tables report, plus micro-benchmarks of the
+// explorer's building blocks.
+#include <benchmark/benchmark.h>
+
+#include "mc/explorer.hpp"
+#include "mc/store.hpp"
+#include "models/heartbeat_model.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ahb;
+
+void BM_ExploreBinary(benchmark::State& state) {
+  const int tmin = static_cast<int>(state.range(0));
+  models::BuildOptions options;
+  options.timing = {tmin, 10};
+  const auto model =
+      models::HeartbeatModel::build(models::Flavor::Binary, options);
+  std::uint64_t states = 0;
+  for (auto _ : state) {
+    mc::Explorer explorer{model.net()};
+    const auto stats = explorer.explore_all();
+    states = stats.states;
+    benchmark::DoNotOptimize(stats.transitions);
+  }
+  state.counters["states"] = static_cast<double>(states);
+  state.counters["states/s"] = benchmark::Counter(
+      static_cast<double>(states) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ExploreBinary)->Arg(1)->Arg(5)->Arg(10)->Unit(benchmark::kMillisecond);
+
+void BM_ExploreFlavor(benchmark::State& state) {
+  const auto flavor = static_cast<models::Flavor>(state.range(0));
+  models::BuildOptions options;
+  options.timing = {2, 6};
+  options.participants = 1;
+  const auto model = models::HeartbeatModel::build(flavor, options);
+  std::uint64_t states = 0;
+  for (auto _ : state) {
+    mc::Explorer explorer{model.net()};
+    states = explorer.explore_all().states;
+  }
+  state.counters["states"] = static_cast<double>(states);
+  state.SetLabel(models::to_string(flavor));
+}
+BENCHMARK(BM_ExploreFlavor)
+    ->Arg(static_cast<int>(models::Flavor::Binary))
+    ->Arg(static_cast<int>(models::Flavor::TwoPhase))
+    ->Arg(static_cast<int>(models::Flavor::Static))
+    ->Arg(static_cast<int>(models::Flavor::Expanding))
+    ->Arg(static_cast<int>(models::Flavor::Dynamic))
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ExploreStaticParticipants(benchmark::State& state) {
+  models::BuildOptions options;
+  options.timing = {2, 4};
+  options.participants = static_cast<int>(state.range(0));
+  const auto model =
+      models::HeartbeatModel::build(models::Flavor::Static, options);
+  std::uint64_t states = 0;
+  for (auto _ : state) {
+    mc::Explorer explorer{model.net()};
+    states = explorer.explore_all().states;
+  }
+  state.counters["states"] = static_cast<double>(states);
+}
+BENCHMARK(BM_ExploreStaticParticipants)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_VerifyAllRequirementsBinary(benchmark::State& state) {
+  models::BuildOptions options;
+  options.timing = {static_cast<int>(state.range(0)), 10};
+  for (auto _ : state) {
+    const auto verdicts =
+        models::verify_requirements(models::Flavor::Binary, options);
+    benchmark::DoNotOptimize(verdicts.r1);
+  }
+}
+BENCHMARK(BM_VerifyAllRequirementsBinary)
+    ->Arg(1)
+    ->Arg(10)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SuccessorGeneration(benchmark::State& state) {
+  models::BuildOptions options;
+  options.timing = {2, 10};
+  const auto model =
+      models::HeartbeatModel::build(models::Flavor::Binary, options);
+  const auto init = model.net().initial_state();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.net().successors(init));
+  }
+}
+BENCHMARK(BM_SuccessorGeneration);
+
+void BM_StoreIntern(benchmark::State& state) {
+  Rng rng{1};
+  std::vector<ta::State> states;
+  for (int i = 0; i < 100000; ++i) {
+    ta::State s(16);
+    for (std::size_t j = 0; j < 16; ++j) {
+      s[j] = static_cast<ta::Slot>(rng.below(100));
+    }
+    states.push_back(std::move(s));
+  }
+  for (auto _ : state) {
+    mc::StateStore store{16};
+    for (const auto& s : states) benchmark::DoNotOptimize(store.intern(s));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(states.size()));
+}
+BENCHMARK(BM_StoreIntern)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

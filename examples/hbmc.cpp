@@ -1,0 +1,209 @@
+// hbmc — command-line model checker for the accelerated heartbeat
+// protocols. Select a protocol variant and parameters, pick a check, and
+// get a verdict with a minimal counterexample trace where applicable.
+//
+// Usage:
+//   hbmc --flavor binary --tmin 10 --tmax 10 --check r2 --trace
+//   hbmc --flavor expanding --tmin 5 --tmax 10 --check all
+//   hbmc --flavor dynamic --fixed --check all
+//   hbmc --flavor binary --tmin 2 --tmax 4 --check deadlock
+//   hbmc --flavor dynamic --rejoin naive --fixed --check r2 --trace
+//
+// Flags:
+//   --flavor  binary|revised|two-phase|static|expanding|dynamic
+//   --tmin N  --tmax N  --participants N
+//   --fixed               both Section 6 corrections
+//   --receive-priority    Section 6.1 only
+//   --corrected-bounds    Section 6.2 only
+//   --rejoin naive|graceful   (dynamic)
+//   --check r1|r2|r3|all|deadlock
+//   --trace               print the counterexample timeline
+//   --full-trace          print every state along the counterexample
+//   --bitstate LOG2BITS   supertrace search instead of exact (r2/r3)
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "mc/bitstate.hpp"
+#include "mc/explorer.hpp"
+#include "models/heartbeat_model.hpp"
+#include "trace/trace.hpp"
+
+namespace {
+
+using namespace ahb;
+
+struct CliOptions {
+  models::Flavor flavor = models::Flavor::Binary;
+  models::BuildOptions build;
+  std::string check = "all";
+  bool trace = false;
+  bool full_trace = false;
+  int bitstate = 0;
+};
+
+std::optional<models::Flavor> parse_flavor(const std::string& name) {
+  using models::Flavor;
+  if (name == "binary") return Flavor::Binary;
+  if (name == "revised") return Flavor::RevisedBinary;
+  if (name == "two-phase") return Flavor::TwoPhase;
+  if (name == "static") return Flavor::Static;
+  if (name == "expanding") return Flavor::Expanding;
+  if (name == "dynamic") return Flavor::Dynamic;
+  return std::nullopt;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --flavor F --tmin N --tmax N [--participants N]\n"
+               "          [--fixed | --receive-priority | --corrected-bounds]\n"
+               "          [--rejoin naive|graceful] [--bitstate LOG2]\n"
+               "          --check r1|r2|r3|all|deadlock [--trace|--full-trace]\n",
+               argv0);
+  return 2;
+}
+
+/// Runs one reachability check, printing verdict and optional trace.
+/// Returns true iff the requirement HOLDS.
+bool run_check(const models::HeartbeatModel& model, const mc::Pred& violation,
+               const char* name, const CliOptions& cli) {
+  if (cli.bitstate > 0) {
+    const auto result =
+        mc::reach_bitstate(model.net(), violation, cli.bitstate);
+    std::printf("%s: %s  (bitstate: %llu states marked, %.3fs, %zu KiB)\n",
+                name,
+                result.found ? "VIOLATED"
+                             : "no violation found (NOT exhaustive)",
+                static_cast<unsigned long long>(result.stats.states),
+                result.stats.elapsed.count(),
+                result.stats.store_bytes / 1024);
+    if (result.found && cli.trace) {
+      std::printf("%s",
+                  trace::render_timeline(model.net(), result.trace).c_str());
+    }
+    return !result.found;
+  }
+
+  mc::Explorer explorer{model.net()};
+  const auto result = explorer.reach(violation);
+  std::printf("%s: %s  (%llu states, %.3fs)\n", name,
+              result.found      ? "VIOLATED"
+              : result.complete ? "holds (exhaustive)"
+                                : "inconclusive (hit limits)",
+              static_cast<unsigned long long>(result.stats.states),
+              result.stats.elapsed.count());
+  if (result.found && (cli.trace || cli.full_trace)) {
+    std::printf("%s", cli.full_trace
+                          ? trace::render_full(model.net(), result.trace)
+                                .c_str()
+                          : trace::render_timeline(model.net(), result.trace)
+                                .c_str());
+  }
+  return !result.found;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  cli.build.timing = {1, 4};
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--flavor") {
+      const char* value = next();
+      const auto flavor = value ? parse_flavor(value) : std::nullopt;
+      if (!flavor) return usage(argv[0]);
+      cli.flavor = *flavor;
+    } else if (arg == "--tmin") {
+      const char* value = next();
+      if (!value) return usage(argv[0]);
+      cli.build.timing.tmin = std::atoi(value);
+    } else if (arg == "--tmax") {
+      const char* value = next();
+      if (!value) return usage(argv[0]);
+      cli.build.timing.tmax = std::atoi(value);
+    } else if (arg == "--participants") {
+      const char* value = next();
+      if (!value) return usage(argv[0]);
+      cli.build.participants = std::atoi(value);
+    } else if (arg == "--fixed") {
+      cli.build.fixed = true;
+    } else if (arg == "--receive-priority") {
+      cli.build.receive_priority = true;
+    } else if (arg == "--corrected-bounds") {
+      cli.build.corrected_bounds = true;
+    } else if (arg == "--rejoin") {
+      const char* value = next();
+      if (!value) return usage(argv[0]);
+      if (std::strcmp(value, "naive") == 0) {
+        cli.build.rejoin = models::BuildOptions::Rejoin::Naive;
+      } else if (std::strcmp(value, "graceful") == 0) {
+        cli.build.rejoin = models::BuildOptions::Rejoin::Graceful;
+      } else {
+        return usage(argv[0]);
+      }
+    } else if (arg == "--check") {
+      const char* value = next();
+      if (!value) return usage(argv[0]);
+      cli.check = value;
+    } else if (arg == "--trace") {
+      cli.trace = true;
+    } else if (arg == "--full-trace") {
+      cli.full_trace = true;
+    } else if (arg == "--bitstate") {
+      const char* value = next();
+      if (!value) return usage(argv[0]);
+      cli.bitstate = std::atoi(value);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (!cli.build.timing.valid()) {
+    std::fprintf(stderr, "invalid timing: need 0 < tmin <= tmax\n");
+    return 2;
+  }
+
+  std::printf("model: %s protocol, tmin=%d tmax=%d, n=%d%s%s%s\n",
+              models::to_string(cli.flavor).c_str(), cli.build.timing.tmin,
+              cli.build.timing.tmax, cli.build.participants,
+              cli.build.use_receive_priority() ? ", receive-priority" : "",
+              cli.build.use_corrected_bounds() ? ", corrected-bounds" : "",
+              cli.build.rejoin == models::BuildOptions::Rejoin::None
+                  ? ""
+                  : ", rejoin");
+
+  bool all_hold = true;
+  if (cli.check == "deadlock") {
+    const auto model = models::HeartbeatModel::build(cli.flavor, cli.build);
+    mc::Explorer explorer{model.net()};
+    const auto result = explorer.find_deadlock();
+    std::printf("deadlock: %s (%llu states)\n",
+                result.found ? "REACHABLE" : "none (exhaustive)",
+                static_cast<unsigned long long>(result.stats.states));
+    if (result.found && (cli.trace || cli.full_trace)) {
+      std::printf("%s",
+                  trace::render_timeline(model.net(), result.trace).c_str());
+    }
+    all_hold = !result.found;
+  } else if (cli.check == "r1" || cli.check == "all") {
+    auto options = cli.build;
+    options.r1_monitor = true;
+    const auto model = models::HeartbeatModel::build(cli.flavor, options);
+    all_hold &= run_check(model, model.r1_violation(), "R1", cli);
+  }
+  if (cli.check == "r2" || cli.check == "r3" || cli.check == "all") {
+    const auto model = models::HeartbeatModel::build(cli.flavor, cli.build);
+    if (cli.check != "r3") {
+      all_hold &= run_check(model, model.r2_violation_any(), "R2", cli);
+    }
+    if (cli.check != "r2") {
+      all_hold &= run_check(model, model.r3_violation(), "R3", cli);
+    }
+  }
+  return all_hold ? 0 : 1;
+}

@@ -1,0 +1,155 @@
+#include "hb/cluster.hpp"
+
+#include "util/contracts.hpp"
+
+namespace ahb::hb {
+
+Cluster::Cluster(const ClusterConfig& config)
+    : config_(config),
+      sim_(config.seed),
+      net_(sim_, sim::Network<Message>::LinkParams{
+                     config.loss_probability, config.min_delay,
+                     config.max_delay >= 0 ? config.max_delay
+                                           : std::max<sim::Time>(
+                                                 config.protocol.tmin / 2, 0),
+                 }) {
+  AHB_EXPECTS(config.protocol.valid());
+  AHB_EXPECTS(config.participants >= 1);
+
+  std::vector<int> initial_members;
+  if (!variant_joins(config.protocol.variant)) {
+    for (int i = 1; i <= config.participants; ++i) {
+      initial_members.push_back(i);
+    }
+  }
+  coordinator_ =
+      std::make_unique<Coordinator>(config.protocol, initial_members);
+  for (int i = 1; i <= config.participants; ++i) {
+    parts_.push_back(std::make_unique<Participant>(
+        config.protocol, i, !variant_joins(config.protocol.variant)));
+  }
+  timers_.assign(static_cast<std::size_t>(config.participants) + 1,
+                 sim::Simulator::kInvalidEvent);
+  node_stats_.assign(static_cast<std::size_t>(config.participants) + 1,
+                     NodeStats{});
+
+  net_.attach(0, [this](int from, const Message& msg) {
+    (void)from;
+    ++node_stats_[0].received;
+    dispatch(0, coordinator_->on_message(sim_.now(), msg));
+    arm_timer(0);
+  });
+  for (int i = 1; i <= config.participants; ++i) {
+    net_.attach(i, [this, i](int from, const Message& msg) {
+      (void)from;
+      ++node_stats_[static_cast<std::size_t>(i)].received;
+      dispatch(i, parts_[static_cast<std::size_t>(i) - 1]->on_message(
+                      sim_.now(), msg));
+      arm_timer(i);
+    });
+  }
+}
+
+void Cluster::start() {
+  AHB_EXPECTS(!started_);
+  started_ = true;
+  dispatch(0, coordinator_->start(sim_.now()));
+  arm_timer(0);
+  for (int i = 1; i <= participant_count(); ++i) {
+    dispatch(i, parts_[static_cast<std::size_t>(i) - 1]->start(sim_.now()));
+    arm_timer(i);
+  }
+}
+
+void Cluster::run_until(sim::Time horizon) { sim_.run_until(horizon); }
+
+void Cluster::crash_coordinator_at(sim::Time when) {
+  sim_.at(when, [this] { coordinator_->crash(sim_.now()); });
+}
+
+void Cluster::crash_participant_at(int id, sim::Time when) {
+  AHB_EXPECTS(id >= 1 && id <= participant_count());
+  sim_.at(when,
+          [this, id] { participant(id).crash(sim_.now()); });
+}
+
+void Cluster::leave_at(int id, sim::Time when) {
+  AHB_EXPECTS(id >= 1 && id <= participant_count());
+  sim_.at(when, [this, id] { participant(id).request_leave(); });
+}
+
+void Cluster::rejoin_at(int id, sim::Time when) {
+  AHB_EXPECTS(id >= 1 && id <= participant_count());
+  sim_.at(when, [this, id] {
+    if (participant(id).status() != Status::Left) return;
+    dispatch(id, participant(id).rejoin(sim_.now()));
+    arm_timer(id);
+  });
+}
+
+Participant& Cluster::participant(int id) {
+  AHB_EXPECTS(id >= 1 && id <= participant_count());
+  return *parts_[static_cast<std::size_t>(id) - 1];
+}
+
+const Participant& Cluster::participant(int id) const {
+  AHB_EXPECTS(id >= 1 && id <= participant_count());
+  return *parts_[static_cast<std::size_t>(id) - 1];
+}
+
+const NodeStats& Cluster::node_stats(int id) const {
+  AHB_EXPECTS(id >= 0 && id <= participant_count());
+  return node_stats_[static_cast<std::size_t>(id)];
+}
+
+bool Cluster::all_inactive() const {
+  if (coordinator_->status() == Status::Active) return false;
+  for (const auto& p : parts_) {
+    if (p->status() == Status::Active) return false;
+  }
+  return true;
+}
+
+void Cluster::dispatch(int node_id, const Actions& actions) {
+  for (const auto& out : actions.messages) {
+    ++node_stats_[static_cast<std::size_t>(node_id)].sent;
+    net_.send(node_id, out.to, out.message);
+  }
+  if (actions.inactivated && inactivation_cb_) {
+    inactivation_cb_(node_id, sim_.now());
+  }
+}
+
+sim::Time Cluster::node_next_event(int node_id) const {
+  return node_id == 0
+             ? coordinator_->next_event_time()
+             : parts_[static_cast<std::size_t>(node_id) - 1]
+                   ->next_event_time();
+}
+
+Actions Cluster::node_elapsed(int node_id, sim::Time now) {
+  return node_id == 0
+             ? coordinator_->on_elapsed(now)
+             : parts_[static_cast<std::size_t>(node_id) - 1]->on_elapsed(now);
+}
+
+void Cluster::arm_timer(int node_id) {
+  auto& timer = timers_[static_cast<std::size_t>(node_id)];
+  sim_.cancel(timer);
+  timer = sim::Simulator::kInvalidEvent;
+  const sim::Time when = node_next_event(node_id);
+  if (when == kNever) return;
+  // Timers run at lower priority than deliveries when receive_priority
+  // is on, so a beat arriving exactly at a deadline is processed first.
+  timer = sim_.at(
+      std::max(when, sim_.now()),
+      [this, node_id] {
+        timers_[static_cast<std::size_t>(node_id)] =
+            sim::Simulator::kInvalidEvent;
+        dispatch(node_id, node_elapsed(node_id, sim_.now()));
+        arm_timer(node_id);
+      },
+      config_.receive_priority ? 1 : 0);
+}
+
+}  // namespace ahb::hb

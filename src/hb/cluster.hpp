@@ -1,0 +1,102 @@
+// Cluster: wires a Coordinator and its Participants onto the
+// discrete-event simulator and the lossy network. This is the
+// whole-system harness used by the examples, the integration tests and
+// the simulation benchmarks: configure timing/loss/seed, inject crashes
+// and leaves, run, and inspect statuses and inactivation times.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hb/coordinator.hpp"
+#include "hb/participant.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace ahb::hb {
+
+struct ClusterConfig {
+  Config protocol;
+  int participants = 1;
+  double loss_probability = 0.0;
+  /// One-way delay range; defaults keep the round trip within tmin as
+  /// the protocol assumes (set from `protocol.tmin` when max_delay < 0).
+  sim::Time min_delay = 0;
+  sim::Time max_delay = -1;
+  std::uint64_t seed = 1;
+  /// Process message deliveries before timer expirations at the same
+  /// instant (the Section 6.1 correction). Without it, a beat arriving
+  /// exactly at a deadline can lose the race against the timeout — the
+  /// very anomaly (Figs. 11/12 of the analysis) the fix removes; it is
+  /// essential when the tight `fixed_bounds` deadlines are used.
+  bool receive_priority = true;
+};
+
+/// Per-node message counters (the overhead metric of the benchmarks).
+struct NodeStats {
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(const ClusterConfig& config);
+
+  /// Starts all processes at the current simulation time.
+  void start();
+
+  void run_until(sim::Time horizon);
+
+  // Fault/behaviour injection (scheduled at absolute times).
+  void crash_coordinator_at(sim::Time when);
+  void crash_participant_at(int id, sim::Time when);
+  void leave_at(int id, sim::Time when);
+  /// Dynamic variant: re-enter the join phase at `when` (no-op unless
+  /// the participant has left by then).
+  void rejoin_at(int id, sim::Time when);
+
+  /// Network faults: take a directed link down (messages silently
+  /// dropped) or bring it back up. Node 0 is the coordinator.
+  void fail_link(int from, int to) { net_.set_link_up(from, to, false); }
+  void restore_link(int from, int to) { net_.set_link_up(from, to, true); }
+
+  /// Observer called on every non-voluntary inactivation, with the node
+  /// id (0 = coordinator) and the time.
+  void on_inactivation(std::function<void(int, sim::Time)> cb) {
+    inactivation_cb_ = std::move(cb);
+  }
+
+  Coordinator& coordinator() { return *coordinator_; }
+  const Coordinator& coordinator() const { return *coordinator_; }
+  Participant& participant(int id);
+  const Participant& participant(int id) const;
+  int participant_count() const { return static_cast<int>(parts_.size()); }
+
+  sim::Simulator& simulator() { return sim_; }
+  const sim::NetworkStats& network_stats() const { return net_.stats(); }
+  const NodeStats& node_stats(int id) const;
+
+  /// True iff every process has stopped participating (crashed, left,
+  /// or inactivated).
+  bool all_inactive() const;
+
+ private:
+  void dispatch(int node_id, const Actions& actions);
+  void arm_timer(int node_id);
+  Actions node_elapsed(int node_id, sim::Time now);
+  sim::Time node_next_event(int node_id) const;
+
+  ClusterConfig config_;
+  sim::Simulator sim_;
+  sim::Network<Message> net_;
+  std::unique_ptr<Coordinator> coordinator_;
+  std::vector<std::unique_ptr<Participant>> parts_;
+  std::vector<sim::Simulator::EventId> timers_;  // index: node id
+  std::vector<NodeStats> node_stats_;
+  std::function<void(int, sim::Time)> inactivation_cb_;
+  bool started_ = false;
+};
+
+}  // namespace ahb::hb

@@ -1,0 +1,133 @@
+#include "hb/coordinator.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace ahb::hb {
+
+Coordinator::Coordinator(const Config& config, std::vector<int> members)
+    : config_(config), t_(config.tmax) {
+  AHB_EXPECTS(config.valid());
+  AHB_EXPECTS(!variant_joins(config.variant) || members.empty());
+  AHB_EXPECTS(variant_joins(config.variant) || !members.empty());
+  for (const int id : members) {
+    AHB_EXPECTS(id > 0);
+    // A-priori members start as joined with a granted first round
+    // (mirrors the rcvd-initially-true initialisation of the protocol).
+    members_[id] = Member{.joined = true, .rcvd = true, .tm = config.tmax};
+  }
+}
+
+Time Coordinator::accelerate(Time tm) const {
+  if (config_.variant != Variant::TwoPhase) return tm / 2;
+  // Two-phase: drop straight to tmin; a second consecutive miss at tmin
+  // inactivates (returning 0 forces the < tmin decision).
+  return tm == config_.tmin ? 0 : config_.tmin;
+}
+
+Actions Coordinator::start(Time now) {
+  AHB_EXPECTS(!started_);
+  started_ = true;
+  deadline_ = now + config_.tmax;
+  Actions actions;
+  if (config_.variant == Variant::RevisedBinary) {
+    for (auto& [id, member] : members_) {
+      member.rcvd = false;
+      actions.messages.push_back(Outbound{id, Message{0, true}});
+    }
+  }
+  return actions;
+}
+
+Actions Coordinator::on_elapsed(Time now) {
+  Actions actions;
+  if (status_ != Status::Active || !started_) return actions;
+  if (now < deadline_) return actions;  // stale host timer
+
+  // Close the round: compute every member's next waiting time.
+  Time min_t = config_.tmax;
+  for (auto& [id, member] : members_) {
+    if (!member.joined) continue;
+    member.tm = member.rcvd ? config_.tmax : accelerate(member.tm);
+    member.rcvd = false;
+    min_t = std::min(min_t, member.tm);
+  }
+
+  if (min_t < config_.tmin) {
+    status_ = Status::InactiveNonVoluntarily;
+    inactivated_at_ = now;
+    actions.inactivated = true;
+    return actions;
+  }
+
+  t_ = min_t;
+  deadline_ = now + t_;
+  for (const auto& [id, member] : members_) {
+    if (!member.joined) continue;
+    actions.messages.push_back(Outbound{id, Message{0, true}});
+  }
+  return actions;
+}
+
+Actions Coordinator::on_message(Time now, const Message& message) {
+  (void)now;
+  Actions actions;
+  // Crashed/inactive processes still receive messages but never react.
+  if (status_ != Status::Active) return actions;
+  if (message.sender <= 0) return actions;
+
+  if (message.flag) {
+    if (!variant_joins(config_.variant) &&
+        !members_.contains(message.sender)) {
+      return actions;  // unknown sender in a fixed-membership variant
+    }
+    auto& member = members_[message.sender];
+    if (!member.joined) {
+      member.joined = true;
+      member.tm = config_.tmax;
+    }
+    member.rcvd = true;
+  } else if (config_.variant == Variant::Dynamic) {
+    const auto it = members_.find(message.sender);
+    if (it != members_.end()) {
+      it->second.joined = false;
+      it->second.rcvd = false;
+      // Acknowledge the departure with a false-flag beat.
+      actions.messages.push_back(
+          Outbound{message.sender, Message{0, false}});
+    }
+  }
+  return actions;
+}
+
+void Coordinator::crash(Time now) {
+  (void)now;
+  if (status_ == Status::Active) status_ = Status::CrashedVoluntarily;
+}
+
+Time Coordinator::next_event_time() const {
+  if (status_ != Status::Active || !started_) return kNever;
+  return deadline_;
+}
+
+bool Coordinator::is_member(int id) const {
+  const auto it = members_.find(id);
+  return it != members_.end() && it->second.joined;
+}
+
+Time Coordinator::member_wait(int id) const {
+  const auto it = members_.find(id);
+  if (it == members_.end() || !it->second.joined) return config_.tmax;
+  return it->second.tm;
+}
+
+std::vector<int> Coordinator::member_ids() const {
+  std::vector<int> ids;
+  for (const auto& [id, member] : members_) {
+    if (member.joined) ids.push_back(id);
+  }
+  return ids;
+}
+
+}  // namespace ahb::hb

@@ -1,0 +1,68 @@
+// Coordinator (process p[0]) of the accelerated heartbeat protocols.
+//
+// Round structure (Section 2 of the protocol): wait t, beat every
+// participant, and per participant set its waiting time back to tmax if
+// its beat arrived during the round, otherwise accelerate (halve it, or
+// drop to tmin in the two-phase variant). When the minimum waiting time
+// falls below tmin the coordinator inactivates itself, guaranteeing
+// network-wide deactivation after a crash.
+#pragma once
+
+#include <map>
+
+#include "hb/types.hpp"
+
+namespace ahb::hb {
+
+class Coordinator {
+ public:
+  /// `members` is the a-priori participant set (binary: {1}; static:
+  /// {1..n}); it must be empty for the expanding/dynamic variants, whose
+  /// members join by beating.
+  Coordinator(const Config& config, std::vector<int> members);
+
+  /// Must be called once; returns the initial beat for the revised
+  /// binary variant and arms the first round.
+  Actions start(Time now);
+
+  /// Host callback when now >= next_event_time().
+  Actions on_elapsed(Time now);
+
+  /// Host callback for every received message.
+  Actions on_message(Time now, const Message& message);
+
+  /// Host-injected voluntary crash.
+  void crash(Time now);
+
+  Status status() const { return status_; }
+  Time next_event_time() const;
+  /// Time of non-voluntary self-inactivation, or kNever.
+  Time inactivated_at() const { return inactivated_at_; }
+
+  Time current_wait() const { return t_; }
+  bool is_member(int id) const;
+  std::vector<int> member_ids() const;
+  /// Per-member waiting time tm[id]; tmax for unknown/departed members.
+  /// Each halving below tmax corresponds to one missed round.
+  Time member_wait(int id) const;
+  const Config& config() const { return config_; }
+
+ private:
+  struct Member {
+    bool joined = false;
+    bool rcvd = false;
+    Time tm = 0;
+  };
+
+  Time accelerate(Time tm) const;
+
+  Config config_;
+  Status status_ = Status::Active;
+  std::map<int, Member> members_;
+  Time t_;               ///< current round length
+  Time deadline_ = 0;    ///< absolute end of the current round
+  Time inactivated_at_ = kNever;
+  bool started_ = false;
+};
+
+}  // namespace ahb::hb

@@ -1,0 +1,104 @@
+#include "hb/participant.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace ahb::hb {
+
+Participant::Participant(const Config& config, int id, bool starts_joined)
+    : config_(config), id_(id), joined_(starts_joined) {
+  AHB_EXPECTS(config.valid());
+  AHB_EXPECTS(id > 0);
+  AHB_EXPECTS(!starts_joined || !variant_joins(config.variant));
+  AHB_EXPECTS(starts_joined || variant_joins(config.variant));
+}
+
+Actions Participant::start(Time now) {
+  AHB_EXPECTS(!started_);
+  started_ = true;
+  Actions actions;
+  if (joined_) {
+    deadline_ = now + config_.participant_deadline();
+  } else {
+    // Join phase: beat immediately and then every tmin until the
+    // coordinator's heartbeat confirms the join.
+    deadline_ = now + config_.join_deadline();
+    next_join_ = now + config_.tmin;
+    actions.messages.push_back(Outbound{0, Message{id_, true}});
+  }
+  return actions;
+}
+
+Actions Participant::on_elapsed(Time now) {
+  Actions actions;
+  if (status_ != Status::Active || !started_) return actions;
+
+  if (now >= deadline_) {
+    status_ = Status::InactiveNonVoluntarily;
+    inactivated_at_ = now;
+    actions.inactivated = true;
+    return actions;
+  }
+  if (!joined_ && now >= next_join_) {
+    next_join_ = now + config_.tmin;
+    actions.messages.push_back(Outbound{0, Message{id_, true}});
+  }
+  return actions;
+}
+
+Actions Participant::on_message(Time now, const Message& message) {
+  Actions actions;
+  if (status_ != Status::Active) return actions;
+  if (message.sender != 0) return actions;
+  if (!message.flag) return actions;  // leave acknowledgement: ignore
+
+  if (!joined_) {
+    joined_ = true;
+    next_join_ = kNever;
+  }
+  if (leave_requested_ && config_.variant == Variant::Dynamic) {
+    status_ = Status::Left;
+    left_at_ = now;
+    actions.messages.push_back(Outbound{0, Message{id_, false}});
+    return actions;
+  }
+  deadline_ = now + config_.participant_deadline();
+  actions.messages.push_back(Outbound{0, Message{id_, true}});
+  return actions;
+}
+
+void Participant::crash(Time now) {
+  (void)now;
+  if (status_ == Status::Active) status_ = Status::CrashedVoluntarily;
+}
+
+void Participant::request_leave() {
+  AHB_EXPECTS(config_.variant == Variant::Dynamic);
+  leave_requested_ = true;
+}
+
+Actions Participant::rejoin(Time now) {
+  AHB_EXPECTS(config_.variant == Variant::Dynamic);
+  AHB_EXPECTS(status_ == Status::Left);
+  // Graceful rejoin only: the leave beat must have drained from the
+  // network first (its delivery is bounded by tmin), otherwise a stale
+  // leave processed after the new join de-registers the reincarnation
+  // (hazard confirmed by model checking; see EXPERIMENTS.md).
+  AHB_EXPECTS(now > left_at_ + config_.tmin);
+  status_ = Status::Active;
+  joined_ = false;
+  leave_requested_ = false;
+  deadline_ = now + config_.join_deadline();
+  next_join_ = now + config_.tmin;
+  Actions actions;
+  actions.messages.push_back(Outbound{0, Message{id_, true}});
+  return actions;
+}
+
+Time Participant::next_event_time() const {
+  if (status_ != Status::Active || !started_) return kNever;
+  return std::min(deadline_, next_join_);
+}
+
+}  // namespace ahb::hb

@@ -1,0 +1,63 @@
+// Participant (process p[i], i > 0) of the accelerated heartbeat
+// protocols: echoes the coordinator's beats, inactivates itself when
+// beats stop arriving, and — depending on the variant — joins by beating
+// every tmin until acknowledged, or leaves gracefully with a false-flag
+// beat.
+#pragma once
+
+#include "hb/types.hpp"
+
+namespace ahb::hb {
+
+class Participant {
+ public:
+  /// `starts_joined` is true for the binary/static variants (membership
+  /// is a priori) and false for expanding/dynamic (joins by beating).
+  Participant(const Config& config, int id, bool starts_joined);
+
+  /// Must be called once; emits the first join beat for the
+  /// expanding/dynamic variants and arms the inactivation deadline.
+  Actions start(Time now);
+
+  /// Host callback when now >= next_event_time().
+  Actions on_elapsed(Time now);
+
+  /// Host callback for every received message (coordinator beats).
+  Actions on_message(Time now, const Message& message);
+
+  /// Host-injected voluntary crash.
+  void crash(Time now);
+
+  /// Dynamic variant: leave gracefully at the next beat (the departure
+  /// is announced as the reply to the coordinator's next heartbeat).
+  void request_leave();
+
+  /// Dynamic variant extension (future work in the source analysis): a
+  /// departed participant re-enters the join phase. Only valid while
+  /// status() == Status::Left and strictly more than tmin after the
+  /// leave was sent (so the leave beat has drained from the network —
+  /// rejoining earlier risks the stale leave cancelling the new
+  /// registration). Emits the first join beat of the new incarnation.
+  Actions rejoin(Time now);
+
+  Status status() const { return status_; }
+  Time next_event_time() const;
+  Time inactivated_at() const { return inactivated_at_; }
+  bool joined() const { return joined_; }
+  int id() const { return id_; }
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  int id_;
+  Status status_ = Status::Active;
+  bool joined_ = false;
+  bool leave_requested_ = false;
+  bool started_ = false;
+  Time deadline_ = 0;   ///< absolute inactivation deadline
+  Time next_join_ = kNever;
+  Time inactivated_at_ = kNever;
+  Time left_at_ = kNever;  ///< when the leave beat was sent
+};
+
+}  // namespace ahb::hb

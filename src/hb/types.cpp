@@ -1,0 +1,29 @@
+#include "hb/types.hpp"
+
+#include "util/contracts.hpp"
+
+namespace ahb::hb {
+
+const char* to_string(Variant v) {
+  switch (v) {
+    case Variant::Binary: return "binary";
+    case Variant::RevisedBinary: return "revised-binary";
+    case Variant::TwoPhase: return "two-phase";
+    case Variant::Static: return "static";
+    case Variant::Expanding: return "expanding";
+    case Variant::Dynamic: return "dynamic";
+  }
+  AHB_UNREACHABLE("invalid Variant");
+}
+
+const char* to_string(Status s) {
+  switch (s) {
+    case Status::Active: return "active";
+    case Status::Left: return "left";
+    case Status::CrashedVoluntarily: return "crashed";
+    case Status::InactiveNonVoluntarily: return "inactive-nv";
+  }
+  AHB_UNREACHABLE("invalid Status");
+}
+
+}  // namespace ahb::hb

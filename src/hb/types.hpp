@@ -1,0 +1,89 @@
+// Common types of the accelerated heartbeat protocol library.
+//
+// The library is sans-I/O: Coordinator and Participant are reactive
+// state machines driven by a host (the bundled simulator, or any real
+// event loop) through on_message/on_elapsed calls; they emit messages
+// and status changes as values instead of performing I/O.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace ahb::hb {
+
+using Time = std::int64_t;
+
+/// Sentinel for "no pending event".
+inline constexpr Time kNever = std::numeric_limits<Time>::max();
+
+/// Protocol variants of Gouda & McGuire (ICDCS'98) plus the revised
+/// binary start-up of McGuire & Gouda (2004).
+enum class Variant {
+  Binary,         ///< two processes, halving acceleration
+  RevisedBinary,  ///< binary, but p[0] beats immediately at start-up
+  TwoPhase,       ///< on a miss the waiting time drops straight to tmin
+  Static,         ///< fixed set of n participants, broadcast beats
+  Expanding,      ///< participants may join during execution
+  Dynamic,        ///< participants may join and (gracefully) leave
+};
+
+const char* to_string(Variant v);
+
+constexpr bool variant_joins(Variant v) {
+  return v == Variant::Expanding || v == Variant::Dynamic;
+}
+
+struct Config {
+  Time tmin = 1;   ///< minimum waiting time; also the round-trip delay bound
+  Time tmax = 10;  ///< maximum waiting time
+  Variant variant = Variant::Binary;
+  /// Use the corrected inactivation bounds from the formal analysis:
+  /// participants time out after 2*tmax (joined) / 2*tmax + tmin (join
+  /// phase) instead of 3*tmax - tmin.
+  bool fixed_bounds = false;
+
+  constexpr bool valid() const { return 0 < tmin && tmin <= tmax; }
+
+  constexpr Time participant_deadline() const {
+    return fixed_bounds ? 2 * tmax : 3 * tmax - tmin;
+  }
+  constexpr Time join_deadline() const {
+    return fixed_bounds ? 2 * tmax + tmin : 3 * tmax - tmin;
+  }
+  /// The bound within which p[0] is guaranteed to self-inactivate after
+  /// its last received beat (the corrected R1 bound of the analysis).
+  constexpr Time coordinator_detection_bound() const {
+    return 2 * tmin > tmax ? 2 * tmax : 3 * tmax - tmin;
+  }
+};
+
+/// Heartbeat wire format. `flag` matters only for the dynamic variant:
+/// true means join/stay, false means leave (participant to coordinator)
+/// or leave-acknowledgement (coordinator to participant).
+struct Message {
+  int sender = 0;  ///< 0 is the coordinator, participants are > 0
+  bool flag = true;
+};
+
+struct Outbound {
+  int to = 0;
+  Message message;
+};
+
+/// Result of feeding an event into a protocol state machine.
+struct Actions {
+  std::vector<Outbound> messages;
+  bool inactivated = false;  ///< the machine just became non-voluntarily inactive
+};
+
+enum class Status {
+  Active,
+  Left,                    ///< departed gracefully (dynamic variant)
+  CrashedVoluntarily,      ///< host-injected crash
+  InactiveNonVoluntarily,  ///< protocol-decided inactivation
+};
+
+const char* to_string(Status s);
+
+}  // namespace ahb::hb

@@ -1,0 +1,59 @@
+// SPIN-style supertrace search: depth-first exploration with a lossy
+// bitstate visited filter instead of an exact state store. Memory drops
+// from tens of bytes per state to a few *bits*, at the price of
+// completeness: hash collisions silently prune unexplored states, so a
+// negative answer is only a high-coverage heuristic. Positive answers
+// (a violation was found) are exact, and the witness trace comes
+// straight off the DFS stack.
+//
+// Use it for instances whose exact state space does not fit in memory
+// (e.g. the dynamic protocol with several participants).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mc/explorer.hpp"
+
+namespace ahb::mc {
+
+/// Double-hashed Bloom-style membership filter over state hashes.
+class BitstateFilter {
+ public:
+  /// `log2_bits` in [10, 40]: the filter holds 2^log2_bits bits.
+  /// `hashes_per_state` is the classic k parameter (SPIN uses 2-3).
+  explicit BitstateFilter(int log2_bits, int hashes_per_state = 3);
+
+  /// Marks the state; returns true iff it was (probably) new.
+  bool insert(std::uint64_t state_hash);
+
+  /// True iff the state was (possibly) seen before.
+  bool contains(std::uint64_t state_hash) const;
+
+  std::size_t bit_count() const { return bits_.size() * 64; }
+  std::size_t memory_bytes() const { return bits_.size() * 8; }
+  std::uint64_t inserted() const { return inserted_; }
+
+ private:
+  std::vector<std::uint64_t> bits_;
+  std::uint64_t mask_;
+  int k_;
+  std::uint64_t inserted_ = 0;
+};
+
+struct BitstateResult {
+  bool found = false;
+  /// Always false: bitstate search can never certify full coverage.
+  bool complete = false;
+  std::vector<TraceStep> trace;  ///< DFS path to the target when found
+  SearchStats stats;
+};
+
+/// Depth-first search for a state satisfying `target`, using a bitstate
+/// filter of 2^log2_bits bits. `limits.max_depth` bounds the DFS stack
+/// (0 means a generous default of 1,000,000).
+BitstateResult reach_bitstate(const ta::Network& net, const Pred& target,
+                              int log2_bits,
+                              const SearchLimits& limits = {});
+
+}  // namespace ahb::mc

@@ -1,0 +1,133 @@
+#include "mc/explorer.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/contracts.hpp"
+
+namespace ahb::mc {
+
+Explorer::Explorer(const ta::Network& net) : net_(&net) {
+  AHB_EXPECTS(net.frozen());
+}
+
+SearchResult Explorer::run(const std::function<bool(const ta::State&)>& stop,
+                           const SearchLimits& limits) {
+  const auto start_time = std::chrono::steady_clock::now();
+  Core core{StateStore{net_->slot_count()}, {}, 0, 0};
+
+  SearchResult result;
+  const auto finish = [&](bool complete) {
+    result.complete = complete;
+    result.stats.states = core.store.size();
+    result.stats.transitions = core.transitions;
+    result.stats.depth = core.depth;
+    result.stats.store_bytes = core.store.memory_bytes();
+    result.stats.elapsed = std::chrono::steady_clock::now() - start_time;
+    return result;
+  };
+
+  const ta::State init = net_->initial_state();
+  auto [init_index, inserted] = core.store.intern(init);
+  AHB_ASSERT(inserted);
+  core.parent.push_back(StateStore::kInvalidIndex);
+
+  if (stop(init)) {
+    result.found = true;
+    result.trace = rebuild_trace(core, init_index);
+    return finish(false);
+  }
+
+  // BFS layer by layer so `depth` is exact and depth limits are honest.
+  std::deque<std::uint32_t> frontier{init_index};
+  while (!frontier.empty()) {
+    if (limits.max_depth != 0 && core.depth >= limits.max_depth) {
+      return finish(false);
+    }
+    ++core.depth;
+    std::deque<std::uint32_t> next_frontier;
+    for (const std::uint32_t index : frontier) {
+      const ta::State state = core.store.get(index);
+      for (const auto& t : net_->successors(state)) {
+        ++core.transitions;
+        auto [child, is_new] = core.store.intern(t.target);
+        if (!is_new) continue;
+        core.parent.push_back(index);
+        if (stop(t.target)) {
+          result.found = true;
+          result.trace = rebuild_trace(core, child);
+          return finish(false);
+        }
+        if (core.store.size() >= limits.max_states) {
+          return finish(false);
+        }
+        next_frontier.push_back(child);
+      }
+    }
+    frontier = std::move(next_frontier);
+  }
+  return finish(true);
+}
+
+SearchResult Explorer::reach(const Pred& target, const SearchLimits& limits) {
+  AHB_EXPECTS(target != nullptr);
+  return run(
+      [&](const ta::State& s) {
+        return target(ta::StateView{*net_, s});
+      },
+      limits);
+}
+
+SearchResult Explorer::find_deadlock(const SearchLimits& limits) {
+  return run(
+      [&](const ta::State& s) { return net_->successors(s).empty(); },
+      limits);
+}
+
+SearchStats Explorer::explore_all(const SearchLimits& limits) {
+  return run([](const ta::State&) { return false; }, limits).stats;
+}
+
+SearchResult Explorer::check_invariant(const Pred& invariant,
+                                       const SearchLimits& limits) {
+  AHB_EXPECTS(invariant != nullptr);
+  SearchResult r = run(
+      [&](const ta::State& s) {
+        return !invariant(ta::StateView{*net_, s});
+      },
+      limits);
+  return r;
+}
+
+std::vector<TraceStep> Explorer::rebuild_trace(
+    const Core& core, std::uint32_t target_index) const {
+  // Walk parent links back to the root, then recompute the action labels
+  // forward. Labels are not stored during the search (that would cost a
+  // string per state); re-deriving them along the single counterexample
+  // path is cheap.
+  std::vector<std::uint32_t> path;
+  for (std::uint32_t i = target_index; i != StateStore::kInvalidIndex;
+       i = core.parent[i]) {
+    path.push_back(i);
+  }
+  std::reverse(path.begin(), path.end());
+
+  std::vector<TraceStep> trace;
+  trace.reserve(path.size());
+  trace.push_back(TraceStep{"", core.store.get(path.front())});
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    const ta::State parent_state = core.store.get(path[i - 1]);
+    const ta::State child_state = core.store.get(path[i]);
+    std::string action = "<unknown>";
+    for (const auto& t : net_->successors(parent_state)) {
+      if (t.target == child_state) {
+        action = net_->label_of(t);
+        break;
+      }
+    }
+    trace.push_back(TraceStep{std::move(action), child_state});
+  }
+  return trace;
+}
+
+}  // namespace ahb::mc

@@ -1,0 +1,95 @@
+// Explicit-state reachability checking over timed-automata networks.
+//
+// This is the UPPAAL/CADP stand-in: breadth-first exploration of the
+// digitized transition system with interned states, shortest
+// counterexample reconstruction, deadlock detection and exhaustive
+// exploration statistics. All the requirements checked in this
+// repository (R1-R3 of the heartbeat analysis) are reachability
+// properties of latched error conditions, exactly as in the source
+// paper's UPPAAL formulation.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mc/store.hpp"
+#include "ta/network.hpp"
+
+namespace ahb::mc {
+
+/// State predicate, e.g. "monitor is in ErrorR1 and active[0] holds".
+using Pred = std::function<bool(const ta::StateView&)>;
+
+struct SearchLimits {
+  std::uint64_t max_states = 200'000'000;
+  std::uint64_t max_depth = 0;  ///< 0 means unlimited (BFS layers)
+};
+
+struct SearchStats {
+  std::uint64_t states = 0;       ///< distinct states interned
+  std::uint64_t transitions = 0;  ///< transitions generated
+  std::uint64_t depth = 0;        ///< deepest BFS layer reached
+  std::size_t store_bytes = 0;
+  std::chrono::duration<double> elapsed{};
+};
+
+/// One step of a counterexample: the action taken to enter `state`
+/// (empty for the initial state) plus the state itself.
+struct TraceStep {
+  std::string action;
+  ta::State state;
+};
+
+struct SearchResult {
+  bool found = false;     ///< target predicate reached
+  bool complete = false;  ///< full state space explored (trustworthy "not found")
+  std::vector<TraceStep> trace;  ///< initial state ... target, when found
+  SearchStats stats;
+};
+
+class Explorer {
+ public:
+  explicit Explorer(const ta::Network& net);
+
+  /// BFS for a state satisfying `target`. Returns the shortest trace when
+  /// found. `result.complete` is true iff the search exhausted the state
+  /// space without hitting a limit, which makes a negative answer a
+  /// verification result rather than a timeout.
+  SearchResult reach(const Pred& target, const SearchLimits& limits = {});
+
+  /// BFS for a deadlocked state: no discrete successor and no delay.
+  SearchResult find_deadlock(const SearchLimits& limits = {});
+
+  /// Explores the whole state space (or up to the limits) without a
+  /// target; used for state-space measurements.
+  SearchStats explore_all(const SearchLimits& limits = {});
+
+  /// Checks that `invariant` holds in every reachable state; on failure
+  /// returns the shortest trace to a violating state.
+  SearchResult check_invariant(const Pred& invariant,
+                               const SearchLimits& limits = {});
+
+ private:
+  struct Core {
+    StateStore store;
+    std::vector<std::uint32_t> parent;
+    std::uint64_t transitions = 0;
+    std::uint64_t depth = 0;
+  };
+
+  /// Shared BFS loop. `stop` decides, per discovered state, whether the
+  /// search should stop there (the target test).
+  SearchResult run(const std::function<bool(const ta::State&)>& stop,
+                   const SearchLimits& limits);
+
+  std::vector<TraceStep> rebuild_trace(const Core& core,
+                                       std::uint32_t target_index) const;
+
+  const ta::Network* net_;
+};
+
+}  // namespace ahb::mc

@@ -1,0 +1,207 @@
+#include "mc/lts.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+
+#include "mc/store.hpp"
+#include "util/contracts.hpp"
+
+namespace ahb::mc {
+
+int Lts::label_id(const std::string& name) {
+  for (std::size_t i = 0; i < alphabet.size(); ++i) {
+    if (alphabet[i] == name) return static_cast<int>(i);
+  }
+  alphabet.push_back(name);
+  return static_cast<int>(alphabet.size()) - 1;
+}
+
+std::vector<Lts::Edge> Lts::out(int s) const {
+  std::vector<Edge> result;
+  for (const auto& e : edges) {
+    if (e.src == s) result.push_back(e);
+  }
+  return result;
+}
+
+Lts extract_lts(const ta::Network& net, std::size_t max_states) {
+  AHB_EXPECTS(net.frozen());
+  Lts lts;
+  StateStore store{net.slot_count()};
+
+  const ta::State init = net.initial_state();
+  auto [init_index, inserted] = store.intern(init);
+  AHB_ASSERT(inserted);
+  lts.initial = static_cast<int>(init_index);
+
+  std::deque<std::uint32_t> frontier{init_index};
+  while (!frontier.empty()) {
+    const std::uint32_t index = frontier.front();
+    frontier.pop_front();
+    const ta::State state = store.get(index);
+    for (const auto& t : net.successors(state)) {
+      auto [child, is_new] = store.intern(t.target);
+      AHB_ASSERT(store.size() <= max_states);
+      lts.edges.push_back(Lts::Edge{static_cast<int>(index),
+                                    lts.label_id(net.label_of(t)),
+                                    static_cast<int>(child)});
+      if (is_new) frontier.push_back(child);
+    }
+  }
+  lts.state_count = static_cast<int>(store.size());
+  return lts;
+}
+
+Lts hide(const Lts& lts,
+         const std::function<bool(const std::string&)>& is_hidden) {
+  Lts out;
+  out.initial = lts.initial;
+  out.state_count = lts.state_count;
+  const int tau = out.label_id(kTau);
+  std::vector<int> remap(lts.alphabet.size(), tau);
+  for (std::size_t i = 0; i < lts.alphabet.size(); ++i) {
+    if (!is_hidden(lts.alphabet[i])) {
+      remap[i] = out.label_id(lts.alphabet[i]);
+    }
+  }
+  out.edges.reserve(lts.edges.size());
+  for (const auto& e : lts.edges) {
+    out.edges.push_back(
+        Lts::Edge{e.src, remap[static_cast<std::size_t>(e.label)], e.dst});
+  }
+  return out;
+}
+
+namespace {
+
+/// Builds an adjacency index: per state, its sorted (label, dst) pairs.
+std::vector<std::vector<std::pair<int, int>>> adjacency(const Lts& lts) {
+  std::vector<std::vector<std::pair<int, int>>> adj(
+      static_cast<std::size_t>(lts.state_count));
+  for (const auto& e : lts.edges) {
+    adj[static_cast<std::size_t>(e.src)].emplace_back(e.label, e.dst);
+  }
+  for (auto& row : adj) {
+    std::sort(row.begin(), row.end());
+    row.erase(std::unique(row.begin(), row.end()), row.end());
+  }
+  return adj;
+}
+
+/// Rebuilds a quotient LTS from a state->block assignment.
+Lts quotient(const Lts& lts, const std::vector<int>& block, int block_count) {
+  Lts out;
+  out.alphabet = lts.alphabet;
+  out.state_count = block_count;
+  out.initial = block[static_cast<std::size_t>(lts.initial)];
+  std::set<std::tuple<int, int, int>> seen;
+  for (const auto& e : lts.edges) {
+    const int bs = block[static_cast<std::size_t>(e.src)];
+    const int bd = block[static_cast<std::size_t>(e.dst)];
+    if (seen.insert({bs, e.label, bd}).second) {
+      out.edges.push_back(Lts::Edge{bs, e.label, bd});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Lts bisim_reduce(const Lts& lts) {
+  if (lts.state_count == 0) return lts;
+  const auto adj = adjacency(lts);
+
+  // Kanellakis-Smolka style refinement on signatures: a state's signature
+  // is its set of (label, target-block) pairs; refine until stable.
+  std::vector<int> block(static_cast<std::size_t>(lts.state_count), 0);
+  int block_count = 1;
+  while (true) {
+    std::map<std::pair<int, std::set<std::pair<int, int>>>, int> signature_ids;
+    std::vector<int> next(block.size());
+    for (std::size_t s = 0; s < block.size(); ++s) {
+      std::set<std::pair<int, int>> sig;
+      for (const auto& [label, dst] : adj[s]) {
+        sig.insert({label, block[static_cast<std::size_t>(dst)]});
+      }
+      auto key = std::make_pair(block[s], std::move(sig));
+      auto [it, inserted] = signature_ids.try_emplace(
+          std::move(key), static_cast<int>(signature_ids.size()));
+      next[s] = it->second;
+    }
+    const int next_count = static_cast<int>(signature_ids.size());
+    const bool stable = next_count == block_count;
+    block = std::move(next);
+    block_count = next_count;
+    if (stable) break;
+  }
+  return quotient(lts, block, block_count);
+}
+
+namespace {
+
+/// tau-closure of a set of states (in-place fixpoint).
+std::set<int> tau_closure(
+    const std::vector<std::vector<std::pair<int, int>>>& adj, int tau,
+    std::set<int> states) {
+  std::deque<int> work(states.begin(), states.end());
+  while (!work.empty()) {
+    const int s = work.front();
+    work.pop_front();
+    for (const auto& [label, dst] : adj[static_cast<std::size_t>(s)]) {
+      if (label == tau && states.insert(dst).second) work.push_back(dst);
+    }
+  }
+  return states;
+}
+
+}  // namespace
+
+Lts weak_trace_reduce(const Lts& lts) {
+  Lts visible = lts;
+  int tau = -1;
+  for (std::size_t i = 0; i < visible.alphabet.size(); ++i) {
+    if (visible.alphabet[i] == kTau) tau = static_cast<int>(i);
+  }
+  const auto adj = adjacency(visible);
+
+  // Subset construction over visible labels.
+  std::map<std::set<int>, int> ids;
+  std::vector<std::set<int>> sets;
+  const auto intern = [&](std::set<int> s) {
+    auto [it, inserted] = ids.try_emplace(s, static_cast<int>(sets.size()));
+    if (inserted) sets.push_back(std::move(s));
+    return it->second;
+  };
+
+  Lts det;
+  det.alphabet = visible.alphabet;
+  det.initial = intern(tau_closure(adj, tau, {visible.initial}));
+  std::deque<int> work{det.initial};
+  std::set<int> processed;
+  while (!work.empty()) {
+    const int id = work.front();
+    work.pop_front();
+    if (!processed.insert(id).second) continue;
+    // Group successor sets by visible label.
+    std::map<int, std::set<int>> moves;
+    for (const int s : sets[static_cast<std::size_t>(id)]) {
+      for (const auto& [label, dst] : adj[static_cast<std::size_t>(s)]) {
+        if (label != tau) moves[label].insert(dst);
+      }
+    }
+    for (auto& [label, targets] : moves) {
+      const int dst = intern(tau_closure(adj, tau, std::move(targets)));
+      det.edges.push_back(Lts::Edge{id, label, dst});
+      if (!processed.contains(dst)) work.push_back(dst);
+    }
+  }
+  det.state_count = static_cast<int>(sets.size());
+
+  // The determinized LTS has no tau edges left, so strong bisimulation
+  // minimization coincides with Moore minimization here.
+  return bisim_reduce(det);
+}
+
+}  // namespace ahb::mc

@@ -1,0 +1,55 @@
+// Labelled transition systems extracted from networks, plus the
+// reductions the source paper applies before drawing its process
+// diagrams: strong-bisimulation minimization and weak-trace reduction
+// (tau-closure determinization followed by Moore minimization). Used to
+// regenerate Figures 1 and 2 (the reduced transition systems of p[0] and
+// p[1] for tmax=2, tmin=1).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ta/network.hpp"
+
+namespace ahb::mc {
+
+struct Lts {
+  struct Edge {
+    int src = 0;
+    int label = 0;  ///< index into `alphabet`
+    int dst = 0;
+    friend bool operator==(const Edge&, const Edge&) = default;
+  };
+
+  int initial = 0;
+  int state_count = 0;
+  std::vector<std::string> alphabet;
+  std::vector<Edge> edges;
+
+  /// Label index of `name`, inserting it if new.
+  int label_id(const std::string& name);
+
+  /// Outgoing edges of `s` (linear scan; LTSs here are small).
+  std::vector<Edge> out(int s) const;
+};
+
+/// The canonical invisible-action label.
+inline constexpr const char* kTau = "tau";
+
+/// Explores the network exhaustively and returns its global LTS.
+/// `max_states` guards against accidentally extracting a huge space.
+Lts extract_lts(const ta::Network& net, std::size_t max_states = 1'000'000);
+
+/// Renames every label for which `is_hidden` returns true to tau.
+Lts hide(const Lts& lts, const std::function<bool(const std::string&)>& is_hidden);
+
+/// Strong-bisimulation quotient (Kanellakis-Smolka partition refinement).
+Lts bisim_reduce(const Lts& lts);
+
+/// Weak-trace reduction: tau-closure subset construction to a
+/// deterministic LTS over visible labels, then Moore minimization.
+/// The result has the same set of weak (tau-abstracted) traces.
+Lts weak_trace_reduce(const Lts& lts);
+
+}  // namespace ahb::mc

@@ -1,0 +1,159 @@
+#include "mc/ndfs.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace ahb::mc {
+
+namespace {
+
+enum Color : std::uint8_t { kWhite = 0, kCyan = 1, kBlue = 2 };
+
+struct Frame {
+  std::uint32_t index;
+  std::vector<std::uint32_t> children;
+  std::size_t next = 0;
+};
+
+/// Finds the label of some transition from `from` to `to`.
+std::string action_between(const ta::Network& net, const ta::State& from,
+                           const ta::State& to) {
+  for (const auto& t : net.successors(from)) {
+    if (t.target == to) return net.label_of(t);
+  }
+  return "<unknown>";
+}
+
+}  // namespace
+
+LivenessResult find_accepting_cycle(const ta::Network& net,
+                                    const Pred& accepting,
+                                    const SearchLimits& limits) {
+  AHB_EXPECTS(net.frozen());
+  AHB_EXPECTS(accepting != nullptr);
+  const auto start_time = std::chrono::steady_clock::now();
+
+  StateStore store{net.slot_count()};
+  std::vector<std::uint8_t> color;
+  std::vector<bool> red;
+  std::uint64_t transitions = 0;
+
+  const auto is_accepting = [&](std::uint32_t index) {
+    const ta::State s = store.get(index);
+    return accepting(ta::StateView{net, s});
+  };
+
+  const auto expand = [&](std::uint32_t index) {
+    std::vector<std::uint32_t> children;
+    const ta::State s = store.get(index);
+    for (const auto& t : net.successors(s)) {
+      ++transitions;
+      auto [child, _] = store.intern(t.target);
+      if (color.size() < store.size()) {
+        color.resize(store.size(), kWhite);
+        red.resize(store.size(), false);
+      }
+      children.push_back(child);
+    }
+    return children;
+  };
+
+  LivenessResult result;
+  const auto finish = [&](bool complete) {
+    result.complete = complete;
+    result.stats.states = store.size();
+    result.stats.transitions = transitions;
+    result.stats.store_bytes = store.memory_bytes();
+    result.stats.elapsed = std::chrono::steady_clock::now() - start_time;
+    return result;
+  };
+
+  const auto build_lasso = [&](const std::vector<Frame>& blue_stack,
+                               const std::vector<Frame>& red_stack,
+                               std::uint32_t closing) {
+    // Stem: blue stack up to (and including) the closing state; cycle:
+    // the rest of the blue stack, then the red path, closing back.
+    std::vector<std::uint32_t> path;
+    std::size_t close_pos = 0;
+    for (std::size_t i = 0; i < blue_stack.size(); ++i) {
+      path.push_back(blue_stack[i].index);
+      if (blue_stack[i].index == closing) close_pos = i;
+    }
+    // Red stack starts at the seed, which equals the blue stack top;
+    // skip that duplicate.
+    for (std::size_t i = 1; i < red_stack.size(); ++i) {
+      path.push_back(red_stack[i].index);
+    }
+    path.push_back(closing);
+
+    result.cycle_found = true;
+    result.stem_length = close_pos;
+    result.lasso.clear();
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      const ta::State s = store.get(path[i]);
+      std::string action;
+      if (i > 0) action = action_between(net, store.get(path[i - 1]), s);
+      result.lasso.push_back(TraceStep{std::move(action), s});
+    }
+  };
+
+  const ta::State init = net.initial_state();
+  auto [init_index, inserted] = store.intern(init);
+  AHB_ASSERT(inserted);
+  color.resize(store.size(), kWhite);
+  red.resize(store.size(), false);
+
+  std::vector<Frame> blue_stack;
+  blue_stack.push_back(Frame{init_index, expand(init_index), 0});
+  color[init_index] = kCyan;
+
+  while (!blue_stack.empty()) {
+    if (store.size() >= limits.max_states) return finish(false);
+    Frame& top = blue_stack.back();
+    if (top.next < top.children.size()) {
+      const std::uint32_t child = top.children[top.next++];
+      if (color[child] == kCyan &&
+          (is_accepting(top.index) || is_accepting(child))) {
+        // Early cycle through the blue stack itself.
+        std::vector<Frame> trivial_red;
+        trivial_red.push_back(Frame{top.index, {}, 0});
+        build_lasso(blue_stack, trivial_red, child);
+        return finish(false);
+      }
+      if (color[child] == kWhite) {
+        color[child] = kCyan;
+        blue_stack.push_back(Frame{child, expand(child), 0});
+      }
+      continue;
+    }
+
+    // Postorder: run the red search from accepting states.
+    if (is_accepting(top.index) && !red[top.index]) {
+      std::vector<Frame> red_stack;
+      red_stack.push_back(Frame{top.index, expand(top.index), 0});
+      red[top.index] = true;
+      while (!red_stack.empty()) {
+        Frame& rtop = red_stack.back();
+        if (rtop.next < rtop.children.size()) {
+          const std::uint32_t child = rtop.children[rtop.next++];
+          if (color[child] == kCyan) {
+            build_lasso(blue_stack, red_stack, child);
+            return finish(false);
+          }
+          if (!red[child]) {
+            red[child] = true;
+            red_stack.push_back(Frame{child, expand(child), 0});
+          }
+          continue;
+        }
+        red_stack.pop_back();
+      }
+    }
+    color[top.index] = kBlue;
+    blue_stack.pop_back();
+  }
+  return finish(true);
+}
+
+}  // namespace ahb::mc

@@ -1,0 +1,32 @@
+// Nested depth-first search for accepting cycles (repeated
+// reachability). The source paper reduces its liveness requirements to
+// timed reachability via watchdog monitors; this module additionally
+// lets us state them directly as Büchi-style properties — e.g. "there is
+// no infinite run along which p[1] has crashed but p[0] stays active" —
+// and verify that the protocol (and especially the fixed variants)
+// satisfies them without a hand-built watchdog bound.
+#pragma once
+
+#include "mc/explorer.hpp"
+
+namespace ahb::mc {
+
+struct LivenessResult {
+  bool cycle_found = false;
+  bool complete = false;  ///< search exhausted without hitting limits
+  /// Lasso witness when found: states 0..stem_length form the stem; the
+  /// remaining steps form the cycle, which closes back to the state at
+  /// index stem_length.
+  std::vector<TraceStep> lasso;
+  std::size_t stem_length = 0;
+  SearchStats stats;
+};
+
+/// Courcoubetis-Vardi-Wolper-Yannakakis nested DFS: searches for a cycle
+/// through a state satisfying `accepting` that is reachable from the
+/// initial state.
+LivenessResult find_accepting_cycle(const ta::Network& net,
+                                    const Pred& accepting,
+                                    const SearchLimits& limits = {});
+
+}  // namespace ahb::mc

@@ -1,0 +1,97 @@
+#include "mc/store.hpp"
+
+#include <cstring>
+
+#include "util/contracts.hpp"
+#include "util/hash.hpp"
+
+namespace ahb::mc {
+
+namespace {
+constexpr std::size_t kInitialTableSize = 1u << 12;
+}
+
+StateStore::StateStore(std::size_t stride) : stride_(stride) {
+  AHB_EXPECTS(stride > 0);
+  table_.assign(kInitialTableSize, kInvalidIndex);
+}
+
+std::uint32_t StateStore::probe(std::span<const ta::Slot> slots,
+                                std::uint64_t hash, bool& found) const {
+  const std::size_t mask = table_.size() - 1;
+  std::size_t i = static_cast<std::size_t>(hash) & mask;
+  while (true) {
+    const std::uint32_t entry = table_[i];
+    if (entry == kInvalidIndex) {
+      found = false;
+      return static_cast<std::uint32_t>(i);
+    }
+    if (hashes_[entry] == hash) {
+      const ta::Slot* stored = arena_.data() + entry * stride_;
+      if (std::memcmp(stored, slots.data(), stride_ * sizeof(ta::Slot)) == 0) {
+        found = true;
+        return static_cast<std::uint32_t>(i);
+      }
+    }
+    i = (i + 1) & mask;
+  }
+}
+
+void StateStore::grow_table() {
+  std::vector<std::uint32_t> old = std::move(table_);
+  table_.assign(old.size() * 2, kInvalidIndex);
+  const std::size_t mask = table_.size() - 1;
+  for (std::uint32_t entry : old) {
+    if (entry == kInvalidIndex) continue;
+    std::size_t i = static_cast<std::size_t>(hashes_[entry]) & mask;
+    while (table_[i] != kInvalidIndex) i = (i + 1) & mask;
+    table_[i] = entry;
+  }
+}
+
+std::pair<std::uint32_t, bool> StateStore::intern(const ta::State& s) {
+  AHB_EXPECTS(s.size() == stride_);
+  const std::uint64_t hash = s.hash();
+  bool found = false;
+  std::uint32_t slot = probe(s.slots(), hash, found);
+  if (found) return {table_[slot], false};
+
+  const auto index = static_cast<std::uint32_t>(count_);
+  arena_.insert(arena_.end(), s.slots().begin(), s.slots().end());
+  hashes_.push_back(hash);
+  table_[slot] = index;
+  ++count_;
+
+  if (count_ * 10 >= table_.size() * 7) {
+    grow_table();
+  }
+  return {index, true};
+}
+
+std::uint32_t StateStore::find(const ta::State& s) const {
+  AHB_EXPECTS(s.size() == stride_);
+  bool found = false;
+  const std::uint32_t slot = probe(s.slots(), s.hash(), found);
+  return found ? table_[slot] : kInvalidIndex;
+}
+
+ta::State StateStore::get(std::uint32_t index) const {
+  AHB_EXPECTS(index < count_);
+  ta::State s(stride_);
+  const ta::Slot* stored = arena_.data() + index * stride_;
+  for (std::size_t i = 0; i < stride_; ++i) s[i] = stored[i];
+  return s;
+}
+
+std::span<const ta::Slot> StateStore::raw(std::uint32_t index) const {
+  AHB_EXPECTS(index < count_);
+  return {arena_.data() + index * stride_, stride_};
+}
+
+std::size_t StateStore::memory_bytes() const {
+  return arena_.capacity() * sizeof(ta::Slot) +
+         hashes_.capacity() * sizeof(std::uint64_t) +
+         table_.capacity() * sizeof(std::uint32_t);
+}
+
+}  // namespace ahb::mc

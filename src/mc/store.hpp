@@ -1,0 +1,53 @@
+// Compact interned storage for explored states.
+//
+// States are fixed-stride slot vectors, so the store keeps one contiguous
+// arena (index * stride) plus an open-addressing hash table mapping state
+// bytes to indices. This keeps per-state overhead to stride*sizeof(Slot)
+// + 12 bytes, which matters: proving a requirement *holds* means
+// exhausting the reachable state space.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ta/state.hpp"
+
+namespace ahb::mc {
+
+class StateStore {
+ public:
+  static constexpr std::uint32_t kInvalidIndex = 0xffffffffu;
+
+  explicit StateStore(std::size_t stride);
+
+  /// Interns `s`; returns its index and whether it was newly inserted.
+  std::pair<std::uint32_t, bool> intern(const ta::State& s);
+
+  /// Index of `s` if present, kInvalidIndex otherwise.
+  std::uint32_t find(const ta::State& s) const;
+
+  /// Reconstructs a State value from an index.
+  ta::State get(std::uint32_t index) const;
+
+  std::span<const ta::Slot> raw(std::uint32_t index) const;
+
+  std::size_t size() const { return count_; }
+  std::size_t stride() const { return stride_; }
+
+  /// Approximate heap footprint in bytes (arena + table + hashes).
+  std::size_t memory_bytes() const;
+
+ private:
+  void grow_table();
+  std::uint32_t probe(std::span<const ta::Slot> slots, std::uint64_t hash,
+                      bool& found) const;
+
+  std::size_t stride_;
+  std::vector<ta::Slot> arena_;
+  std::vector<std::uint64_t> hashes_;  // per interned state
+  std::vector<std::uint32_t> table_;   // open addressing, power-of-two size
+  std::size_t count_ = 0;
+};
+
+}  // namespace ahb::mc

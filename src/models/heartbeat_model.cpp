@@ -1,0 +1,828 @@
+#include "models/heartbeat_model.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+#include "util/strings.hpp"
+
+namespace ahb::models {
+
+using ta::ChanId;
+using ta::ChanKind;
+using ta::ClockId;
+using ta::Edge;
+using ta::LocKind;
+using ta::StateMut;
+using ta::StateView;
+using ta::SyncDir;
+using ta::VarId;
+
+namespace {
+
+using Handles = HeartbeatModel::Handles;
+
+/// New waiting time for one participant after a round: reset to tmax on a
+/// received beat, otherwise halved (the acceleration). The two-phase
+/// variant instead drops straight to tmin; the original paper leaves its
+/// inactivation condition unspecified, so we adopt "a miss at t == tmin
+/// inactivates" (returning 0 forces the < tmin branch).
+int next_waiting_time(bool received, int current, const Timing& timing,
+                      bool two_phase) {
+  if (received) return timing.tmax;
+  if (!two_phase) return current / 2;
+  return current == timing.tmin ? 0 : timing.tmin;
+}
+
+/// Fixed-variant receive priority (Section 6.1): "before processing
+/// timeouts, it has to be checked whether the communication channels
+/// offer messages that have to be delivered". True iff any channel holds
+/// an undelivered message — a beat towards some p[i], a reply or leave
+/// towards p[0], or a join beat towards p[0].
+bool any_delivery_pending(const StateView& v, const Handles* h) {
+  for (const auto& p : h->parts) {
+    const auto loc = v.loc(p.ch);
+    if (loc == p.ch_t0 || loc == p.ch_t1) return true;
+    if (p.ch_t1f >= 0 && loc == p.ch_t1f) return true;
+    if (p.jch.value >= 0 && v.loc(p.jch) == p.jch_t) return true;
+  }
+  return false;
+}
+
+/// Builder for all protocol flavors. Channels are modelled per Figure 5:
+/// one round-trip automaton per participant enforcing the tmin bound on
+/// the total round-trip delay, with nondeterministic loss that latches
+/// the global `lost` flag. Deliveries are broadcast channels so that the
+/// watchdog monitors can observe them without perturbing the protocol.
+///
+/// The builder fills a caller-owned Network and Handles; guards capture
+/// a pointer to those Handles (heap-allocated by HeartbeatModel::build,
+/// so the pointer stays valid across moves of the model).
+class Builder {
+ public:
+  Builder(Flavor flavor, const BuildOptions& options, ta::Network& net,
+          Handles& handles)
+      : flavor_(flavor),
+        options_(options),
+        timing_(options.timing),
+        net_(net),
+        h_(handles) {
+    AHB_EXPECTS(timing_.valid());
+    AHB_EXPECTS(!is_multi(flavor) || options.participants >= 1);
+  }
+
+  void build() {
+    const int n = is_multi(flavor_) ? options_.participants : 1;
+    h_.lost = net_.add_var("lost", 0);
+
+    // Channel declarations first: edges reference them from every side.
+    if (is_multi(flavor_)) {
+      bcast0_ = net_.add_channel("bcast0", ChanKind::Broadcast);
+    } else {
+      to_ch_ = net_.add_channel("to_ch", ChanKind::Handshake);
+    }
+    for (int i = 1; i <= n; ++i) {
+      deliver_p_.push_back(
+          net_.add_channel(strprintf("deliver_p%d", i), ChanKind::Broadcast));
+      reply_true_.push_back(
+          net_.add_channel(strprintf("reply%d", i), ChanKind::Handshake));
+      deliver_p0_true_.push_back(net_.add_channel(
+          strprintf("deliver_p0_from%d", i), ChanKind::Broadcast));
+      if (flavor_ == Flavor::Dynamic) {
+        reply_false_.push_back(net_.add_channel(
+            strprintf("reply_false%d", i), ChanKind::Handshake));
+        deliver_p0_false_.push_back(net_.add_channel(
+            strprintf("deliver_p0_false_from%d", i), ChanKind::Broadcast));
+      }
+      if (has_join_phase()) {
+        join_send_.push_back(net_.add_channel(strprintf("join_send%d", i),
+                                              ChanKind::Handshake));
+      }
+    }
+
+    h_.parts.resize(static_cast<std::size_t>(n));
+    build_p0(n);
+    for (int i = 0; i < n; ++i) build_participant(i);
+    for (int i = 0; i < n; ++i) build_channel(i);
+    if (has_join_phase()) {
+      for (int i = 0; i < n; ++i) build_join_channel(i);
+    }
+    if (options_.r1_monitor) {
+      for (int i = 0; i < n; ++i) build_monitor(i);
+    }
+
+    net_.freeze();
+  }
+
+ private:
+  bool has_join_phase() const {
+    return flavor_ == Flavor::Expanding || flavor_ == Flavor::Dynamic;
+  }
+  bool two_phase() const { return flavor_ == Flavor::TwoPhase; }
+
+  void build_p0(int n) {
+    auto& h = h_;
+    h.p0 = net_.add_automaton("p0");
+    h.active0 = net_.add_var("active0", 1);
+    h.t = net_.add_var("t", timing_.tmax);
+    h.waiting = net_.add_clock("waiting", timing_.tmax + 1);
+    for (int i = 0; i < n; ++i) {
+      auto& p = h.parts[static_cast<std::size_t>(i)];
+      p.rcvd0 = net_.add_var(strprintf("rcvd%d", i + 1), 1);
+      if (is_multi(flavor_)) {
+        p.tm = net_.add_var(strprintf("tm%d", i + 1), timing_.tmax);
+      }
+      if (has_join_phase()) {
+        p.jnd = net_.add_var(strprintf("jnd%d", i + 1), 0);
+      }
+    }
+
+    const VarId active0 = h.active0;
+    const VarId t_var = h.t;
+    const ClockId waiting = h.waiting;
+    const Timing timing = timing_;
+    const Handles* hp = &h_;
+
+    // Locations. `Alive` has the invariant waiting <= t.
+    h.l_alive = net_.add_location(
+        h.p0, "Alive", LocKind::Normal,
+        [t_var, waiting](const StateView& v) {
+          return v.clk(waiting) <= v.var(t_var);
+        });
+    h.l_timeout = net_.add_location(h.p0, "TimeOut", LocKind::Committed);
+    h.l_v = net_.add_location(h.p0, "VInactivated");
+    h.l_nv = net_.add_location(h.p0, "NVInactivated");
+    if (flavor_ == Flavor::RevisedBinary) {
+      h.l_init = net_.add_location(h.p0, "Init", LocKind::Urgent);
+      net_.set_initial(h.p0, h.l_init);
+    }
+
+    // Voluntary crash, possible at any time while alive.
+    net_.add_edge(h.p0, Edge{.src = h.l_alive,
+                             .dst = h.l_v,
+                             .effect = [active0](StateMut& m) {
+                               m.set(active0, 0);
+                             },
+                             .label = "crash"});
+
+    // Beat receipt. One receive edge per participant; broadcast
+    // deliveries reach p[0] and the monitors simultaneously.
+    for (int i = 0; i < n; ++i) {
+      auto& p = h.parts[static_cast<std::size_t>(i)];
+      const VarId rcvd0 = p.rcvd0;
+      const VarId jnd = p.jnd;
+      const bool join = has_join_phase();
+      net_.add_edge(h.p0,
+                    Edge{.src = h.l_alive,
+                         .dst = h.l_alive,
+                         .chan = deliver_p0_true_[static_cast<std::size_t>(i)],
+                         .dir = SyncDir::Recv,
+                         .effect =
+                             [rcvd0, jnd, join](StateMut& m) {
+                               m.set(rcvd0, 1);
+                               if (join) m.set(jnd, 1);
+                             },
+                         .label = strprintf("recv_beat_from_p%d", i + 1)});
+      if (flavor_ == Flavor::Dynamic) {
+        net_.add_edge(
+            h.p0,
+            Edge{.src = h.l_alive,
+                 .dst = h.l_alive,
+                 .chan = deliver_p0_false_[static_cast<std::size_t>(i)],
+                 .dir = SyncDir::Recv,
+                 .effect =
+                     [rcvd0, jnd](StateMut& m) {
+                       m.set(jnd, 0);
+                       m.set(rcvd0, 0);
+                     },
+                 .label = strprintf("recv_leave_from_p%d", i + 1)});
+      }
+    }
+
+    // Timeout: enter the committed decision location. With the Section 6
+    // fix, pending deliveries towards p[0] take precedence.
+    {
+      ta::Guard guard;
+      if (options_.use_receive_priority()) {
+        guard = [t_var, waiting, hp](const StateView& v) {
+          return v.clk(waiting) == v.var(t_var) &&
+                 !any_delivery_pending(v, hp);
+        };
+      } else {
+        guard = [t_var, waiting](const StateView& v) {
+          return v.clk(waiting) == v.var(t_var);
+        };
+      }
+      net_.add_edge(h.p0, Edge{.src = h.l_alive,
+                               .dst = h.l_timeout,
+                               .guard = std::move(guard),
+                               .label = "timeout"});
+    }
+
+    // The round computation shared by the continue/inactivate guards:
+    // the minimum next waiting time across participating processes.
+    std::vector<VarId> rcvds, tms, jnds;
+    for (const auto& p : h.parts) {
+      rcvds.push_back(p.rcvd0);
+      tms.push_back(p.tm);
+      jnds.push_back(p.jnd);
+    }
+    const bool multi = is_multi(flavor_);
+    const bool join = has_join_phase();
+    const bool twop = two_phase();
+    const auto min_next = [multi, join, twop, rcvds, tms, jnds, t_var,
+                           timing](const StateView& v) {
+      if (!multi) {
+        return next_waiting_time(v.var(rcvds[0]) != 0, v.var(t_var), timing,
+                                 twop);
+      }
+      int min_t = timing.tmax;
+      for (std::size_t i = 0; i < rcvds.size(); ++i) {
+        if (join && v.var(jnds[i]) == 0) continue;
+        min_t = std::min(min_t, next_waiting_time(v.var(rcvds[i]) != 0,
+                                                  v.var(tms[i]), timing, twop));
+      }
+      return min_t;
+    };
+
+    // Continue: send/broadcast the next beat and start the next round.
+    {
+      Edge e;
+      e.src = h.l_timeout;
+      e.dst = h.l_alive;
+      if (multi) {
+        e.chan = bcast0_;
+        e.label = "broadcast_beat";
+      } else {
+        e.chan = to_ch_;
+        e.label = "send_beat";
+      }
+      e.dir = SyncDir::Send;
+      e.guard = [min_next, timing](const StateView& v) {
+        return min_next(v) >= timing.tmin;
+      };
+      e.effect = [multi, join, twop, rcvds, tms, jnds, t_var, waiting,
+                  timing](StateMut& m) {
+        int min_t = timing.tmax;
+        if (multi) {
+          for (std::size_t i = 0; i < rcvds.size(); ++i) {
+            if (join && m.var(jnds[i]) == 0) {
+              m.set(rcvds[i], 0);
+              continue;
+            }
+            const int next = next_waiting_time(m.var(rcvds[i]) != 0,
+                                               m.var(tms[i]), timing, twop);
+            m.set(tms[i], next);
+            m.set(rcvds[i], 0);
+            min_t = std::min(min_t, next);
+          }
+        } else {
+          min_t = next_waiting_time(m.var(rcvds[0]) != 0, m.var(t_var), timing,
+                                    twop);
+          m.set(rcvds[0], 0);
+        }
+        m.set(t_var, min_t);
+        m.reset(waiting);
+      };
+      net_.add_edge(h.p0, std::move(e));
+    }
+
+    // Non-voluntary inactivation: the next waiting time fell below tmin.
+    net_.add_edge(h.p0, Edge{.src = h.l_timeout,
+                             .dst = h.l_nv,
+                             .guard =
+                                 [min_next, timing](const StateView& v) {
+                                   return min_next(v) < timing.tmin;
+                                 },
+                             .effect =
+                                 [active0](StateMut& m) { m.set(active0, 0); },
+                             .label = "nv_inactivate"});
+
+    // Revised binary: an immediate first beat before the first wait.
+    if (flavor_ == Flavor::RevisedBinary) {
+      const VarId rcvd0 = h.parts[0].rcvd0;
+      net_.add_edge(h.p0, Edge{.src = h.l_init,
+                               .dst = h.l_alive,
+                               .chan = to_ch_,
+                               .dir = SyncDir::Send,
+                               .effect =
+                                   [rcvd0, waiting](StateMut& m) {
+                                     m.set(rcvd0, 0);
+                                     m.reset(waiting);
+                                   },
+                               .label = "initial_beat"});
+    }
+  }
+
+  void build_participant(int i) {
+    auto& p = h_.parts[static_cast<std::size_t>(i)];
+    const auto idx = static_cast<std::size_t>(i);
+    p.proc = net_.add_automaton(strprintf("p%d", i + 1));
+    p.active = net_.add_var(strprintf("active%d", i + 1), 1);
+
+    const int joined_bound = participant_bound(timing_, options_.use_corrected_bounds());
+    const int joining_bound = join_bound(timing_, options_.use_corrected_bounds());
+    const int wfb_cap = std::max(joined_bound, joining_bound) + 1;
+    p.wfb = net_.add_clock(strprintf("wfb%d", i + 1), wfb_cap);
+
+    const ClockId wfb = p.wfb;
+    const VarId active = p.active;
+    const Handles* hp = &h_;
+    if (flavor_ == Flavor::Dynamic) {
+      p.left = net_.add_var(strprintf("left%d", i + 1), 0);
+    }
+
+    // Locations.
+    p.l_alive = net_.add_location(
+        p.proc, "Alive", LocKind::Normal,
+        [wfb, joined_bound](const StateView& v) {
+          return v.clk(wfb) <= joined_bound;
+        });
+    p.l_rcvd = net_.add_location(p.proc, "Rcvd", LocKind::Committed);
+    p.l_v = net_.add_location(p.proc, "VInactivated");
+    p.l_nv = net_.add_location(p.proc, "NVInactivated");
+
+    // With the Section 6 fix, a pending delivery towards p[i] takes
+    // precedence over the inactivation timeout.
+    const auto deadline_guard = [this, hp, wfb](int bound) {
+      ta::Guard guard;
+      if (options_.use_receive_priority()) {
+        guard = [hp, wfb, bound](const StateView& v) {
+          return v.clk(wfb) == bound && !any_delivery_pending(v, hp);
+        };
+      } else {
+        guard = [wfb, bound](const StateView& v) {
+          return v.clk(wfb) == bound;
+        };
+      }
+      return guard;
+    };
+
+    if (has_join_phase()) {
+      p.wtj = net_.add_clock(strprintf("wtj%d", i + 1), timing_.tmin + 1);
+      const ClockId wtj = p.wtj;
+      const int tmin = timing_.tmin;
+      p.l_joining = net_.add_location(
+          p.proc, "Joining", LocKind::Normal,
+          [wfb, wtj, joining_bound, tmin](const StateView& v) {
+            return v.clk(wfb) <= joining_bound && v.clk(wtj) <= tmin;
+          });
+      net_.set_initial(p.proc, p.l_joining);
+
+      // Join beats every tmin until joined; per Fig. 6 the *first* join
+      // beat is also sent at waitingtojoin == tmin (not at time zero),
+      // which is what allows a join request to reach p[0] right after
+      // one of its timeouts (the Fig. 13 scenario).
+      net_.add_edge(p.proc, Edge{.src = p.l_joining,
+                                 .dst = p.l_joining,
+                                 .chan = join_send_[idx],
+                                 .dir = SyncDir::Send,
+                                 .guard =
+                                     [wtj, tmin](const StateView& v) {
+                                       return v.clk(wtj) == tmin;
+                                     },
+                                 .effect =
+                                     [wtj](StateMut& m) { m.reset(wtj); },
+                                 .label = "join_beat"});
+      // Receiving p[0]'s beat completes the join; the reply is sent from
+      // the committed Rcvd location like any other beat.
+      net_.add_edge(p.proc, Edge{.src = p.l_joining,
+                                 .dst = p.l_rcvd,
+                                 .chan = deliver_p_[idx],
+                                 .dir = SyncDir::Recv,
+                                 .label = "recv_first_beat"});
+      // Join-phase deadline.
+      net_.add_edge(p.proc, Edge{.src = p.l_joining,
+                                 .dst = p.l_nv,
+                                 .guard = deadline_guard(joining_bound),
+                                 .effect =
+                                     [active](StateMut& m) {
+                                       m.set(active, 0);
+                                     },
+                                 .label = "nv_inactivate_joining"});
+      // Crash while joining.
+      net_.add_edge(p.proc, Edge{.src = p.l_joining,
+                                 .dst = p.l_v,
+                                 .effect =
+                                     [active](StateMut& m) {
+                                       m.set(active, 0);
+                                     },
+                                 .label = "crash_joining"});
+    }
+
+    // Beat receipt when participating.
+    net_.add_edge(p.proc, Edge{.src = p.l_alive,
+                               .dst = p.l_rcvd,
+                               .chan = deliver_p_[idx],
+                               .dir = SyncDir::Recv,
+                               .label = "recv_beat"});
+    // Immediate reply from the committed location.
+    net_.add_edge(p.proc, Edge{.src = p.l_rcvd,
+                               .dst = p.l_alive,
+                               .chan = reply_true_[idx],
+                               .dir = SyncDir::Send,
+                               .effect = [wfb](StateMut& m) { m.reset(wfb); },
+                               .label = "send_reply"});
+    if (flavor_ == Flavor::Dynamic) {
+      // Alternatively, reply with a leave beat and depart gracefully.
+      p.l_left = net_.add_location(p.proc, "Left");
+      const VarId left = p.left;
+      // The leave reply also restarts wtj, which then measures the time
+      // since departure (used by the graceful-rejoin guard below).
+      const ClockId wtj_leave = p.wtj;
+      net_.add_edge(p.proc, Edge{.src = p.l_rcvd,
+                                 .dst = p.l_left,
+                                 .chan = reply_false_[idx],
+                                 .dir = SyncDir::Send,
+                                 .effect =
+                                     [left, wtj_leave](StateMut& m) {
+                                       m.set(left, 1);
+                                       m.reset(wtj_leave);
+                                     },
+                                 .label = "send_leave"});
+      if (options_.rejoin != BuildOptions::Rejoin::None) {
+        // Future-work extension: a departed process may decide to
+        // participate again; it restarts the join phase from scratch.
+        // The graceful variant first lets the in-flight leave beat
+        // drain (its delivery is bounded by tmin).
+        const ClockId wtj = p.wtj;
+        const int tmin = timing_.tmin;
+        ta::Guard guard;
+        if (options_.rejoin == BuildOptions::Rejoin::Graceful) {
+          guard = [wtj, tmin](const StateView& v) {
+            return v.clk(wtj) > tmin;
+          };
+        }
+        net_.add_edge(p.proc, Edge{.src = p.l_left,
+                                   .dst = p.l_joining,
+                                   .guard = std::move(guard),
+                                   .effect =
+                                       [left, wfb, wtj](StateMut& m) {
+                                         m.set(left, 0);
+                                         m.reset(wfb);
+                                         m.reset(wtj);
+                                       },
+                                   .label = "rejoin"});
+      }
+    }
+    // Crash while alive.
+    net_.add_edge(p.proc, Edge{.src = p.l_alive,
+                               .dst = p.l_v,
+                               .effect =
+                                   [active](StateMut& m) { m.set(active, 0); },
+                               .label = "crash"});
+    // Deadline while participating.
+    net_.add_edge(p.proc, Edge{.src = p.l_alive,
+                               .dst = p.l_nv,
+                               .guard = deadline_guard(joined_bound),
+                               .effect =
+                                   [active](StateMut& m) { m.set(active, 0); },
+                               .label = "nv_inactivate"});
+  }
+
+  void build_channel(int i) {
+    auto& p = h_.parts[static_cast<std::size_t>(i)];
+    const auto idx = static_cast<std::size_t>(i);
+    p.ch = net_.add_automaton(strprintf("ch%d", i + 1));
+    p.delay = net_.add_clock(strprintf("delay%d", i + 1), timing_.tmin + 1);
+
+    const ClockId delay = p.delay;
+    const int tmin = timing_.tmin;
+    const VarId lost = h_.lost;
+    const VarId active = p.active;
+
+    const auto bounded = [delay, tmin](const StateView& v) {
+      return v.clk(delay) <= tmin;
+    };
+
+    p.ch_idle = net_.add_location(p.ch, "Idle");
+    p.ch_t0 =
+        net_.add_location(p.ch, "BeatInTransit", LocKind::Normal, bounded);
+    p.ch_w1 =
+        net_.add_location(p.ch, "AwaitingReply", LocKind::Normal, bounded);
+    p.ch_t1 =
+        net_.add_location(p.ch, "ReplyInTransit", LocKind::Normal, bounded);
+    if (flavor_ == Flavor::Dynamic) {
+      p.ch_t1f =
+          net_.add_location(p.ch, "LeaveInTransit", LocKind::Normal, bounded);
+    }
+
+    // Accept p[0]'s beat. Multi flavors receive the broadcast; in the
+    // expanding/dynamic flavors only channels of registered (joined)
+    // participants carry the beat, since p[0] addresses its heartbeat to
+    // its joined list (this is what makes the Fig. 13 scenario possible).
+    {
+      Edge e;
+      e.src = p.ch_idle;
+      e.dst = p.ch_t0;
+      e.dir = SyncDir::Recv;
+      e.label = "accept_beat";
+      e.effect = [delay](StateMut& m) { m.reset(delay); };
+      if (is_multi(flavor_)) {
+        e.chan = bcast0_;
+        if (has_join_phase()) {
+          const VarId jnd = p.jnd;
+          e.guard = [jnd](const StateView& v) { return v.var(jnd) == 1; };
+        }
+      } else {
+        e.chan = to_ch_;
+      }
+      net_.add_edge(p.ch, std::move(e));
+    }
+
+    // First leg: lose or deliver to p[i].
+    net_.add_edge(p.ch, Edge{.src = p.ch_t0,
+                             .dst = p.ch_idle,
+                             .effect = [lost](StateMut& m) { m.set(lost, 1); },
+                             .label = "lose_beat"});
+    net_.add_edge(p.ch, Edge{.src = p.ch_t0,
+                             .dst = p.ch_w1,
+                             .chan = deliver_p_[idx],
+                             .dir = SyncDir::Send,
+                             .label = "deliver_beat"});
+
+    // Awaiting the reply; if p[i] is no longer participating (crashed,
+    // inactivated, or departed) no reply will ever come, so the channel
+    // gives up waiting.
+    const Handles* hp = &h_;
+    net_.add_edge(p.ch, Edge{.src = p.ch_w1,
+                             .dst = p.ch_t1,
+                             .chan = reply_true_[idx],
+                             .dir = SyncDir::Recv,
+                             .label = "accept_reply"});
+    net_.add_edge(p.ch, Edge{.src = p.ch_w1,
+                             .dst = p.ch_idle,
+                             .guard =
+                                 [active, hp, idx](const StateView& v) {
+                                   const auto& part = hp->parts[idx];
+                                   if (v.var(active) == 0) return true;
+                                   const auto loc = v.loc(part.proc);
+                                   if (part.l_left >= 0 && loc == part.l_left) {
+                                     return true;
+                                   }
+                                   // A beat that was delivered while the
+                                   // process had departed will never be
+                                   // answered, even if the process has
+                                   // meanwhile re-entered the join phase.
+                                   return part.l_joining >= 0 &&
+                                          loc == part.l_joining;
+                                 },
+                             .label = "abort_wait"});
+    if (flavor_ == Flavor::Dynamic) {
+      net_.add_edge(p.ch, Edge{.src = p.ch_w1,
+                               .dst = p.ch_t1f,
+                               .chan = reply_false_[idx],
+                               .dir = SyncDir::Recv,
+                               .label = "accept_leave"});
+      net_.add_edge(p.ch,
+                    Edge{.src = p.ch_t1f,
+                         .dst = p.ch_idle,
+                         .effect = [lost](StateMut& m) { m.set(lost, 1); },
+                         .label = "lose_leave"});
+      net_.add_edge(p.ch, Edge{.src = p.ch_t1f,
+                               .dst = p.ch_idle,
+                               .chan = deliver_p0_false_[idx],
+                               .dir = SyncDir::Send,
+                               .label = "deliver_leave"});
+    }
+
+    // Second leg: lose or deliver the reply to p[0].
+    net_.add_edge(p.ch, Edge{.src = p.ch_t1,
+                             .dst = p.ch_idle,
+                             .effect = [lost](StateMut& m) { m.set(lost, 1); },
+                             .label = "lose_reply"});
+    net_.add_edge(p.ch, Edge{.src = p.ch_t1,
+                             .dst = p.ch_idle,
+                             .chan = deliver_p0_true_[idx],
+                             .dir = SyncDir::Send,
+                             .label = "deliver_reply"});
+  }
+
+  void build_join_channel(int i) {
+    auto& p = h_.parts[static_cast<std::size_t>(i)];
+    const auto idx = static_cast<std::size_t>(i);
+    p.jch = net_.add_automaton(strprintf("jch%d", i + 1));
+    p.jdelay = net_.add_clock(strprintf("jdelay%d", i + 1), timing_.tmin + 1);
+
+    const ClockId jdelay = p.jdelay;
+    const int tmin = timing_.tmin;
+    const VarId lost = h_.lost;
+
+    p.jch_idle = net_.add_location(p.jch, "Idle");
+    p.jch_t = net_.add_location(p.jch, "JoinInTransit", LocKind::Normal,
+                                [jdelay, tmin](const StateView& v) {
+                                  return v.clk(jdelay) <= tmin;
+                                });
+
+    net_.add_edge(p.jch, Edge{.src = p.jch_idle,
+                              .dst = p.jch_t,
+                              .chan = join_send_[idx],
+                              .dir = SyncDir::Recv,
+                              .effect =
+                                  [jdelay](StateMut& m) { m.reset(jdelay); },
+                              .label = "accept_join"});
+    net_.add_edge(p.jch, Edge{.src = p.jch_t,
+                              .dst = p.jch_idle,
+                              .effect = [lost](StateMut& m) { m.set(lost, 1); },
+                              .label = "lose_join"});
+    // Per Section 4.4 of the analysis the join channel "is only active
+    // before the process has joined": a join beat still in flight once
+    // p[i] left the join phase is dropped (it can carry no information
+    // p[0] does not already have, since p[i] only joins after p[0]
+    // registered it) instead of re-registering a departed process.
+    const Handles* hp = &h_;
+    net_.add_edge(p.jch, Edge{.src = p.jch_t,
+                              .dst = p.jch_idle,
+                              .chan = deliver_p0_true_[idx],
+                              .dir = SyncDir::Send,
+                              .guard =
+                                  [hp, idx](const StateView& v) {
+                                    const auto& part = hp->parts[idx];
+                                    return v.loc(part.proc) == part.l_joining;
+                                  },
+                              .label = "deliver_join"});
+    net_.add_edge(p.jch, Edge{.src = p.jch_t,
+                              .dst = p.jch_idle,
+                              .guard =
+                                  [hp, idx](const StateView& v) {
+                                    const auto& part = hp->parts[idx];
+                                    return v.loc(part.proc) != part.l_joining;
+                                  },
+                              .label = "void_join"});
+  }
+
+  void build_monitor(int i) {
+    auto& p = h_.parts[static_cast<std::size_t>(i)];
+    const auto idx = static_cast<std::size_t>(i);
+    p.mon = net_.add_automaton(strprintf("mon%d", i + 1));
+    const int bound = r1_bound(timing_, options_.use_corrected_bounds());
+    p.mdelay = net_.add_clock(strprintf("mdelay%d", i + 1), bound + 1);
+
+    const ClockId mdelay = p.mdelay;
+    const VarId active0 = h_.active0;
+
+    p.mon_wait = net_.add_location(p.mon, "Waiting");
+    p.mon_armed = net_.add_location(p.mon, "Armed");
+    p.mon_error = net_.add_location(p.mon, "ErrorR1");
+
+    // Binary and static participants are expected from the start; in the
+    // expanding/dynamic flavors the watchdog arms on the first beat that
+    // actually reaches p[0] (and disarms on a delivered leave beat).
+    if (!has_join_phase()) net_.set_initial(p.mon, p.mon_armed);
+
+    net_.add_edge(p.mon, Edge{.src = p.mon_wait,
+                              .dst = p.mon_armed,
+                              .chan = deliver_p0_true_[idx],
+                              .dir = SyncDir::Recv,
+                              .effect =
+                                  [mdelay](StateMut& m) { m.reset(mdelay); },
+                              .label = "arm"});
+    net_.add_edge(p.mon, Edge{.src = p.mon_armed,
+                              .dst = p.mon_armed,
+                              .chan = deliver_p0_true_[idx],
+                              .dir = SyncDir::Recv,
+                              .effect =
+                                  [mdelay](StateMut& m) { m.reset(mdelay); },
+                              .label = "observe_beat"});
+    if (flavor_ == Flavor::Dynamic) {
+      net_.add_edge(p.mon, Edge{.src = p.mon_armed,
+                                .dst = p.mon_wait,
+                                .chan = deliver_p0_false_[idx],
+                                .dir = SyncDir::Recv,
+                                .label = "disarm_on_leave"});
+    }
+    net_.add_edge(p.mon, Edge{.src = p.mon_armed,
+                              .dst = p.mon_error,
+                              .guard =
+                                  [mdelay, active0, bound](const StateView& v) {
+                                    return v.var(active0) == 1 &&
+                                           v.clk(mdelay) > bound;
+                                  },
+                              .label = "error_r1"});
+  }
+
+  Flavor flavor_;
+  BuildOptions options_;
+  Timing timing_;
+  ta::Network& net_;
+  Handles& h_;
+
+  ChanId bcast0_{};
+  ChanId to_ch_{};
+  std::vector<ChanId> deliver_p_;
+  std::vector<ChanId> reply_true_;
+  std::vector<ChanId> reply_false_;
+  std::vector<ChanId> deliver_p0_true_;
+  std::vector<ChanId> deliver_p0_false_;
+  std::vector<ChanId> join_send_;
+};
+
+}  // namespace
+
+HeartbeatModel HeartbeatModel::build(Flavor flavor,
+                                     const BuildOptions& options) {
+  HeartbeatModel model;
+  model.handles_ = std::make_unique<Handles>();
+  model.flavor_ = flavor;
+  model.options_ = options;
+  Builder builder{flavor, options, model.net_, *model.handles_};
+  builder.build();
+  return model;
+}
+
+mc::Pred HeartbeatModel::r1_violation() const {
+  AHB_EXPECTS(options_.r1_monitor);
+  std::vector<std::pair<ta::AutomatonId, int>> errors;
+  for (const auto& p : handles_->parts) {
+    errors.emplace_back(p.mon, p.mon_error);
+  }
+  return [errors](const StateView& v) {
+    return std::any_of(errors.begin(), errors.end(), [&](const auto& e) {
+      return v.loc(e.first) == e.second;
+    });
+  };
+}
+
+namespace {
+
+/// Participant j does not legitimise someone else's inactivation if it
+/// is still alive (it may have left gracefully) or if p[0] never
+/// registered it as joined.
+bool participant_ok(const StateView& v,
+                    const HeartbeatModel::Participant& p) {
+  if (v.var(p.active) == 1) return true;
+  if (p.jnd.value >= 0 && v.var(p.jnd) == 0) return true;
+  return false;
+}
+
+}  // namespace
+
+mc::Pred HeartbeatModel::r2_violation(int i) const {
+  AHB_EXPECTS(i >= 0 && i < static_cast<int>(handles_->parts.size()));
+  const Handles* h = handles_.get();
+  return [h, i](const StateView& v) {
+    const auto& target = h->parts[static_cast<std::size_t>(i)];
+    if (v.loc(target.proc) != target.l_nv) return false;
+    if (v.var(h->lost) != 0) return false;
+    if (v.var(h->active0) != 1) return false;
+    for (std::size_t j = 0; j < h->parts.size(); ++j) {
+      if (static_cast<int>(j) == i) continue;
+      if (!participant_ok(v, h->parts[j])) return false;
+    }
+    return true;
+  };
+}
+
+mc::Pred HeartbeatModel::r2_violation_any() const {
+  std::vector<mc::Pred> per_part;
+  for (int i = 0; i < static_cast<int>(handles_->parts.size()); ++i) {
+    per_part.push_back(r2_violation(i));
+  }
+  return [per_part](const StateView& v) {
+    return std::any_of(per_part.begin(), per_part.end(),
+                       [&](const auto& p) { return p(v); });
+  };
+}
+
+mc::Pred HeartbeatModel::r3_violation() const {
+  const Handles* h = handles_.get();
+  return [h](const StateView& v) {
+    if (v.loc(h->p0) != h->l_nv) return false;
+    if (v.var(h->lost) != 0) return false;
+    for (const auto& p : h->parts) {
+      if (!participant_ok(v, p)) return false;
+    }
+    return true;
+  };
+}
+
+Verdicts verify_requirements(Flavor flavor, BuildOptions options,
+                             const mc::SearchLimits& limits) {
+  Verdicts out;
+  {
+    BuildOptions with_monitor = options;
+    with_monitor.r1_monitor = true;
+    const HeartbeatModel model = HeartbeatModel::build(flavor, with_monitor);
+    mc::Explorer explorer{model.net()};
+    const auto result = explorer.reach(model.r1_violation(), limits);
+    AHB_ASSERT(result.found || result.complete);
+    out.r1 = !result.found;
+    out.r1_stats = result.stats;
+  }
+  {
+    BuildOptions plain = options;
+    plain.r1_monitor = false;
+    const HeartbeatModel model = HeartbeatModel::build(flavor, plain);
+    mc::Explorer explorer{model.net()};
+    const auto r2 = explorer.reach(model.r2_violation_any(), limits);
+    AHB_ASSERT(r2.found || r2.complete);
+    out.r2 = !r2.found;
+    out.r2_stats = r2.stats;
+    const auto r3 = explorer.reach(model.r3_violation(), limits);
+    AHB_ASSERT(r3.found || r3.complete);
+    out.r3 = !r3.found;
+    out.r3_stats = r3.stats;
+  }
+  return out;
+}
+
+}  // namespace ahb::models

@@ -1,0 +1,92 @@
+// Configuration of the heartbeat protocol models.
+#pragma once
+
+#include <string>
+
+#include "util/contracts.hpp"
+
+namespace ahb::models {
+
+/// The protocol variants of Gouda & McGuire (ICDCS'98), plus the revised
+/// binary variant of McGuire & Gouda (2004).
+enum class Flavor {
+  Binary,
+  RevisedBinary,
+  TwoPhase,
+  Static,
+  Expanding,
+  Dynamic,
+};
+
+std::string to_string(Flavor f);
+
+/// True for the flavors with n participants and a broadcasting p[0].
+constexpr bool is_multi(Flavor f) {
+  return f == Flavor::Static || f == Flavor::Expanding || f == Flavor::Dynamic;
+}
+
+struct Timing {
+  int tmin = 1;   ///< lower bound on waiting times; also the upper bound
+                  ///< on the round-trip channel delay
+  int tmax = 10;  ///< upper bound on waiting times
+
+  constexpr bool valid() const { return 0 < tmin && tmin <= tmax; }
+};
+
+struct BuildOptions {
+  Timing timing{};
+  int participants = 1;  ///< number of p[i] processes (multi flavors)
+  /// Apply both Section 6 corrections (shorthand for setting the two
+  /// individual flags below).
+  bool fixed = false;
+  /// Section 6.1 fix only: receives take precedence over simultaneous
+  /// timeouts (pending channel deliveries are processed before any
+  /// timeout fires).
+  bool receive_priority = false;
+  /// Section 6.2 fix only: corrected inactivation bounds — p[i] times
+  /// out after 2*tmax (joined) / 2*tmax + tmin (join phase), and the R1
+  /// bound on p[0] becomes 3*tmax - tmin when 2*tmin <= tmax.
+  bool corrected_bounds = false;
+  /// Build the R1 watchdog monitors (Fig. 9). They enlarge the state
+  /// space, so only enable them when checking R1.
+  bool r1_monitor = false;
+  /// Dynamic flavor extension (the source analysis names it as future
+  /// work): may a participant that left re-enter the join phase?
+  ///  - Naive: rejoin at any moment. Model checking shows this breaks R2
+  ///    even in the corrected protocol: a stale leave beat still in
+  ///    flight is processed *after* the new incarnation's join beat and
+  ///    de-registers it (the classic reincarnation hazard).
+  ///  - Graceful: rejoin only after the leave message's delay bound has
+  ///    drained (> tmin after the leave was sent); verified correct.
+  enum class Rejoin { None, Naive, Graceful };
+  Rejoin rejoin = Rejoin::None;
+
+  constexpr bool use_receive_priority() const {
+    return fixed || receive_priority;
+  }
+  constexpr bool use_corrected_bounds() const {
+    return fixed || corrected_bounds;
+  }
+};
+
+/// The detection bound R1 demands of p[0]: the as-published requirement
+/// is 2*tmax; the corrected requirement (Section 6.2) is 3*tmax - tmin
+/// whenever 2*tmin <= tmax.
+constexpr int r1_bound(const Timing& t, bool fixed) {
+  if (!fixed) return 2 * t.tmax;
+  return 2 * t.tmin > t.tmax ? 2 * t.tmax : 3 * t.tmax - t.tmin;
+}
+
+/// p[i]'s inactivation deadline once participating: as published
+/// 3*tmax - tmin; corrected (tightened) to 2*tmax.
+constexpr int participant_bound(const Timing& t, bool fixed) {
+  return fixed ? 2 * t.tmax : 3 * t.tmax - t.tmin;
+}
+
+/// Deadline of the join phase (expanding/dynamic): as published
+/// 3*tmax - tmin; corrected to 2*tmax + tmin.
+constexpr int join_bound(const Timing& t, bool fixed) {
+  return fixed ? 2 * t.tmax + t.tmin : 3 * t.tmax - t.tmin;
+}
+
+}  // namespace ahb::models

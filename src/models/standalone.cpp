@@ -1,0 +1,144 @@
+#include "models/standalone.hpp"
+
+namespace ahb::models {
+
+using ta::ChanKind;
+using ta::Edge;
+using ta::LocKind;
+using ta::StateMut;
+using ta::StateView;
+using ta::SyncDir;
+
+ta::Network build_standalone_p0(const Timing& timing) {
+  ta::Network net;
+  const auto send_chan = net.add_channel("snd", ChanKind::Handshake);
+  const auto recv_chan = net.add_channel("rcv", ChanKind::Broadcast);
+
+  const auto p0 = net.add_automaton("p0");
+  const auto t = net.add_var("t", timing.tmax);
+  const auto rcvd = net.add_var("rcvd", 1);
+  const auto waiting = net.add_clock("waiting", timing.tmax + 1);
+
+  const auto alive = net.add_location(
+      p0, "Alive", LocKind::Normal,
+      [t, waiting](const StateView& v) { return v.clk(waiting) <= v.var(t); });
+  const auto timeout = net.add_location(p0, "TimeOut", LocKind::Committed);
+  const auto v_inact = net.add_location(p0, "VInactivated");
+  const auto nv_inact = net.add_location(p0, "NVInactivated");
+
+  const Timing tm = timing;
+  const auto next_t = [rcvd, t, tm](const StateView& v) {
+    return v.var(rcvd) != 0 ? tm.tmax : v.var(t) / 2;
+  };
+
+  net.add_edge(p0, Edge{.src = alive,
+                        .dst = alive,
+                        .chan = recv_chan,
+                        .dir = SyncDir::Recv,
+                        .effect = [rcvd](StateMut& m) { m.set(rcvd, 1); },
+                        .label = "recv_beat"});
+  net.add_edge(p0, Edge{.src = alive, .dst = v_inact, .label = "crash"});
+  net.add_edge(p0, Edge{.src = alive,
+                        .dst = timeout,
+                        .guard =
+                            [t, waiting](const StateView& v) {
+                              return v.clk(waiting) == v.var(t);
+                            },
+                        .label = "timeout"});
+  net.add_edge(p0, Edge{.src = timeout,
+                        .dst = alive,
+                        .chan = send_chan,
+                        .dir = SyncDir::Send,
+                        .guard =
+                            [next_t, tm](const StateView& v) {
+                              return next_t(v) >= tm.tmin;
+                            },
+                        .effect =
+                            [t, rcvd, waiting, tm](StateMut& m) {
+                              const int nt =
+                                  m.var(rcvd) != 0 ? tm.tmax : m.var(t) / 2;
+                              m.set(t, nt);
+                              m.set(rcvd, 0);
+                              m.reset(waiting);
+                            },
+                        .label = "send_beat"});
+  net.add_edge(p0, Edge{.src = timeout,
+                        .dst = nv_inact,
+                        .guard =
+                            [next_t, tm](const StateView& v) {
+                              return next_t(v) < tm.tmin;
+                            },
+                        .label = "nv_inactivate"});
+
+  // Chaos environment: accepts sends, delivers beats at will.
+  const auto env = net.add_automaton("env");
+  const auto e0 = net.add_location(env, "E");
+  net.add_edge(env, Edge{.src = e0,
+                         .dst = e0,
+                         .chan = send_chan,
+                         .dir = SyncDir::Recv,
+                         .label = "accept"});
+  net.add_edge(env, Edge{.src = e0,
+                         .dst = e0,
+                         .chan = recv_chan,
+                         .dir = SyncDir::Send,
+                         .label = "deliver"});
+
+  net.freeze();
+  return net;
+}
+
+ta::Network build_standalone_p1(const Timing& timing) {
+  ta::Network net;
+  const auto deliver_chan = net.add_channel("dlv", ChanKind::Broadcast);
+  const auto reply_chan = net.add_channel("rpl", ChanKind::Handshake);
+
+  const auto p1 = net.add_automaton("p1");
+  const auto wfb = net.add_clock("wfb", 3 * timing.tmax - timing.tmin + 1);
+  const int bound = 3 * timing.tmax - timing.tmin;
+
+  const auto alive = net.add_location(
+      p1, "Alive", LocKind::Normal,
+      [wfb, bound](const StateView& v) { return v.clk(wfb) <= bound; });
+  const auto rcvd = net.add_location(p1, "Rcvd", LocKind::Committed);
+  const auto v_inact = net.add_location(p1, "VInactivated");
+  const auto nv_inact = net.add_location(p1, "NVInactivated");
+
+  net.add_edge(p1, Edge{.src = alive,
+                        .dst = rcvd,
+                        .chan = deliver_chan,
+                        .dir = SyncDir::Recv,
+                        .label = "recv_beat"});
+  net.add_edge(p1, Edge{.src = rcvd,
+                        .dst = alive,
+                        .chan = reply_chan,
+                        .dir = SyncDir::Send,
+                        .effect = [wfb](StateMut& m) { m.reset(wfb); },
+                        .label = "send_reply"});
+  net.add_edge(p1, Edge{.src = alive, .dst = v_inact, .label = "crash"});
+  net.add_edge(p1, Edge{.src = alive,
+                        .dst = nv_inact,
+                        .guard =
+                            [wfb, bound](const StateView& v) {
+                              return v.clk(wfb) == bound;
+                            },
+                        .label = "nv_inactivate"});
+
+  const auto env = net.add_automaton("env");
+  const auto e0 = net.add_location(env, "E");
+  net.add_edge(env, Edge{.src = e0,
+                         .dst = e0,
+                         .chan = deliver_chan,
+                         .dir = SyncDir::Send,
+                         .label = "deliver"});
+  net.add_edge(env, Edge{.src = e0,
+                         .dst = e0,
+                         .chan = reply_chan,
+                         .dir = SyncDir::Recv,
+                         .label = "accept"});
+
+  net.freeze();
+  return net;
+}
+
+}  // namespace ahb::models

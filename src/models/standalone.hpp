@@ -1,0 +1,22 @@
+// Standalone process views: p[0] or p[1] of the binary protocol composed
+// with a "chaos" environment that accepts every send and may deliver a
+// beat at any moment. Their reachable transition systems are the
+// analogue of the per-process diagrams of the source analysis
+// (Figures 1 and 2: the reduced transition systems of p[0] and p[1] for
+// tmax = 2, tmin = 1).
+#pragma once
+
+#include "models/options.hpp"
+#include "ta/network.hpp"
+
+namespace ahb::models {
+
+/// p[0] of the binary protocol + chaos environment.
+/// Environment edges are labelled with an "env." prefix so callers can
+/// hide them before reduction.
+ta::Network build_standalone_p0(const Timing& timing);
+
+/// p[1] of the binary protocol + chaos environment.
+ta::Network build_standalone_p1(const Timing& timing);
+
+}  // namespace ahb::models

@@ -1,0 +1,122 @@
+// Lossy, bounded-delay message transport for simulation experiments.
+//
+// Matches the channel assumptions of the protocol: a message is either
+// lost or delivered within a bounded delay; delivery order between
+// distinct messages is not guaranteed. Per-link loss probability and
+// delay range are configurable, and faults (link down, node crash) can
+// be injected at runtime.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace ahb::sim {
+
+struct NetworkStats {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t lost = 0;      ///< dropped by random loss
+  std::uint64_t blocked = 0;   ///< dropped because the link was down
+};
+
+template <typename MessageT>
+class Network {
+ public:
+  using Handler = std::function<void(int from, const MessageT&)>;
+
+  struct LinkParams {
+    double loss_probability = 0.0;
+    Time min_delay = 0;
+    Time max_delay = 1;  ///< inclusive; one-way delay bound
+  };
+
+  explicit Network(Simulator& sim, LinkParams defaults = {})
+      : sim_(&sim), defaults_(defaults) {}
+
+  /// Registers the message handler of node `id`.
+  void attach(int id, Handler handler) {
+    AHB_EXPECTS(handler != nullptr);
+    handlers_[id] = std::move(handler);
+  }
+
+  /// Overrides parameters for the directed link from -> to.
+  void set_link(int from, int to, LinkParams params) {
+    links_[{from, to}] = params;
+  }
+
+  /// Takes the directed link down (messages silently dropped) or up.
+  void set_link_up(int from, int to, bool up) {
+    if (up) {
+      down_.erase({from, to});
+    } else {
+      down_.insert({from, to});
+    }
+  }
+
+  /// Disconnects a node entirely (crash): all its incident messages are
+  /// dropped from now on.
+  void isolate(int id) { isolated_.push_back(id); }
+
+  void send(int from, int to, MessageT message) {
+    ++stats_.sent;
+    if (is_isolated(from) || is_isolated(to) || down_.contains({from, to})) {
+      ++stats_.blocked;
+      return;
+    }
+    const LinkParams params = link(from, to);
+    if (sim_->rng().chance(params.loss_probability)) {
+      ++stats_.lost;
+      return;
+    }
+    const Time delay =
+        params.min_delay +
+        static_cast<Time>(sim_->rng().below(
+            static_cast<std::uint64_t>(params.max_delay - params.min_delay) +
+            1));
+    sim_->after(delay, [this, from, to, msg = std::move(message)]() {
+      if (is_isolated(to)) {
+        ++stats_.blocked;
+        return;
+      }
+      const auto it = handlers_.find(to);
+      if (it == handlers_.end()) return;  // crashed nodes receive silently
+      ++stats_.delivered;
+      it->second(from, msg);
+    });
+  }
+
+  const NetworkStats& stats() const { return stats_; }
+
+ private:
+  struct LinkKey {
+    int from;
+    int to;
+    friend auto operator<=>(const LinkKey&, const LinkKey&) = default;
+  };
+
+  LinkParams link(int from, int to) const {
+    const auto it = links_.find({from, to});
+    return it == links_.end() ? defaults_ : it->second;
+  }
+
+  bool is_isolated(int id) const {
+    return std::find(isolated_.begin(), isolated_.end(), id) !=
+           isolated_.end();
+  }
+
+  Simulator* sim_;
+  LinkParams defaults_;
+  std::map<LinkKey, LinkParams> links_;
+  std::set<LinkKey> down_;
+  std::map<int, Handler> handlers_;
+  std::vector<int> isolated_;
+  NetworkStats stats_;
+};
+
+}  // namespace ahb::sim

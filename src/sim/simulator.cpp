@@ -1,0 +1,62 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+
+namespace ahb::sim {
+
+Simulator::EventId Simulator::at(Time when, std::function<void()> fn,
+                                 int priority) {
+  AHB_EXPECTS(when >= now_);
+  AHB_EXPECTS(fn != nullptr);
+  const EventId id = next_id_++;
+  queue_.push(Event{when, priority, id, std::move(fn)});
+  return id;
+}
+
+void Simulator::cancel(EventId id) {
+  if (id == kInvalidEvent) return;
+  cancelled_.push_back(id);
+  ++cancelled_pending_;
+}
+
+bool Simulator::pop_one(Time horizon, Event& out) {
+  while (!queue_.empty()) {
+    if (queue_.top().when > horizon) return false;
+    // const_cast is confined here: priority_queue::top() is const but we
+    // are about to pop; moving the closure out avoids a copy.
+    out = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    const auto it = std::find(cancelled_.begin(), cancelled_.end(), out.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      --cancelled_pending_;
+      continue;
+    }
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulator::run_until(Time horizon) {
+  std::size_t count = 0;
+  Event event;
+  while (pop_one(horizon, event)) {
+    now_ = event.when;
+    ++executed_;
+    ++count;
+    event.fn();
+  }
+  now_ = std::max(now_, horizon);
+  return count;
+}
+
+bool Simulator::step(Time horizon) {
+  Event event;
+  if (!pop_one(horizon, event)) return false;
+  now_ = event.when;
+  ++executed_;
+  event.fn();
+  return true;
+}
+
+}  // namespace ahb::sim

@@ -1,0 +1,52 @@
+// Strongly-typed handles for the timed-automata formalism.
+//
+// Networks hand out these ids during construction; guards and effects
+// capture them by value. Distinct wrapper types prevent mixing up a
+// variable index with a clock index at compile time.
+#pragma once
+
+#include <cstdint>
+
+namespace ahb::ta {
+
+/// Value type of every state slot (location indices, variables, clocks).
+/// All models in this repository stay far below the int16 range; the
+/// model checker packs slots directly when hashing.
+using Slot = std::int16_t;
+
+struct AutomatonId {
+  int value = -1;
+  friend bool operator==(AutomatonId, AutomatonId) = default;
+};
+
+struct VarId {
+  int value = -1;
+  friend bool operator==(VarId, VarId) = default;
+};
+
+struct ClockId {
+  int value = -1;
+  friend bool operator==(ClockId, ClockId) = default;
+};
+
+struct ChanId {
+  int value = -1;
+  friend bool operator==(ChanId, ChanId) = default;
+};
+
+/// UPPAAL-style location kinds.
+///  - Normal:    time may pass subject to the invariant.
+///  - Urgent:    time may not pass while any automaton is here.
+///  - Committed: time may not pass AND the next discrete transition must
+///               involve an edge leaving a committed location.
+enum class LocKind : std::uint8_t { Normal, Urgent, Committed };
+
+/// Handshake channels pair exactly one sender with one receiver and
+/// block until both are ready; broadcast channels never block the
+/// sender and are received by every automaton with an enabled
+/// receive edge.
+enum class ChanKind : std::uint8_t { Handshake, Broadcast };
+
+enum class SyncDir : std::uint8_t { None, Send, Recv };
+
+}  // namespace ahb::ta

@@ -1,0 +1,370 @@
+#include "ta/network.hpp"
+
+#include <algorithm>
+#include <span>
+
+#include "util/contracts.hpp"
+#include "util/strings.hpp"
+
+namespace ahb::ta {
+
+AutomatonId Network::add_automaton(std::string name) {
+  AHB_EXPECTS(!frozen_);
+  automata_.push_back(Automaton{.name = std::move(name)});
+  return AutomatonId{static_cast<int>(automata_.size()) - 1};
+}
+
+int Network::add_location(AutomatonId a, std::string name, LocKind kind,
+                          Guard invariant) {
+  AHB_EXPECTS(!frozen_);
+  AHB_EXPECTS(a.value >= 0 &&
+              a.value < static_cast<int>(automata_.size()));
+  auto& locs = automata_[static_cast<std::size_t>(a.value)].locations;
+  locs.push_back(
+      Location{std::move(name), kind, std::move(invariant)});
+  return static_cast<int>(locs.size()) - 1;
+}
+
+void Network::set_initial(AutomatonId a, int loc_index) {
+  AHB_EXPECTS(!frozen_);
+  auto& automaton = automata_[static_cast<std::size_t>(a.value)];
+  AHB_EXPECTS(loc_index >= 0 &&
+              loc_index < static_cast<int>(automaton.locations.size()));
+  automaton.initial = loc_index;
+}
+
+VarId Network::add_var(std::string name, int init) {
+  AHB_EXPECTS(!frozen_);
+  vars_.push_back(VarDecl{std::move(name), static_cast<Slot>(init)});
+  return VarId{static_cast<int>(vars_.size()) - 1};
+}
+
+ClockId Network::add_clock(std::string name, int cap) {
+  AHB_EXPECTS(!frozen_);
+  AHB_EXPECTS(cap > 0);
+  clocks_.push_back(ClockDecl{std::move(name), static_cast<Slot>(cap)});
+  return ClockId{static_cast<int>(clocks_.size()) - 1};
+}
+
+ChanId Network::add_channel(std::string name, ChanKind kind) {
+  AHB_EXPECTS(!frozen_);
+  chans_.push_back(ChanDecl{std::move(name), kind});
+  return ChanId{static_cast<int>(chans_.size()) - 1};
+}
+
+void Network::add_edge(AutomatonId a, Edge edge) {
+  AHB_EXPECTS(!frozen_);
+  auto& automaton = automata_[static_cast<std::size_t>(a.value)];
+  AHB_EXPECTS(edge.src >= 0 &&
+              edge.src < static_cast<int>(automaton.locations.size()));
+  AHB_EXPECTS(edge.dst >= 0 &&
+              edge.dst < static_cast<int>(automaton.locations.size()));
+  if (edge.dir == SyncDir::None) {
+    AHB_EXPECTS(edge.chan.value < 0);
+  } else {
+    AHB_EXPECTS(edge.chan.value >= 0 &&
+                edge.chan.value < static_cast<int>(chans_.size()));
+  }
+  automaton.edges.push_back(std::move(edge));
+}
+
+void Network::freeze() {
+  AHB_EXPECTS(!frozen_);
+  AHB_EXPECTS(!automata_.empty());
+  for (const auto& a : automata_) {
+    AHB_EXPECTS(!a.locations.empty());
+  }
+  slot_count_ = automata_.size() + vars_.size() + clocks_.size();
+  frozen_ = true;
+  // The initial state must satisfy every invariant, otherwise the model
+  // is ill-formed and exploration would start from an impossible state.
+  AHB_ENSURES(invariants_hold(initial_state()));
+}
+
+State Network::initial_state() const {
+  AHB_EXPECTS(frozen_);
+  State s(slot_count_);
+  for (std::size_t i = 0; i < automata_.size(); ++i) {
+    s[loc_slot(static_cast<int>(i))] = static_cast<Slot>(automata_[i].initial);
+  }
+  for (std::size_t i = 0; i < vars_.size(); ++i) {
+    s[var_slot(static_cast<int>(i))] = vars_[i].init;
+  }
+  // Clocks start at zero, which the State constructor already ensures.
+  return s;
+}
+
+bool Network::invariants_hold(const State& s) const {
+  StateView view{*this, s};
+  for (std::size_t i = 0; i < automata_.size(); ++i) {
+    const auto& a = automata_[i];
+    const auto loc = static_cast<std::size_t>(s[loc_slot(static_cast<int>(i))]);
+    const auto& inv = a.locations[loc].invariant;
+    if (inv && !inv(view)) return false;
+  }
+  return true;
+}
+
+bool Network::edge_guard_holds(const StateView& v, int automaton,
+                               const Edge& e) const {
+  if (v.state()[loc_slot(automaton)] != e.src) return false;
+  return !e.guard || e.guard(v);
+}
+
+std::optional<State> Network::apply_discrete(
+    const State& s, std::span<const Transition::Part> parts) const {
+  State next = s;
+  StateMut mut{*this, next};
+  for (const auto& part : parts) {
+    const auto& automaton = automata_[static_cast<std::size_t>(part.automaton)];
+    const auto& edge = automaton.edges[static_cast<std::size_t>(part.edge)];
+    if (edge.effect) edge.effect(mut);
+    next[loc_slot(part.automaton)] = static_cast<Slot>(edge.dst);
+  }
+  if (!invariants_hold(next)) return std::nullopt;
+  return next;
+}
+
+bool Network::tick_enabled(const State& s) const {
+  // Urgent/committed locations freeze time.
+  for (std::size_t i = 0; i < automata_.size(); ++i) {
+    const auto loc = static_cast<std::size_t>(s[loc_slot(static_cast<int>(i))]);
+    if (automata_[i].locations[loc].kind != LocKind::Normal) return false;
+  }
+  State next = s;
+  for (std::size_t c = 0; c < clocks_.size(); ++c) {
+    auto& slot = next[clock_slot(static_cast<int>(c))];
+    if (slot < clocks_[c].cap) ++slot;
+  }
+  return invariants_hold(next);
+}
+
+void Network::collect_discrete(const State& s, bool committed_active,
+                               std::vector<Transition>& out) const {
+  StateView view{*this, s};
+  const auto committed_src = [&](int automaton, const Edge& e) {
+    const auto& a = automata_[static_cast<std::size_t>(automaton)];
+    return a.locations[static_cast<std::size_t>(e.src)].kind ==
+           LocKind::Committed;
+  };
+
+  // Internal edges.
+  for (int ai = 0; ai < static_cast<int>(automata_.size()); ++ai) {
+    const auto& a = automata_[static_cast<std::size_t>(ai)];
+    for (int ei = 0; ei < static_cast<int>(a.edges.size()); ++ei) {
+      const auto& e = a.edges[static_cast<std::size_t>(ei)];
+      if (e.dir != SyncDir::None) continue;
+      if (committed_active && !committed_src(ai, e)) continue;
+      if (!edge_guard_holds(view, ai, e)) continue;
+      const Transition::Part part{ai, ei};
+      if (auto next = apply_discrete(s, std::span{&part, 1})) {
+        Transition t;
+        t.target = std::move(*next);
+        t.kind = Transition::Kind::Internal;
+        t.sender = part;
+        out.push_back(std::move(t));
+      }
+    }
+  }
+
+  // Synchronizations: iterate over send edges, match receive edges.
+  for (int ai = 0; ai < static_cast<int>(automata_.size()); ++ai) {
+    const auto& a = automata_[static_cast<std::size_t>(ai)];
+    for (int ei = 0; ei < static_cast<int>(a.edges.size()); ++ei) {
+      const auto& send = a.edges[static_cast<std::size_t>(ei)];
+      if (send.dir != SyncDir::Send) continue;
+      if (!edge_guard_holds(view, ai, send)) continue;
+      const auto& chan = chans_[static_cast<std::size_t>(send.chan.value)];
+
+      if (chan.kind == ChanKind::Handshake) {
+        for (int bi = 0; bi < static_cast<int>(automata_.size()); ++bi) {
+          if (bi == ai) continue;
+          const auto& b = automata_[static_cast<std::size_t>(bi)];
+          for (int fi = 0; fi < static_cast<int>(b.edges.size()); ++fi) {
+            const auto& recv = b.edges[static_cast<std::size_t>(fi)];
+            if (recv.dir != SyncDir::Recv || recv.chan != send.chan) continue;
+            if (!edge_guard_holds(view, bi, recv)) continue;
+            if (committed_active && !committed_src(ai, send) &&
+                !committed_src(bi, recv)) {
+              continue;
+            }
+            const Transition::Part parts[] = {{ai, ei}, {bi, fi}};
+            if (auto next = apply_discrete(s, parts)) {
+              Transition t;
+              t.target = std::move(*next);
+              t.kind = Transition::Kind::Sync;
+              t.sender = parts[0];
+              t.receivers = {parts[1]};
+              out.push_back(std::move(t));
+            }
+          }
+        }
+      } else {
+        // Broadcast: every automaton with at least one enabled receive
+        // edge participates; automata with several enabled receive edges
+        // contribute one alternative each (cartesian product).
+        std::vector<std::vector<Transition::Part>> options;
+        for (int bi = 0; bi < static_cast<int>(automata_.size()); ++bi) {
+          if (bi == ai) continue;
+          const auto& b = automata_[static_cast<std::size_t>(bi)];
+          std::vector<Transition::Part> enabled;
+          for (int fi = 0; fi < static_cast<int>(b.edges.size()); ++fi) {
+            const auto& recv = b.edges[static_cast<std::size_t>(fi)];
+            if (recv.dir != SyncDir::Recv || recv.chan != send.chan) continue;
+            if (edge_guard_holds(view, bi, recv)) enabled.push_back({bi, fi});
+          }
+          if (!enabled.empty()) options.push_back(std::move(enabled));
+        }
+
+        std::vector<std::size_t> pick(options.size(), 0);
+        while (true) {
+          std::vector<Transition::Part> parts;
+          parts.reserve(options.size() + 1);
+          parts.push_back({ai, ei});
+          for (std::size_t i = 0; i < options.size(); ++i) {
+            parts.push_back(options[i][pick[i]]);
+          }
+          const bool committed_ok =
+              !committed_active ||
+              std::any_of(parts.begin(), parts.end(), [&](const auto& p) {
+                const auto& e = automata_[static_cast<std::size_t>(p.automaton)]
+                                    .edges[static_cast<std::size_t>(p.edge)];
+                return committed_src(p.automaton, e);
+              });
+          if (committed_ok) {
+            if (auto next = apply_discrete(s, parts)) {
+              Transition t;
+              t.target = std::move(*next);
+              t.kind = Transition::Kind::Broadcast;
+              t.sender = parts[0];
+              t.receivers.assign(parts.begin() + 1, parts.end());
+              out.push_back(std::move(t));
+            }
+          }
+          // Advance the mixed-radix counter over receive alternatives.
+          std::size_t i = 0;
+          for (; i < options.size(); ++i) {
+            if (++pick[i] < options[i].size()) break;
+            pick[i] = 0;
+          }
+          if (i == options.size()) break;
+        }
+      }
+    }
+  }
+}
+
+std::vector<Transition> Network::successors(const State& s) const {
+  AHB_EXPECTS(frozen_);
+  bool committed_active = false;
+  for (std::size_t i = 0; i < automata_.size(); ++i) {
+    const auto loc = static_cast<std::size_t>(s[loc_slot(static_cast<int>(i))]);
+    if (automata_[i].locations[loc].kind == LocKind::Committed) {
+      committed_active = true;
+      break;
+    }
+  }
+
+  std::vector<Transition> out;
+  collect_discrete(s, committed_active, out);
+
+  // Priority filtering: only maximal-priority discrete transitions may
+  // fire. Delay is never affected by priorities.
+  int max_priority = 0;
+  bool have_nonzero = false;
+  for (const auto& t : out) {
+    const auto& e = automata_[static_cast<std::size_t>(t.sender.automaton)]
+                        .edges[static_cast<std::size_t>(t.sender.edge)];
+    if (e.priority != 0) have_nonzero = true;
+    max_priority = std::max(max_priority, e.priority);
+  }
+  if (have_nonzero) {
+    std::erase_if(out, [&](const Transition& t) {
+      const auto& e = automata_[static_cast<std::size_t>(t.sender.automaton)]
+                          .edges[static_cast<std::size_t>(t.sender.edge)];
+      return e.priority < max_priority;
+    });
+  }
+
+  if (tick_enabled(s)) {
+    Transition tick;
+    tick.kind = Transition::Kind::Tick;
+    tick.target = s;
+    for (std::size_t c = 0; c < clocks_.size(); ++c) {
+      auto& slot = tick.target[clock_slot(static_cast<int>(c))];
+      if (slot < clocks_[c].cap) ++slot;
+    }
+    out.push_back(std::move(tick));
+  }
+  return out;
+}
+
+const std::string& Network::automaton_name(AutomatonId a) const {
+  return automata_[static_cast<std::size_t>(a.value)].name;
+}
+
+const std::string& Network::location_name(AutomatonId a, int loc_index) const {
+  return automata_[static_cast<std::size_t>(a.value)]
+      .locations[static_cast<std::size_t>(loc_index)]
+      .name;
+}
+
+const std::string& Network::var_name(VarId v) const {
+  return vars_[static_cast<std::size_t>(v.value)].name;
+}
+
+const std::string& Network::clock_name(ClockId c) const {
+  return clocks_[static_cast<std::size_t>(c.value)].name;
+}
+
+LocKind Network::location_kind(AutomatonId a, int loc_index) const {
+  return automata_[static_cast<std::size_t>(a.value)]
+      .locations[static_cast<std::size_t>(loc_index)]
+      .kind;
+}
+
+std::string Network::label_of(const Transition& t) const {
+  if (t.kind == Transition::Kind::Tick) return "tick";
+  const auto part_label = [&](const Transition::Part& p) {
+    const auto& a = automata_[static_cast<std::size_t>(p.automaton)];
+    const auto& e = a.edges[static_cast<std::size_t>(p.edge)];
+    return a.name + "." + (e.label.empty() ? "<unlabeled>" : e.label);
+  };
+  std::string out = part_label(t.sender);
+  for (const auto& r : t.receivers) out += " >> " + part_label(r);
+  return out;
+}
+
+std::string Network::describe(const State& s) const {
+  std::vector<std::string> parts;
+  for (std::size_t i = 0; i < automata_.size(); ++i) {
+    const auto& a = automata_[i];
+    parts.push_back(a.name + "@" +
+                    a.locations[static_cast<std::size_t>(
+                                    s[loc_slot(static_cast<int>(i))])]
+                        .name);
+  }
+  for (std::size_t i = 0; i < vars_.size(); ++i) {
+    parts.push_back(strprintf("%s=%d", vars_[i].name.c_str(),
+                              s[var_slot(static_cast<int>(i))]));
+  }
+  for (std::size_t i = 0; i < clocks_.size(); ++i) {
+    parts.push_back(strprintf("%s=%d", clocks_[i].name.c_str(),
+                              s[clock_slot(static_cast<int>(i))]));
+  }
+  return join(parts, "\n");
+}
+
+std::string Network::describe_brief(const State& s) const {
+  std::vector<std::string> parts;
+  for (std::size_t i = 0; i < automata_.size(); ++i) {
+    const auto& a = automata_[i];
+    parts.push_back(a.name + "@" +
+                    a.locations[static_cast<std::size_t>(
+                                    s[loc_slot(static_cast<int>(i))])]
+                        .name);
+  }
+  return join(parts, " ");
+}
+
+}  // namespace ahb::ta

@@ -1,0 +1,263 @@
+// Discrete-time timed-automata networks (the UPPAAL stand-in).
+//
+// Semantics (digitized): time advances in unit ticks that increment every
+// clock simultaneously; discrete transitions are instantaneous. A tick is
+// enabled iff no automaton occupies an urgent or committed location and
+// every location invariant still holds after the increment. Clocks
+// saturate at a per-clock cap (one above the largest constant they are
+// compared against), which keeps the state space finite without changing
+// the truth of any guard.
+//
+// Digitization is sound and complete for the reachability properties
+// checked in this repository because all upper-bound guards and
+// invariants in the models are closed (<=, ==) with integer constants
+// (Henzinger/Manna/Pnueli); the only strict comparisons are lower bounds.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ta/ids.hpp"
+#include "ta/state.hpp"
+
+namespace ahb::ta {
+
+class Network;
+
+/// Read-only view of a state, resolved through the network layout.
+/// Guards and invariants receive one of these.
+class StateView {
+ public:
+  StateView(const Network& net, const State& state)
+      : net_(&net), state_(&state) {}
+  // A view must not outlive its state; binding a temporary is an error.
+  StateView(const Network&, State&&) = delete;
+
+  Slot loc(AutomatonId a) const;
+  Slot var(VarId v) const;
+  Slot clk(ClockId c) const;
+
+  /// True iff automaton `a` currently occupies location index `loc`.
+  bool in(AutomatonId a, int loc_index) const { return loc(a) == loc_index; }
+
+  const Network& network() const { return *net_; }
+  const State& state() const { return *state_; }
+
+ private:
+  const Network* net_;
+  const State* state_;
+};
+
+/// Mutable access used by edge effects. Effects may update variables and
+/// reset clocks; location changes are applied by the engine itself.
+class StateMut {
+ public:
+  StateMut(const Network& net, State& state) : net_(&net), state_(&state) {}
+
+  Slot var(VarId v) const;
+  Slot clk(ClockId c) const;
+  Slot loc(AutomatonId a) const;
+
+  void set(VarId v, int value);
+  void reset(ClockId c);
+
+ private:
+  const Network* net_;
+  State* state_;
+};
+
+using Guard = std::function<bool(const StateView&)>;
+using Effect = std::function<void(StateMut&)>;
+
+struct Edge {
+  int src = -1;
+  int dst = -1;
+  ChanId chan{};            ///< invalid (-1) for internal edges
+  SyncDir dir = SyncDir::None;
+  Guard guard;              ///< null means "true"
+  Effect effect;            ///< null means "no effect"
+  std::string label;        ///< action name used in counterexample traces
+  int priority = 0;         ///< among enabled discrete transitions, only
+                            ///< those of maximal priority may fire
+};
+
+/// One discrete or delay step of the network.
+struct Transition {
+  enum class Kind : std::uint8_t { Tick, Internal, Sync, Broadcast };
+
+  struct Part {
+    int automaton = -1;
+    int edge = -1;  ///< index into that automaton's edge list
+  };
+
+  State target;
+  Kind kind = Kind::Tick;
+  Part sender{};                ///< the internal edge for Kind::Internal
+  std::vector<Part> receivers;  ///< one for Sync, zero or more for Broadcast
+};
+
+/// A network of timed automata over shared variables, clocks and channels.
+///
+/// Usage: construct, add automata/locations/edges/variables/clocks/
+/// channels, then freeze(); afterwards only the semantic queries
+/// (initial_state, successors, ...) may be used.
+class Network {
+ public:
+  Network() = default;
+
+  // ---- construction (before freeze) ----
+
+  AutomatonId add_automaton(std::string name);
+
+  /// Adds a location; returns its index within the automaton.
+  /// The first location added is the initial one unless set_initial is
+  /// called. `invariant` is evaluated on candidate states (after ticks
+  /// and after discrete transitions); a null invariant is "true".
+  int add_location(AutomatonId a, std::string name,
+                   LocKind kind = LocKind::Normal, Guard invariant = nullptr);
+
+  void set_initial(AutomatonId a, int loc_index);
+
+  VarId add_var(std::string name, int init);
+  ClockId add_clock(std::string name, int cap);
+  ChanId add_channel(std::string name, ChanKind kind);
+
+  void add_edge(AutomatonId a, Edge edge);
+
+  /// Validates the model and fixes the state layout. Must be called
+  /// exactly once, before any semantic query.
+  void freeze();
+
+  // ---- semantics (after freeze) ----
+
+  bool frozen() const { return frozen_; }
+  State initial_state() const;
+
+  /// All enabled transitions from `s`: the maximal-priority discrete
+  /// transitions (respecting committed-location semantics) plus the tick
+  /// if delay is allowed.
+  std::vector<Transition> successors(const State& s) const;
+
+  /// True iff the unit delay step is enabled in `s`.
+  bool tick_enabled(const State& s) const;
+
+  /// True iff every location invariant holds in `s`.
+  bool invariants_hold(const State& s) const;
+
+  // ---- introspection ----
+
+  std::size_t automaton_count() const { return automata_.size(); }
+  std::size_t var_count() const { return vars_.size(); }
+  std::size_t clock_count() const { return clocks_.size(); }
+  std::size_t slot_count() const { return slot_count_; }
+
+  const std::string& automaton_name(AutomatonId a) const;
+  const std::string& location_name(AutomatonId a, int loc_index) const;
+  const std::string& var_name(VarId v) const;
+  const std::string& clock_name(ClockId c) const;
+  LocKind location_kind(AutomatonId a, int loc_index) const;
+
+  /// Human-readable action label of a transition ("tick",
+  /// "p0.send_beat -> ch.recv_beat", ...).
+  std::string label_of(const Transition& t) const;
+
+  /// Multi-line dump of a state (locations, variables, clocks).
+  std::string describe(const State& s) const;
+
+  /// Single-line dump of a state.
+  std::string describe_brief(const State& s) const;
+
+ private:
+  friend class StateView;
+  friend class StateMut;
+
+  struct Location {
+    std::string name;
+    LocKind kind = LocKind::Normal;
+    Guard invariant;
+  };
+
+  struct Automaton {
+    std::string name;
+    std::vector<Location> locations;
+    std::vector<Edge> edges;
+    int initial = 0;
+  };
+
+  struct VarDecl {
+    std::string name;
+    Slot init = 0;
+  };
+
+  struct ClockDecl {
+    std::string name;
+    Slot cap = 0;
+  };
+
+  struct ChanDecl {
+    std::string name;
+    ChanKind kind = ChanKind::Handshake;
+  };
+
+  // Slot layout helpers (valid after freeze).
+  std::size_t loc_slot(int automaton) const {
+    return static_cast<std::size_t>(automaton);
+  }
+  std::size_t var_slot(int var) const {
+    return automata_.size() + static_cast<std::size_t>(var);
+  }
+  std::size_t clock_slot(int clock) const {
+    return automata_.size() + vars_.size() + static_cast<std::size_t>(clock);
+  }
+
+  bool edge_guard_holds(const StateView& v, int automaton,
+                        const Edge& e) const;
+
+  /// Applies a discrete transition: runs effects in `parts` order,
+  /// moves locations, and checks all invariants on the result.
+  std::optional<State> apply_discrete(
+      const State& s, std::span<const Transition::Part> parts) const;
+
+  void collect_discrete(const State& s, bool committed_active,
+                        std::vector<Transition>& out) const;
+
+  std::vector<Automaton> automata_;
+  std::vector<VarDecl> vars_;
+  std::vector<ClockDecl> clocks_;
+  std::vector<ChanDecl> chans_;
+  std::size_t slot_count_ = 0;
+  bool frozen_ = false;
+};
+
+// ---- inline accessors ----
+
+inline Slot StateView::loc(AutomatonId a) const {
+  return (*state_)[net_->loc_slot(a.value)];
+}
+inline Slot StateView::var(VarId v) const {
+  return (*state_)[net_->var_slot(v.value)];
+}
+inline Slot StateView::clk(ClockId c) const {
+  return (*state_)[net_->clock_slot(c.value)];
+}
+
+inline Slot StateMut::var(VarId v) const {
+  return (*state_)[net_->var_slot(v.value)];
+}
+inline Slot StateMut::clk(ClockId c) const {
+  return (*state_)[net_->clock_slot(c.value)];
+}
+inline Slot StateMut::loc(AutomatonId a) const {
+  return (*state_)[net_->loc_slot(a.value)];
+}
+inline void StateMut::set(VarId v, int value) {
+  (*state_)[net_->var_slot(v.value)] = static_cast<Slot>(value);
+}
+inline void StateMut::reset(ClockId c) {
+  (*state_)[net_->clock_slot(c.value)] = 0;
+}
+
+}  // namespace ahb::ta

@@ -1,0 +1,38 @@
+// Global state of a timed-automata network.
+//
+// A state is a flat vector of slots laid out by the owning Network as
+// [locations..., variables..., clocks...]. The layout is fixed once the
+// network is frozen, so states are plain hashable data and guards are
+// code — the model checker only ever stores and compares slot vectors.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ta/ids.hpp"
+#include "util/hash.hpp"
+
+namespace ahb::ta {
+
+class State {
+ public:
+  State() = default;
+  explicit State(std::size_t slot_count) : slots_(slot_count, 0) {}
+
+  Slot operator[](std::size_t i) const { return slots_[i]; }
+  Slot& operator[](std::size_t i) { return slots_[i]; }
+
+  std::size_t size() const { return slots_.size(); }
+  std::span<const Slot> slots() const { return slots_; }
+
+  std::uint64_t hash() const {
+    return hash_span(std::span<const Slot>{slots_});
+  }
+
+  friend bool operator==(const State&, const State&) = default;
+
+ private:
+  std::vector<Slot> slots_;
+};
+
+}  // namespace ahb::ta

@@ -1,0 +1,79 @@
+#include "trace/trace.hpp"
+
+#include "util/strings.hpp"
+
+namespace ahb::trace {
+
+std::string render_full(const ta::Network& net,
+                        const std::vector<mc::TraceStep>& trace) {
+  std::string out;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const auto& step = trace[i];
+    if (i == 0) {
+      out += "=== initial state ===\n";
+    } else {
+      out += strprintf("=== step %zu: %s ===\n", i, step.action.c_str());
+    }
+    out += net.describe(step.state);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string render_timeline(const ta::Network& net,
+                            const std::vector<mc::TraceStep>& trace) {
+  std::string out;
+  int time = 0;
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    const auto& step = trace[i];
+    if (step.action == "tick") {
+      ++time;
+      continue;
+    }
+    out += strprintf("t=%-4d %s\n", time, step.action.c_str());
+  }
+  if (!trace.empty()) {
+    out += strprintf("final: %s\n", net.describe_brief(trace.back().state).c_str());
+  }
+  return out;
+}
+
+std::string render_timeline_filtered(const ta::Network& net,
+                                     const std::vector<mc::TraceStep>& trace,
+                                     const std::vector<std::string>& keep) {
+  std::string out;
+  int time = 0;
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    const auto& step = trace[i];
+    if (step.action == "tick") {
+      ++time;
+      continue;
+    }
+    const bool kept =
+        keep.empty() ||
+        std::any_of(keep.begin(), keep.end(), [&](const std::string& k) {
+          return step.action.find(k) != std::string::npos;
+        });
+    if (kept) out += strprintf("t=%-4d %s\n", time, step.action.c_str());
+  }
+  if (!trace.empty()) {
+    out += strprintf("final: %s\n", net.describe_brief(trace.back().state).c_str());
+  }
+  return out;
+}
+
+std::string to_dot(const mc::Lts& lts) {
+  std::string out = "digraph lts {\n  rankdir=LR;\n";
+  out += strprintf("  init [shape=point];\n  init -> s%d;\n", lts.initial);
+  for (int s = 0; s < lts.state_count; ++s) {
+    out += strprintf("  s%d [shape=circle,label=\"%d\"];\n", s, s);
+  }
+  for (const auto& e : lts.edges) {
+    out += strprintf("  s%d -> s%d [label=\"%s\"];\n", e.src, e.dst,
+                     lts.alphabet[static_cast<std::size_t>(e.label)].c_str());
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace ahb::trace

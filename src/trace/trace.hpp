@@ -1,0 +1,37 @@
+// Counterexample rendering: turns model-checker traces into the textual
+// equivalents of the sequence diagrams in the source analysis
+// (Figures 10-13), plus generic state-by-state dumps and DOT export.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mc/explorer.hpp"
+#include "mc/lts.hpp"
+#include "ta/network.hpp"
+
+namespace ahb::trace {
+
+/// Full dump: one block per step with the action and the resulting
+/// state (locations, variables, clocks).
+std::string render_full(const ta::Network& net,
+                        const std::vector<mc::TraceStep>& trace);
+
+/// Compact event timeline: one line per *discrete* action, prefixed with
+/// the accumulated model time (number of ticks so far). Tick steps are
+/// folded into the time column, which matches how the paper's sequence
+/// diagrams present counterexamples.
+std::string render_timeline(const ta::Network& net,
+                            const std::vector<mc::TraceStep>& trace);
+
+/// Like render_timeline but keeps only actions whose label contains one
+/// of `keep` (e.g. {"beat", "timeout", "inactivate"}), for compact
+/// figure-style output.
+std::string render_timeline_filtered(const ta::Network& net,
+                                     const std::vector<mc::TraceStep>& trace,
+                                     const std::vector<std::string>& keep);
+
+/// Graphviz DOT rendering of an extracted LTS.
+std::string to_dot(const mc::Lts& lts);
+
+}  // namespace ahb::trace

@@ -1,0 +1,38 @@
+// Lightweight contract checks in the spirit of the C++ Core Guidelines
+// (I.6 "Prefer Expects()", I.8 "Prefer Ensures()").
+//
+// Violations are programming errors, not recoverable conditions, so they
+// abort with a diagnostic rather than throwing.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ahb {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "%s violation: %s at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace ahb
+
+#define AHB_EXPECTS(cond)                                              \
+  do {                                                                 \
+    if (!(cond)) ::ahb::contract_failure("precondition", #cond, __FILE__, __LINE__); \
+  } while (false)
+
+#define AHB_ENSURES(cond)                                              \
+  do {                                                                 \
+    if (!(cond)) ::ahb::contract_failure("postcondition", #cond, __FILE__, __LINE__); \
+  } while (false)
+
+#define AHB_ASSERT(cond)                                               \
+  do {                                                                 \
+    if (!(cond)) ::ahb::contract_failure("assertion", #cond, __FILE__, __LINE__); \
+  } while (false)
+
+// Marks a state that is unreachable if the program logic is correct.
+#define AHB_UNREACHABLE(msg) \
+  ::ahb::contract_failure("unreachable", msg, __FILE__, __LINE__)

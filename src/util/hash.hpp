@@ -1,0 +1,43 @@
+// Stable byte-sequence hashing for the model checker's state store.
+//
+// std::hash over containers is not provided by the standard library and
+// its scalar specializations are implementation-defined; the explorer
+// needs a fast, well-mixed, deterministic hash over packed state bytes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+namespace ahb {
+
+/// FNV-1a-then-finalize hash over a byte span.
+///
+/// FNV-1a alone has weak avalanche in the low bits; the splitmix64
+/// finalizer fixes that, which matters because the state store masks the
+/// hash down to a power-of-two table size.
+inline std::uint64_t hash_bytes(std::span<const std::byte> bytes) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::byte b : bytes) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 0x100000001b3ULL;
+  }
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+/// Convenience overload for trivially-copyable element arrays.
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+std::uint64_t hash_span(std::span<const T> values) noexcept {
+  return hash_bytes(std::as_bytes(values));
+}
+
+/// Combines two hashes (boost::hash_combine style, 64-bit constant).
+inline std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+}
+
+}  // namespace ahb

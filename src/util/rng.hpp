@@ -1,0 +1,51 @@
+// Deterministic, seedable pseudo-random number generation.
+//
+// Simulation experiments must be reproducible run-to-run and across
+// platforms, so we implement splitmix64 (for seeding) and xoshiro256++
+// (for the stream) instead of relying on implementation-defined
+// std::default_random_engine behaviour.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/contracts.hpp"
+
+namespace ahb {
+
+/// splitmix64: used to expand a single 64-bit seed into a full state.
+/// Advances `state` and returns the next value.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256++ by Blackman & Vigna: fast, high-quality, 2^256-1 period.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state deterministically from `seed`.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  /// Next raw 64-bit value. Satisfies UniformRandomBitGenerator.
+  std::uint64_t operator()() noexcept;
+
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept { return ~0ULL; }
+
+  /// Uniform integer in [0, bound). `bound` must be positive.
+  /// Uses Lemire's multiply-shift rejection method (no modulo bias).
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept;
+
+  /// Bernoulli trial with success probability `p` (clamped to [0,1]).
+  bool chance(double p) noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+};
+
+}  // namespace ahb

@@ -1,0 +1,22 @@
+// Small string helpers shared by trace printing and benchmark tables.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ahb {
+
+/// printf-style formatting into a std::string.
+[[gnu::format(printf, 1, 2)]] std::string strprintf(const char* fmt, ...);
+
+/// Joins `parts` with `sep` ("a", "b" -> "a,b").
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Left-pads (right-aligns) `s` to `width` with spaces.
+std::string pad_left(std::string_view s, std::size_t width);
+
+/// Right-pads (left-aligns) `s` to `width` with spaces.
+std::string pad_right(std::string_view s, std::size_t width);
+
+}  // namespace ahb

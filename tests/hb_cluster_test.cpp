@@ -1,0 +1,168 @@
+// Whole-system integration tests: coordinator + participants on the
+// lossy discrete-event network.
+#include <gtest/gtest.h>
+
+#include "hb/cluster.hpp"
+
+namespace ahb::hb {
+namespace {
+
+ClusterConfig make_cluster(Variant v, int participants, Time tmin = 2,
+                           Time tmax = 10) {
+  ClusterConfig c;
+  c.protocol.variant = v;
+  c.protocol.tmin = tmin;
+  c.protocol.tmax = tmax;
+  c.participants = participants;
+  return c;
+}
+
+TEST(Cluster, HealthyBinaryStaysActive) {
+  Cluster cluster{make_cluster(Variant::Binary, 1)};
+  cluster.start();
+  cluster.run_until(10000);
+  EXPECT_EQ(cluster.coordinator().status(), Status::Active);
+  EXPECT_EQ(cluster.participant(1).status(), Status::Active);
+  // Steady state: one beat per round in each direction, ~1000 rounds.
+  EXPECT_NEAR(static_cast<double>(cluster.node_stats(0).sent), 1000, 10);
+  EXPECT_NEAR(static_cast<double>(cluster.node_stats(1).sent), 1000, 10);
+}
+
+TEST(Cluster, HealthyStaticStaysActive) {
+  Cluster cluster{make_cluster(Variant::Static, 4)};
+  cluster.start();
+  cluster.run_until(5000);
+  EXPECT_EQ(cluster.coordinator().status(), Status::Active);
+  for (int i = 1; i <= 4; ++i) {
+    EXPECT_EQ(cluster.participant(i).status(), Status::Active) << i;
+  }
+}
+
+TEST(Cluster, ParticipantCrashDeactivatesEveryone) {
+  Cluster cluster{make_cluster(Variant::Binary, 1)};
+  cluster.crash_participant_at(1, 500);
+  cluster.start();
+  cluster.run_until(5000);
+  EXPECT_EQ(cluster.coordinator().status(),
+            Status::InactiveNonVoluntarily);
+  EXPECT_TRUE(cluster.all_inactive());
+  // Detection within the corrected bound after the crash (plus one
+  // round that may already be in flight).
+  const Time bound = cluster.coordinator().config()
+                         .coordinator_detection_bound();
+  EXPECT_LE(cluster.coordinator().inactivated_at(), 500 + bound + 10);
+}
+
+TEST(Cluster, CoordinatorCrashDeactivatesParticipants) {
+  Cluster cluster{make_cluster(Variant::Static, 3)};
+  cluster.crash_coordinator_at(777);
+  cluster.start();
+  cluster.run_until(5000);
+  for (int i = 1; i <= 3; ++i) {
+    EXPECT_EQ(cluster.participant(i).status(),
+              Status::InactiveNonVoluntarily);
+    // p[i] inactivates within 3*tmax - tmin of its last beat.
+    EXPECT_LE(cluster.participant(i).inactivated_at(),
+              777 + 3 * 10 - 2 + 10);
+  }
+}
+
+TEST(Cluster, ExpandingParticipantsJoin) {
+  Cluster cluster{make_cluster(Variant::Expanding, 3)};
+  cluster.start();
+  cluster.run_until(200);
+  EXPECT_EQ(cluster.coordinator().member_ids().size(), 3u);
+  for (int i = 1; i <= 3; ++i) {
+    EXPECT_TRUE(cluster.participant(i).joined()) << i;
+    EXPECT_EQ(cluster.participant(i).status(), Status::Active);
+  }
+}
+
+TEST(Cluster, DynamicLeaveIsGraceful) {
+  Cluster cluster{make_cluster(Variant::Dynamic, 2)};
+  cluster.leave_at(1, 300);
+  cluster.start();
+  cluster.run_until(5000);
+  EXPECT_EQ(cluster.participant(1).status(), Status::Left);
+  // The rest of the network keeps running.
+  EXPECT_EQ(cluster.coordinator().status(), Status::Active);
+  EXPECT_EQ(cluster.participant(2).status(), Status::Active);
+  EXPECT_FALSE(cluster.coordinator().is_member(1));
+  EXPECT_TRUE(cluster.coordinator().is_member(2));
+}
+
+TEST(Cluster, InactivationCallbackFires) {
+  Cluster cluster{make_cluster(Variant::Binary, 1)};
+  std::vector<std::pair<int, sim::Time>> events;
+  cluster.on_inactivation([&](int id, sim::Time at) {
+    events.emplace_back(id, at);
+  });
+  cluster.crash_participant_at(1, 100);
+  cluster.start();
+  cluster.run_until(2000);
+  ASSERT_EQ(events.size(), 1u);  // only p0 decides; p1 crashed
+  EXPECT_EQ(events[0].first, 0);
+  EXPECT_EQ(events[0].second, cluster.coordinator().inactivated_at());
+}
+
+TEST(Cluster, SurvivesModerateLossLongRun) {
+  // With 5% loss, a false inactivation needs several *consecutive*
+  // misses; the accelerated protocol should survive a long run.
+  auto cfg = make_cluster(Variant::Binary, 1, 1, 16);
+  cfg.loss_probability = 0.05;
+  cfg.seed = 12345;
+  Cluster cluster{cfg};
+  cluster.start();
+  cluster.run_until(50000);
+  EXPECT_EQ(cluster.coordinator().status(), Status::Active);
+  EXPECT_EQ(cluster.participant(1).status(), Status::Active);
+  EXPECT_GT(cluster.network_stats().lost, 0u);
+}
+
+TEST(Cluster, DeterministicForSeed) {
+  const auto run = [](std::uint64_t seed) {
+    auto cfg = make_cluster(Variant::Static, 2, 2, 8);
+    cfg.loss_probability = 0.2;
+    cfg.seed = seed;
+    Cluster cluster{cfg};
+    cluster.start();
+    cluster.run_until(3000);
+    return std::tuple{cluster.network_stats().sent,
+                      cluster.network_stats().delivered,
+                      cluster.coordinator().status()};
+  };
+  EXPECT_EQ(run(9), run(9));
+}
+
+class CrashDetectionSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CrashDetectionSweep, DetectionWithinBound) {
+  // Property: for any seed and crash time, once a participant crashes
+  // the coordinator inactivates, and it does so within the analysis
+  // bound of its last received beat (here conservatively: crash time +
+  // one full round + detection bound).
+  const auto [seed, crash_at] = GetParam();
+  auto cfg = make_cluster(Variant::Binary, 1, 2, 10);
+  cfg.seed = static_cast<std::uint64_t>(seed);
+  Cluster cluster{cfg};
+  cluster.crash_participant_at(1, crash_at);
+  cluster.start();
+  cluster.run_until(crash_at + 1000);
+  ASSERT_EQ(cluster.coordinator().status(), Status::InactiveNonVoluntarily);
+  const Time bound =
+      cluster.coordinator().config().coordinator_detection_bound();
+  // The last beat the coordinator received was sent at most one round
+  // trip before the crash.
+  EXPECT_LE(cluster.coordinator().inactivated_at(),
+            crash_at + cfg.protocol.tmin + bound);
+  EXPECT_GT(cluster.coordinator().inactivated_at(), crash_at);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndTimes, CrashDetectionSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5),
+                       ::testing::Values(50, 123, 997)));
+
+}  // namespace
+}  // namespace ahb::hb

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "mc/bitstate.hpp"
+#include "models/heartbeat_model.hpp"
+#include "util/rng.hpp"
+
+namespace ahb::mc {
+namespace {
+
+TEST(BitstateFilter, FreshThenSeen) {
+  BitstateFilter filter{16};
+  EXPECT_TRUE(filter.insert(0x1234));
+  EXPECT_FALSE(filter.insert(0x1234));
+  EXPECT_TRUE(filter.contains(0x1234));
+  EXPECT_FALSE(filter.contains(0x9999));
+}
+
+TEST(BitstateFilter, LowCollisionRateWhenSized) {
+  // 2^20 bits, 10k states: the false-new rate should be tiny.
+  BitstateFilter filter{20};
+  Rng rng{5};
+  int duplicates = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (!filter.insert(rng())) ++duplicates;
+  }
+  EXPECT_LT(duplicates, 10);
+}
+
+TEST(BitstateFilter, SaturatesWhenUndersized) {
+  // 2^10 bits with 3 probes each saturate after a few hundred states.
+  BitstateFilter filter{10};
+  Rng rng{5};
+  int fresh = 0;
+  for (int i = 0; i < 5000; ++i) {
+    if (filter.insert(rng())) ++fresh;
+  }
+  EXPECT_LT(fresh, 1200);  // most insertions collide once saturated
+}
+
+TEST(BitstateFilter, MemoryMatchesLog2) {
+  BitstateFilter filter{20};
+  EXPECT_EQ(filter.bit_count(), 1u << 20);
+  EXPECT_EQ(filter.memory_bytes(), (1u << 20) / 8);
+}
+
+TEST(ReachBitstate, FindsKnownViolationWithWitness) {
+  // The binary protocol's R3 race at tmin == tmax is found by the exact
+  // checker; supertrace must find it too (positives are exact) and the
+  // witness trace must end in a violating state.
+  models::BuildOptions options;
+  options.timing = {4, 4};
+  const auto model =
+      models::HeartbeatModel::build(models::Flavor::Binary, options);
+  const auto pred = model.r3_violation();
+  const auto result = reach_bitstate(model.net(), pred, 22);
+  ASSERT_TRUE(result.found);
+  EXPECT_FALSE(result.complete);
+  ASSERT_FALSE(result.trace.empty());
+  const ta::StateView v{model.net(), result.trace.back().state};
+  EXPECT_TRUE(pred(v));
+  // Consecutive trace states are connected by real transitions.
+  for (std::size_t i = 1; i < result.trace.size(); ++i) {
+    bool connected = false;
+    for (const auto& t : model.net().successors(result.trace[i - 1].state)) {
+      if (t.target == result.trace[i].state) connected = true;
+    }
+    EXPECT_TRUE(connected) << "disconnected at step " << i;
+  }
+}
+
+TEST(ReachBitstate, NegativeAnswerIsNeverClaimedComplete) {
+  models::BuildOptions options;
+  options.timing = {1, 4};  // R3 holds here
+  const auto model =
+      models::HeartbeatModel::build(models::Flavor::Binary, options);
+  const auto result = reach_bitstate(model.net(), model.r3_violation(), 22);
+  EXPECT_FALSE(result.found);
+  EXPECT_FALSE(result.complete);
+  EXPECT_GT(result.stats.states, 1000u);
+}
+
+TEST(ReachBitstate, MemoryStaysAtFilterSize) {
+  models::BuildOptions options;
+  options.timing = {1, 6};
+  const auto model =
+      models::HeartbeatModel::build(models::Flavor::Binary, options);
+  const auto result = reach_bitstate(
+      model.net(), [](const ta::StateView&) { return false; }, 20);
+  EXPECT_EQ(result.stats.store_bytes, (1u << 20) / 8);
+}
+
+TEST(ReachBitstate, TargetInInitialState) {
+  models::BuildOptions options;
+  options.timing = {1, 4};
+  const auto model =
+      models::HeartbeatModel::build(models::Flavor::Binary, options);
+  const auto result = reach_bitstate(
+      model.net(), [](const ta::StateView&) { return true; }, 16);
+  EXPECT_TRUE(result.found);
+  EXPECT_EQ(result.trace.size(), 1u);
+}
+
+}  // namespace
+}  // namespace ahb::mc

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "mc/explorer.hpp"
+#include "ta/network.hpp"
+
+namespace ahb::mc {
+namespace {
+
+using ta::ChanKind;
+using ta::Edge;
+using ta::LocKind;
+using ta::StateMut;
+using ta::StateView;
+using ta::SyncDir;
+
+/// Counter automaton: x counts 0..9 via internal steps.
+ta::Network counter_net() {
+  ta::Network net;
+  const auto a = net.add_automaton("counter");
+  const auto l = net.add_location(a, "run");
+  const auto x = net.add_var("x", 0);
+  net.add_edge(a, Edge{.src = l,
+                       .dst = l,
+                       .guard = [x](const StateView& v) {
+                         return v.var(x) < 9;
+                       },
+                       .effect = [x](StateMut& m) { m.set(x, m.var(x) + 1); },
+                       .label = "inc"});
+  net.freeze();
+  return net;
+}
+
+TEST(Explorer, ReachFindsTarget) {
+  const auto net = counter_net();
+  Explorer ex{net};
+  const auto r = ex.reach([](const StateView& v) {
+    return v.var(ta::VarId{0}) == 5;
+  });
+  EXPECT_TRUE(r.found);
+  // Shortest path: initial + 5 increments.
+  EXPECT_EQ(r.trace.size(), 6u);
+  EXPECT_EQ(r.trace.back().state[1], 5);  // slot 1 = the variable
+  EXPECT_EQ(r.trace[1].action, "counter.inc");
+}
+
+TEST(Explorer, ReachUnreachableIsCompleteNegative) {
+  const auto net = counter_net();
+  Explorer ex{net};
+  const auto r = ex.reach([](const StateView& v) {
+    return v.var(ta::VarId{0}) == 42;
+  });
+  EXPECT_FALSE(r.found);
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.stats.states, 10u);  // x in 0..9
+}
+
+TEST(Explorer, TargetInInitialState) {
+  const auto net = counter_net();
+  Explorer ex{net};
+  const auto r = ex.reach([](const StateView&) { return true; });
+  EXPECT_TRUE(r.found);
+  EXPECT_EQ(r.trace.size(), 1u);
+  EXPECT_TRUE(r.trace[0].action.empty());
+}
+
+TEST(Explorer, MaxStatesLimitMakesSearchIncomplete) {
+  const auto net = counter_net();
+  Explorer ex{net};
+  SearchLimits limits;
+  limits.max_states = 3;
+  const auto r = ex.reach(
+      [](const StateView& v) { return v.var(ta::VarId{0}) == 42; }, limits);
+  EXPECT_FALSE(r.found);
+  EXPECT_FALSE(r.complete);
+}
+
+TEST(Explorer, DepthLimitStopsBfs) {
+  const auto net = counter_net();
+  Explorer ex{net};
+  SearchLimits limits;
+  limits.max_depth = 2;
+  const auto r = ex.reach(
+      [](const StateView& v) { return v.var(ta::VarId{0}) == 9; }, limits);
+  EXPECT_FALSE(r.found);
+  EXPECT_FALSE(r.complete);
+  EXPECT_LE(r.stats.depth, 2u);
+}
+
+TEST(Explorer, FindDeadlockOnDeadEnd) {
+  ta::Network net;
+  const auto a = net.add_automaton("a");
+  const auto c = net.add_clock("c", 5);
+  // Invariant caps time at 2 and there is no outgoing edge: timelock.
+  net.add_location(a, "trap", LocKind::Normal,
+                   [c](const StateView& v) { return v.clk(c) <= 2; });
+  net.freeze();
+  Explorer ex{net};
+  const auto r = ex.find_deadlock();
+  EXPECT_TRUE(r.found);
+  // Deadlock state: c == 2 (tick to 3 forbidden, no edges).
+  EXPECT_EQ(r.trace.back().state[1], 2);
+}
+
+TEST(Explorer, NoDeadlockInIdleSystem) {
+  ta::Network net;
+  const auto a = net.add_automaton("a");
+  net.add_location(a, "idle");
+  net.add_clock("c", 3);
+  net.freeze();
+  Explorer ex{net};
+  const auto r = ex.find_deadlock();
+  EXPECT_FALSE(r.found);
+  EXPECT_TRUE(r.complete);
+}
+
+TEST(Explorer, CheckInvariantHolds) {
+  const auto net = counter_net();
+  Explorer ex{net};
+  const auto r = ex.check_invariant([](const StateView& v) {
+    return v.var(ta::VarId{0}) <= 9;
+  });
+  EXPECT_FALSE(r.found);
+  EXPECT_TRUE(r.complete);
+}
+
+TEST(Explorer, CheckInvariantViolatedGivesShortestTrace) {
+  const auto net = counter_net();
+  Explorer ex{net};
+  const auto r = ex.check_invariant([](const StateView& v) {
+    return v.var(ta::VarId{0}) < 3;
+  });
+  EXPECT_TRUE(r.found);
+  EXPECT_EQ(r.trace.size(), 4u);  // init, 1, 2, 3
+}
+
+TEST(Explorer, ExploreAllCountsWholeSpace) {
+  const auto net = counter_net();
+  Explorer ex{net};
+  const auto stats = ex.explore_all();
+  EXPECT_EQ(stats.states, 10u);
+  EXPECT_GT(stats.transitions, 0u);
+}
+
+TEST(Explorer, TraceActionsAreConsistent) {
+  // Two parallel automata: the trace must interleave labelled actions
+  // that actually connect consecutive states.
+  ta::Network net;
+  const auto ch = net.add_channel("go", ChanKind::Handshake);
+  const auto a = net.add_automaton("a");
+  const auto a0 = net.add_location(a, "a0");
+  const auto a1 = net.add_location(a, "a1");
+  net.add_edge(a, Edge{.src = a0, .dst = a1, .chan = ch,
+                       .dir = SyncDir::Send, .label = "snd"});
+  const auto b = net.add_automaton("b");
+  const auto b0 = net.add_location(b, "b0");
+  const auto b1 = net.add_location(b, "b1");
+  net.add_edge(b, Edge{.src = b0, .dst = b1, .chan = ch,
+                       .dir = SyncDir::Recv, .label = "rcv"});
+  net.freeze();
+  Explorer ex{net};
+  const auto r = ex.reach([&](const StateView& v) {
+    return v.loc(ta::AutomatonId{0}) == a1 && v.loc(ta::AutomatonId{1}) == b1;
+  });
+  ASSERT_TRUE(r.found);
+  ASSERT_EQ(r.trace.size(), 2u);
+  EXPECT_EQ(r.trace[1].action, "a.snd >> b.rcv");
+}
+
+}  // namespace
+}  // namespace ahb::mc

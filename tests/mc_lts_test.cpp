@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "mc/lts.hpp"
+
+namespace ahb::mc {
+namespace {
+
+/// Handcrafted LTS builder for reduction tests.
+Lts make_lts(int states, int initial,
+             std::initializer_list<std::tuple<int, const char*, int>> edges) {
+  Lts lts;
+  lts.state_count = states;
+  lts.initial = initial;
+  for (const auto& [src, label, dst] : edges) {
+    lts.edges.push_back(Lts::Edge{src, lts.label_id(label), dst});
+  }
+  return lts;
+}
+
+TEST(Lts, LabelIdInternsOnce) {
+  Lts lts;
+  EXPECT_EQ(lts.label_id("a"), 0);
+  EXPECT_EQ(lts.label_id("b"), 1);
+  EXPECT_EQ(lts.label_id("a"), 0);
+  EXPECT_EQ(lts.alphabet.size(), 2u);
+}
+
+TEST(Lts, HideRenamesToTau) {
+  auto lts = make_lts(2, 0, {{0, "keep", 1}, {1, "drop", 0}});
+  const auto hidden =
+      hide(lts, [](const std::string& l) { return l == "drop"; });
+  int taus = 0, keeps = 0;
+  for (const auto& e : hidden.edges) {
+    const auto& label = hidden.alphabet[static_cast<std::size_t>(e.label)];
+    if (label == kTau) ++taus;
+    if (label == "keep") ++keeps;
+  }
+  EXPECT_EQ(taus, 1);
+  EXPECT_EQ(keeps, 1);
+}
+
+TEST(Lts, BisimMergesIdenticalBranches) {
+  // Two states with identical future behaviour collapse into one.
+  //   0 -a-> 1 -b-> 3
+  //   0 -a-> 2 -b-> 3
+  const auto lts =
+      make_lts(4, 0, {{0, "a", 1}, {0, "a", 2}, {1, "b", 3}, {2, "b", 3}});
+  const auto reduced = bisim_reduce(lts);
+  EXPECT_EQ(reduced.state_count, 3);  // {0}, {1,2}, {3}
+}
+
+TEST(Lts, BisimKeepsDistinguishableStates) {
+  //   1 can do b, 2 can do c: not bisimilar.
+  const auto lts =
+      make_lts(4, 0, {{0, "a", 1}, {0, "a", 2}, {1, "b", 3}, {2, "c", 3}});
+  const auto reduced = bisim_reduce(lts);
+  EXPECT_EQ(reduced.state_count, 4);
+}
+
+TEST(Lts, BisimQuotientPreservesInitial) {
+  const auto lts = make_lts(3, 1, {{1, "a", 2}, {2, "a", 1}, {0, "a", 0}});
+  const auto reduced = bisim_reduce(lts);
+  // From the (reduced) initial state an "a" must still be possible.
+  bool has_a_from_init = false;
+  for (const auto& e : reduced.edges) {
+    if (e.src == reduced.initial) has_a_from_init = true;
+  }
+  EXPECT_TRUE(has_a_from_init);
+}
+
+TEST(Lts, WeakTraceCollapsesTauChains) {
+  //   0 -tau-> 1 -tau-> 2 -a-> 3 : weak traces = {eps, a}
+  const auto lts =
+      make_lts(4, 0, {{0, "tau", 1}, {1, "tau", 2}, {2, "a", 3}});
+  const auto reduced = weak_trace_reduce(lts);
+  EXPECT_EQ(reduced.state_count, 2);
+  ASSERT_EQ(reduced.edges.size(), 1u);
+  EXPECT_EQ(reduced.alphabet[static_cast<std::size_t>(reduced.edges[0].label)],
+            "a");
+}
+
+TEST(Lts, WeakTraceDeterminizesNondeterminism) {
+  //   0 -a-> 1 -b-> 3 ; 0 -a-> 2 -c-> 4 : efter "a" both b and c possible.
+  const auto lts =
+      make_lts(5, 0, {{0, "a", 1}, {0, "a", 2}, {1, "b", 3}, {2, "c", 4}});
+  const auto reduced = weak_trace_reduce(lts);
+  // Deterministic: exactly one a-edge from the initial state.
+  int a_edges = 0;
+  for (const auto& e : reduced.edges) {
+    if (e.src == reduced.initial &&
+        reduced.alphabet[static_cast<std::size_t>(e.label)] == "a") {
+      ++a_edges;
+    }
+  }
+  EXPECT_EQ(a_edges, 1);
+}
+
+TEST(Lts, WeakTracePreservesTraceSet) {
+  // tau-branching: 0 -tau-> 1 -a-> 2 and 0 -b-> 3. Weak traces: a, b.
+  const auto lts =
+      make_lts(4, 0, {{0, "tau", 1}, {1, "a", 2}, {0, "b", 3}});
+  const auto reduced = weak_trace_reduce(lts);
+  std::vector<std::string> initial_labels;
+  for (const auto& e : reduced.edges) {
+    if (e.src == reduced.initial) {
+      initial_labels.push_back(
+          reduced.alphabet[static_cast<std::size_t>(e.label)]);
+    }
+  }
+  std::sort(initial_labels.begin(), initial_labels.end());
+  EXPECT_EQ(initial_labels, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Lts, OutReturnsOutgoingEdges) {
+  const auto lts = make_lts(3, 0, {{0, "a", 1}, {0, "b", 2}, {1, "c", 2}});
+  EXPECT_EQ(lts.out(0).size(), 2u);
+  EXPECT_EQ(lts.out(1).size(), 1u);
+  EXPECT_EQ(lts.out(2).size(), 0u);
+}
+
+}  // namespace
+}  // namespace ahb::mc

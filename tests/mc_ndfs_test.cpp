@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "mc/ndfs.hpp"
+#include "ta/network.hpp"
+
+namespace ahb::mc {
+namespace {
+
+using ta::Edge;
+using ta::StateMut;
+using ta::StateView;
+
+/// Ring automaton: x cycles 0 -> 1 -> 2 -> 0.
+ta::Network ring_net() {
+  ta::Network net;
+  const auto a = net.add_automaton("ring");
+  const auto l = net.add_location(a, "run");
+  const auto x = net.add_var("x", 0);
+  net.add_edge(a, Edge{.src = l,
+                       .dst = l,
+                       .effect =
+                           [x](StateMut& m) {
+                             m.set(x, (m.var(x) + 1) % 3);
+                           },
+                       .label = "step"});
+  net.freeze();
+  return net;
+}
+
+/// Terminating counter: x goes 0..3 and stops. With `frozen_time` an
+/// invariant disables ticks entirely, so the only transitions are the
+/// increments and the terminal state is a genuine dead end; without it,
+/// every state carries a (clockless) tick self-loop.
+ta::Network path_net(bool frozen_time) {
+  ta::Network net;
+  const auto a = net.add_automaton("path");
+  const auto c = net.add_clock("c", 1);
+  ta::Guard invariant;
+  if (frozen_time) {
+    invariant = [c](const StateView& v) { return v.clk(c) <= 0; };
+  }
+  const auto l = net.add_location(a, "run", ta::LocKind::Normal,
+                                  std::move(invariant));
+  const auto x = net.add_var("x", 0);
+  net.add_edge(a, Edge{.src = l,
+                       .dst = l,
+                       .guard = [x](const StateView& v) {
+                         return v.var(x) < 3;
+                       },
+                       .effect = [x](StateMut& m) { m.set(x, m.var(x) + 1); },
+                       .label = "inc"});
+  net.freeze();
+  return net;
+}
+
+TEST(Ndfs, FindsCycleThroughAcceptingState) {
+  const auto net = ring_net();
+  const auto r = find_accepting_cycle(net, [](const StateView& v) {
+    return v.var(ta::VarId{0}) == 2;
+  });
+  EXPECT_TRUE(r.cycle_found);
+  ASSERT_FALSE(r.lasso.empty());
+  // The lasso closes: last state equals the state at stem_length.
+  EXPECT_EQ(r.lasso.back().state, r.lasso[r.stem_length].state);
+  // Some state on the cycle is accepting.
+  bool accepting_on_cycle = false;
+  for (std::size_t i = r.stem_length; i < r.lasso.size(); ++i) {
+    if (r.lasso[i].state[1] == 2) accepting_on_cycle = true;
+  }
+  EXPECT_TRUE(accepting_on_cycle);
+}
+
+TEST(Ndfs, NoCycleWhenAcceptingStateUnreachable) {
+  const auto net = ring_net();
+  const auto r = find_accepting_cycle(net, [](const StateView& v) {
+    return v.var(ta::VarId{0}) == 7;
+  });
+  EXPECT_FALSE(r.cycle_found);
+  EXPECT_TRUE(r.complete);
+}
+
+TEST(Ndfs, TransientAcceptingStateYieldsNoCycle) {
+  // With time frozen, x == 1 is visited exactly once on the way to the
+  // terminal x == 3 dead end: no cycle at all.
+  const auto net = path_net(/*frozen_time=*/true);
+  const auto r = find_accepting_cycle(net, [](const StateView& v) {
+    return v.var(ta::VarId{0}) == 1;
+  });
+  EXPECT_FALSE(r.cycle_found);
+  EXPECT_TRUE(r.complete);
+}
+
+TEST(Ndfs, TickSelfLoopCountsAsCycle) {
+  // With free-running time, the saturated-clock tick self-loop at the
+  // terminal state is a legitimate lasso ("eventually forever x == 3").
+  const auto net = path_net(/*frozen_time=*/false);
+  const auto r = find_accepting_cycle(net, [](const StateView& v) {
+    return v.var(ta::VarId{0}) == 3;
+  });
+  EXPECT_TRUE(r.cycle_found);
+}
+
+TEST(Ndfs, StatsPopulated) {
+  const auto net = ring_net();
+  const auto r = find_accepting_cycle(
+      net, [](const StateView&) { return false; });
+  EXPECT_FALSE(r.cycle_found);
+  EXPECT_EQ(r.stats.states, 3u);
+  EXPECT_GT(r.stats.transitions, 0u);
+}
+
+}  // namespace
+}  // namespace ahb::mc

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "mc/store.hpp"
+#include "util/rng.hpp"
+
+namespace ahb::mc {
+namespace {
+
+ta::State make_state(std::initializer_list<int> values) {
+  ta::State s(values.size());
+  std::size_t i = 0;
+  for (int v : values) s[i++] = static_cast<ta::Slot>(v);
+  return s;
+}
+
+TEST(StateStore, InternReturnsStableIndices) {
+  StateStore store{3};
+  const auto [i0, new0] = store.intern(make_state({1, 2, 3}));
+  const auto [i1, new1] = store.intern(make_state({4, 5, 6}));
+  const auto [i2, new2] = store.intern(make_state({1, 2, 3}));
+  EXPECT_TRUE(new0);
+  EXPECT_TRUE(new1);
+  EXPECT_FALSE(new2);
+  EXPECT_EQ(i0, i2);
+  EXPECT_NE(i0, i1);
+  EXPECT_EQ(store.size(), 2u);
+}
+
+TEST(StateStore, GetRoundTrips) {
+  StateStore store{4};
+  const auto s = make_state({7, -3, 0, 127});
+  const auto [index, _] = store.intern(s);
+  EXPECT_EQ(store.get(index), s);
+}
+
+TEST(StateStore, FindMissingReturnsInvalid) {
+  StateStore store{2};
+  store.intern(make_state({1, 1}));
+  EXPECT_EQ(store.find(make_state({2, 2})), StateStore::kInvalidIndex);
+  EXPECT_NE(store.find(make_state({1, 1})), StateStore::kInvalidIndex);
+}
+
+TEST(StateStore, SurvivesTableGrowth) {
+  StateStore store{2};
+  Rng rng{99};
+  std::vector<ta::State> states;
+  for (int i = 0; i < 20000; ++i) {
+    states.push_back(make_state({static_cast<int>(i % 999),
+                                 static_cast<int>(i / 999)}));
+    store.intern(states.back());
+  }
+  EXPECT_EQ(store.size(), 20000u);
+  // Every state is still findable and round-trips after many rehashes.
+  for (std::size_t i = 0; i < states.size(); i += 117) {
+    const auto index = store.find(states[i]);
+    ASSERT_NE(index, StateStore::kInvalidIndex);
+    EXPECT_EQ(store.get(index), states[i]);
+  }
+}
+
+TEST(StateStore, RawSpanMatches) {
+  StateStore store{3};
+  const auto [index, _] = store.intern(make_state({9, 8, 7}));
+  const auto raw = store.raw(index);
+  ASSERT_EQ(raw.size(), 3u);
+  EXPECT_EQ(raw[0], 9);
+  EXPECT_EQ(raw[1], 8);
+  EXPECT_EQ(raw[2], 7);
+}
+
+TEST(StateStore, MemoryGrowsWithContent) {
+  StateStore store{8};
+  const auto before = store.memory_bytes();
+  for (int i = 0; i < 1000; ++i) {
+    store.intern(make_state({i, 0, 0, 0, 0, 0, 0, 0}));
+  }
+  EXPECT_GT(store.memory_bytes(), before);
+}
+
+}  // namespace
+}  // namespace ahb::mc

@@ -1,0 +1,261 @@
+// Structural and behavioural tests of the protocol models beyond the
+// verdict sweeps: monitor behaviour, counterexample trace shapes,
+// deadlock-freedom, and liveness (crash leads to network-wide
+// deactivation) via accepting-cycle search.
+#include <gtest/gtest.h>
+
+#include "mc/explorer.hpp"
+#include "mc/lts.hpp"
+#include "mc/ndfs.hpp"
+#include "models/heartbeat_model.hpp"
+#include "models/standalone.hpp"
+
+namespace ahb::models {
+namespace {
+
+using mc::Explorer;
+
+TEST(HeartbeatModel, BuildsAllFlavors) {
+  for (const Flavor f :
+       {Flavor::Binary, Flavor::RevisedBinary, Flavor::TwoPhase,
+        Flavor::Static, Flavor::Expanding, Flavor::Dynamic}) {
+    BuildOptions options;
+    options.timing = {1, 3};
+    options.participants = is_multi(f) ? 2 : 1;
+    options.r1_monitor = true;
+    const auto model = HeartbeatModel::build(f, options);
+    EXPECT_TRUE(model.net().frozen());
+    EXPECT_EQ(model.handles().parts.size(),
+              static_cast<std::size_t>(options.participants));
+  }
+}
+
+TEST(HeartbeatModel, InitialStateIsAllActive) {
+  BuildOptions options;
+  options.timing = {2, 4};
+  const auto model = HeartbeatModel::build(Flavor::Binary, options);
+  const auto& h = model.handles();
+  const ta::State init = model.net().initial_state();
+  const ta::StateView v{model.net(), init};
+  EXPECT_EQ(v.var(h.active0), 1);
+  EXPECT_EQ(v.var(h.parts[0].active), 1);
+  EXPECT_EQ(v.var(h.lost), 0);
+  EXPECT_EQ(v.var(h.t), 4);         // starts at tmax
+  EXPECT_EQ(v.var(h.parts[0].rcvd0), 1);  // rcvd initially true
+}
+
+TEST(HeartbeatModel, BinaryIsDeadlockFree) {
+  // The published binary model has no reachable deadlock/timelock: every
+  // potentially stuck corner is preempted by an invariant-forced event.
+  for (const int tmin : {1, 2, 4}) {
+    BuildOptions options;
+    options.timing = {tmin, 4};
+    const auto model = HeartbeatModel::build(Flavor::Binary, options);
+    Explorer ex{model.net()};
+    const auto r = ex.find_deadlock();
+    EXPECT_FALSE(r.found) << "deadlock at tmin=" << tmin << ":\n";
+    EXPECT_TRUE(r.complete);
+  }
+}
+
+TEST(HeartbeatModel, FixedBinaryIsDeadlockFree) {
+  for (const int tmin : {1, 2, 4}) {
+    BuildOptions options;
+    options.timing = {tmin, 4};
+    options.fixed = true;
+    const auto model = HeartbeatModel::build(Flavor::Binary, options);
+    Explorer ex{model.net()};
+    const auto r = ex.find_deadlock();
+    EXPECT_FALSE(r.found) << "deadlock at tmin=" << tmin;
+  }
+}
+
+TEST(HeartbeatModel, CrashOfParticipantLeadsToCoordinatorInactivation) {
+  // Liveness via NDFS: there is no infinite run on which p[1] has
+  // crashed while p[0] stays active — i.e. a crash always leads to
+  // deactivation. This is the 1998 paper's central guarantee, checked
+  // directly as a Büchi property rather than through a watchdog bound.
+  BuildOptions options;
+  options.timing = {2, 4};
+  const auto model = HeartbeatModel::build(Flavor::Binary, options);
+  const auto& h = model.handles();
+  const auto result = mc::find_accepting_cycle(
+      model.net(), [&](const ta::StateView& v) {
+        return v.loc(h.parts[0].proc) == h.parts[0].l_v &&
+               v.var(h.active0) == 1;
+      });
+  EXPECT_FALSE(result.cycle_found);
+  EXPECT_TRUE(result.complete);
+}
+
+TEST(HeartbeatModel, CrashOfCoordinatorLeadsToParticipantInactivation) {
+  BuildOptions options;
+  options.timing = {2, 4};
+  const auto model = HeartbeatModel::build(Flavor::Binary, options);
+  const auto& h = model.handles();
+  const auto result = mc::find_accepting_cycle(
+      model.net(), [&](const ta::StateView& v) {
+        return v.loc(h.p0) == h.l_v && v.var(h.parts[0].active) == 1;
+      });
+  EXPECT_FALSE(result.cycle_found);
+  EXPECT_TRUE(result.complete);
+}
+
+TEST(HeartbeatModel, HealthyRunCanStayAliveForever) {
+  // Sanity for the liveness encoding: with both processes alive a lasso
+  // does exist (the protocol runs forever), so the checker is not
+  // vacuously passing.
+  BuildOptions options;
+  options.timing = {2, 4};
+  const auto model = HeartbeatModel::build(Flavor::Binary, options);
+  const auto& h = model.handles();
+  const auto result = mc::find_accepting_cycle(
+      model.net(), [&](const ta::StateView& v) {
+        return v.var(h.active0) == 1 && v.var(h.parts[0].active) == 1;
+      });
+  EXPECT_TRUE(result.cycle_found);
+}
+
+TEST(HeartbeatModel, R1MonitorArmsAndErrors) {
+  BuildOptions options;
+  options.timing = {1, 4};
+  options.r1_monitor = true;
+  const auto model = HeartbeatModel::build(Flavor::Binary, options);
+  const auto& h = model.handles();
+  Explorer ex{model.net()};
+  // The monitor's error location is reachable (R1 fails for 2*tmin <=
+  // tmax) and every such state has p[0] still active.
+  const auto r = ex.reach(model.r1_violation());
+  ASSERT_TRUE(r.found);
+  const ta::StateView v{model.net(), r.trace.back().state};
+  EXPECT_EQ(v.var(h.active0), 1);
+  EXPECT_GT(v.clk(h.parts[0].mdelay), 2 * 4);
+}
+
+TEST(HeartbeatModel, R1ViolationRequiresMonitor) {
+  BuildOptions options;
+  options.timing = {1, 4};
+  options.r1_monitor = false;
+  const auto model = HeartbeatModel::build(Flavor::Binary, options);
+  EXPECT_DEATH((void)model.r1_violation(), "precondition");
+}
+
+TEST(HeartbeatModel, R2WitnessHasNoLossAndAliveCoordinator) {
+  BuildOptions options;
+  options.timing = {4, 4};
+  const auto model = HeartbeatModel::build(Flavor::Binary, options);
+  const auto& h = model.handles();
+  Explorer ex{model.net()};
+  const auto r = ex.reach(model.r2_violation_any());
+  ASSERT_TRUE(r.found);
+  const ta::StateView v{model.net(), r.trace.back().state};
+  EXPECT_EQ(v.var(h.lost), 0);
+  EXPECT_EQ(v.var(h.active0), 1);
+  EXPECT_EQ(v.loc(h.parts[0].proc), h.parts[0].l_nv);
+}
+
+TEST(HeartbeatModel, R3WitnessLeavesParticipantAlive) {
+  BuildOptions options;
+  options.timing = {4, 4};
+  const auto model = HeartbeatModel::build(Flavor::Binary, options);
+  const auto& h = model.handles();
+  Explorer ex{model.net()};
+  const auto r = ex.reach(model.r3_violation());
+  ASSERT_TRUE(r.found);
+  const ta::StateView v{model.net(), r.trace.back().state};
+  EXPECT_EQ(v.var(h.lost), 0);
+  EXPECT_EQ(v.loc(h.p0), h.l_nv);
+  EXPECT_EQ(v.var(h.parts[0].active), 1);
+}
+
+TEST(HeartbeatModel, DynamicLeaveIsNotACrash) {
+  // A participant that leaves gracefully must not trigger anyone's
+  // non-voluntary inactivation: after a delivered leave, p[0] keeps
+  // running. We check that "p[1] left and p[0] still alive much later"
+  // is reachable without loss.
+  BuildOptions options;
+  options.timing = {1, 3};
+  const auto model = HeartbeatModel::build(Flavor::Dynamic, options);
+  const auto& h = model.handles();
+  Explorer ex{model.net()};
+  const auto r = ex.reach([&](const ta::StateView& v) {
+    return v.loc(h.parts[0].proc) == h.parts[0].l_left &&
+           v.var(h.lost) == 0 && v.var(h.active0) == 1 &&
+           v.var(h.parts[0].jnd) == 0;  // leave registered at p[0]
+  });
+  EXPECT_TRUE(r.found);
+}
+
+TEST(HeartbeatModel, DynamicLeftParticipantNeverNvInactivates) {
+  BuildOptions options;
+  options.timing = {1, 3};
+  const auto model = HeartbeatModel::build(Flavor::Dynamic, options);
+  const auto& h = model.handles();
+  Explorer ex{model.net()};
+  // Left is a terminal location; NV from Left must be unreachable.
+  const auto r = ex.reach([&](const ta::StateView& v) {
+    return v.loc(h.parts[0].proc) == h.parts[0].l_nv &&
+           v.var(h.parts[0].left) == 1;
+  });
+  EXPECT_FALSE(r.found);
+  EXPECT_TRUE(r.complete);
+}
+
+TEST(HeartbeatModel, JoinRegistrationRequiresDeliveredBeat) {
+  // In the expanding protocol, a participant only considers itself
+  // joined (leaves the Joining location) after receiving p[0]'s beat,
+  // which in turn requires p[0] to have registered it (jnd == 1).
+  BuildOptions options;
+  options.timing = {1, 3};
+  const auto model = HeartbeatModel::build(Flavor::Expanding, options);
+  const auto& h = model.handles();
+  Explorer ex{model.net()};
+  const auto r = ex.reach([&](const ta::StateView& v) {
+    return v.loc(h.parts[0].proc) == h.parts[0].l_alive &&
+           v.var(h.parts[0].jnd) == 0;
+  });
+  EXPECT_FALSE(r.found) << "participant joined without registration";
+  EXPECT_TRUE(r.complete);
+}
+
+TEST(Standalone, P0LtsIsSmallAndDeterministicallyExtractable) {
+  const auto net = build_standalone_p0(Timing{1, 2});
+  const auto lts1 = mc::extract_lts(net);
+  const auto lts2 = mc::extract_lts(net);
+  EXPECT_EQ(lts1.state_count, lts2.state_count);
+  EXPECT_EQ(lts1.edges.size(), lts2.edges.size());
+  EXPECT_GT(lts1.state_count, 0);
+  EXPECT_LT(lts1.state_count, 100);
+}
+
+TEST(Standalone, P1CanInactivateAfterSilence) {
+  const auto net = build_standalone_p1(Timing{1, 2});
+  Explorer ex{net};
+  // p1's NV location (index 3) is reachable when the environment stays
+  // silent for 3*tmax - tmin.
+  const auto r = ex.reach([&](const ta::StateView& v) {
+    return v.loc(ta::AutomatonId{0}) == 3;
+  });
+  EXPECT_TRUE(r.found);
+}
+
+TEST(Options, BoundHelpers) {
+  const Timing t{3, 10};
+  EXPECT_EQ(r1_bound(t, false), 20);
+  EXPECT_EQ(r1_bound(t, true), 27);  // 2*3 <= 10 -> 3*10-3
+  EXPECT_EQ(r1_bound(Timing{9, 10}, true), 20);  // 2*9 > 10 -> 2*10
+  EXPECT_EQ(participant_bound(t, false), 27);
+  EXPECT_EQ(participant_bound(t, true), 20);
+  EXPECT_EQ(join_bound(t, false), 27);
+  EXPECT_EQ(join_bound(t, true), 23);
+}
+
+TEST(Options, FlavorNames) {
+  EXPECT_EQ(to_string(Flavor::Binary), "binary");
+  EXPECT_EQ(to_string(Flavor::Dynamic), "dynamic");
+  EXPECT_TRUE(is_multi(Flavor::Static));
+  EXPECT_FALSE(is_multi(Flavor::TwoPhase));
+}
+
+}  // namespace
+}  // namespace ahb::models

@@ -1,0 +1,149 @@
+// Property sweeps: model-checked verdicts for R1/R2/R3 must match the
+// closed-form conditions implied by the paper's counterexample analysis,
+// at every point of the (tmin, tmax) grid — not just the five data sets
+// of Tables 1 and 2:
+//
+//   binary/revised/static:  R1 <=> 2*tmin > tmax,
+//                           R2 <=> tmin < tmax,  R3 <=> tmin < tmax
+//   expanding/dynamic:      R1 <=> 2*tmin > tmax,
+//                           R2 <=> 2*tmin < tmax, R3 <=> tmin < tmax
+//   two-phase:              R1 <=> tmin == tmax (the drop to tmin always
+//                           costs an extra tmin beyond 2*tmax otherwise),
+//                           R2/R3 as binary
+//   fixed variants:         everything holds everywhere.
+#include <gtest/gtest.h>
+
+#include "models/heartbeat_model.hpp"
+
+namespace ahb::models {
+namespace {
+
+struct Oracle {
+  bool r1, r2, r3;
+};
+
+Oracle expected_verdicts(Flavor flavor, const Timing& t) {
+  switch (flavor) {
+    case Flavor::Binary:
+    case Flavor::RevisedBinary:
+    case Flavor::Static:
+      return {2 * t.tmin > t.tmax, t.tmin < t.tmax, t.tmin < t.tmax};
+    case Flavor::TwoPhase:
+      return {t.tmin == t.tmax, t.tmin < t.tmax, t.tmin < t.tmax};
+    case Flavor::Expanding:
+    case Flavor::Dynamic:
+      return {2 * t.tmin > t.tmax, 2 * t.tmin < t.tmax, t.tmin < t.tmax};
+  }
+  ADD_FAILURE() << "bad flavor";
+  return {};
+}
+
+class VerdictSweep
+    : public ::testing::TestWithParam<std::tuple<Flavor, int>> {};
+
+TEST_P(VerdictSweep, MatchesCounterexampleAnalysis) {
+  const auto [flavor, tmin] = GetParam();
+  const Timing timing{tmin, 6};
+  BuildOptions options;
+  options.timing = timing;
+  options.participants = 1;
+
+  const Verdicts got = verify_requirements(flavor, options);
+  const Oracle want = expected_verdicts(flavor, timing);
+  EXPECT_EQ(got.r1, want.r1) << "R1 at tmin=" << tmin;
+  EXPECT_EQ(got.r2, want.r2) << "R2 at tmin=" << tmin;
+  EXPECT_EQ(got.r3, want.r3) << "R3 at tmin=" << tmin;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFlavors, VerdictSweep,
+    ::testing::Combine(::testing::Values(Flavor::Binary, Flavor::RevisedBinary,
+                                         Flavor::TwoPhase, Flavor::Static,
+                                         Flavor::Expanding, Flavor::Dynamic),
+                       ::testing::Values(1, 2, 3, 4, 5, 6)),
+    [](const auto& info) {
+      std::string name = to_string(std::get<0>(info.param)) + "_tmin" +
+                         std::to_string(std::get<1>(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+class FixedSweep : public ::testing::TestWithParam<std::tuple<Flavor, int>> {};
+
+TEST_P(FixedSweep, CorrectedProtocolsSatisfyEverything) {
+  const auto [flavor, tmin] = GetParam();
+  BuildOptions options;
+  options.timing = Timing{tmin, 6};
+  options.participants = 1;
+  options.fixed = true;
+
+  const Verdicts got = verify_requirements(flavor, options);
+  EXPECT_TRUE(got.r1) << "R1 at tmin=" << tmin;
+  EXPECT_TRUE(got.r2) << "R2 at tmin=" << tmin;
+  EXPECT_TRUE(got.r3) << "R3 at tmin=" << tmin;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFlavors, FixedSweep,
+    ::testing::Combine(::testing::Values(Flavor::Binary, Flavor::RevisedBinary,
+                                         Flavor::Static, Flavor::Expanding,
+                                         Flavor::Dynamic),
+                       ::testing::Values(1, 2, 3, 4, 5, 6)),
+    [](const auto& info) {
+      std::string name = to_string(std::get<0>(info.param)) + "_tmin" +
+                         std::to_string(std::get<1>(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// A different tmax exercises different halving chains (odd values take
+// the floor path: 7 -> 3 -> 1).
+class OddTmaxSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(OddTmaxSweep, BinaryOracleHoldsForTmax7) {
+  const int tmin = GetParam();
+  const Timing timing{tmin, 7};
+  BuildOptions options;
+  options.timing = timing;
+  const Verdicts got = verify_requirements(Flavor::Binary, options);
+  const Oracle want = expected_verdicts(Flavor::Binary, timing);
+  EXPECT_EQ(got.r1, want.r1);
+  EXPECT_EQ(got.r2, want.r2);
+  EXPECT_EQ(got.r3, want.r3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Tmins, OddTmaxSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7));
+
+TEST(VerdictMulti, StaticWithTwoParticipantsMatchesOracle) {
+  for (const int tmin : {1, 2, 4}) {
+    BuildOptions options;
+    options.timing = Timing{tmin, 4};
+    options.participants = 2;
+    const Verdicts got = verify_requirements(Flavor::Static, options);
+    const Oracle want = expected_verdicts(Flavor::Static, options.timing);
+    EXPECT_EQ(got.r1, want.r1) << "tmin=" << tmin;
+    EXPECT_EQ(got.r2, want.r2) << "tmin=" << tmin;
+    EXPECT_EQ(got.r3, want.r3) << "tmin=" << tmin;
+  }
+}
+
+TEST(VerdictMulti, ExpandingWithTwoParticipantsMatchesOracle) {
+  for (const int tmin : {1, 2, 4}) {
+    BuildOptions options;
+    options.timing = Timing{tmin, 4};
+    options.participants = 2;
+    const Verdicts got = verify_requirements(Flavor::Expanding, options);
+    const Oracle want = expected_verdicts(Flavor::Expanding, options.timing);
+    EXPECT_EQ(got.r1, want.r1) << "tmin=" << tmin;
+    EXPECT_EQ(got.r2, want.r2) << "tmin=" << tmin;
+    EXPECT_EQ(got.r3, want.r3) << "tmin=" << tmin;
+  }
+}
+
+}  // namespace
+}  // namespace ahb::models

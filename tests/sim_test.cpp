@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace ahb::sim {
+namespace {
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(30, [&] { order.push_back(3); });
+  sim.at(10, [&] { order.push_back(1); });
+  sim.at(20, [&] { order.push_back(2); });
+  sim.run_until(100);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(Simulator, FifoAtEqualTimes) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.at(7, [&order, i] { order.push_back(i); });
+  }
+  sim.run_until(7);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, HorizonStopsExecution) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(5, [&] { ++fired; });
+  sim.at(15, [&] { ++fired; });
+  sim.run_until(10);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run_until(20);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  int fired = 0;
+  const auto id = sim.at(5, [&] { ++fired; });
+  sim.at(6, [&] { ++fired; });
+  sim.cancel(id);
+  sim.run_until(10);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, CancelInvalidIsNoop) {
+  Simulator sim;
+  sim.cancel(Simulator::kInvalidEvent);
+  sim.cancel(12345);  // never scheduled: lazily ignored
+  sim.at(1, [] {});
+  EXPECT_EQ(sim.run_until(5), 1u);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  std::vector<Time> times;
+  std::function<void()> tick = [&] {
+    times.push_back(sim.now());
+    if (times.size() < 4) sim.after(10, tick);
+  };
+  sim.at(0, tick);
+  sim.run_until(1000);
+  EXPECT_EQ(times, (std::vector<Time>{0, 10, 20, 30}));
+}
+
+TEST(Simulator, StepExecutesOne) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(1, [&] { ++fired; });
+  sim.at(2, [&] { ++fired; });
+  EXPECT_TRUE(sim.step(10));
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step(10));
+  EXPECT_FALSE(sim.step(10));
+  EXPECT_EQ(fired, 2);
+}
+
+struct Msg {
+  int payload = 0;
+};
+
+TEST(Network, DeliversWithinDelayBounds) {
+  Simulator sim{42};
+  Network<Msg> net{sim, {.loss_probability = 0.0, .min_delay = 2, .max_delay = 5}};
+  std::vector<Time> arrivals;
+  net.attach(1, [&](int from, const Msg& m) {
+    EXPECT_EQ(from, 0);
+    EXPECT_EQ(m.payload, 7);
+    arrivals.push_back(sim.now());
+  });
+  for (int i = 0; i < 50; ++i) net.send(0, 1, Msg{7});
+  sim.run_until(100);
+  ASSERT_EQ(arrivals.size(), 50u);
+  for (const Time t : arrivals) {
+    EXPECT_GE(t, 2);
+    EXPECT_LE(t, 5);
+  }
+  EXPECT_EQ(net.stats().delivered, 50u);
+  EXPECT_EQ(net.stats().lost, 0u);
+}
+
+TEST(Network, LossRateRoughlyCalibrated) {
+  Simulator sim{7};
+  Network<Msg> net{sim, {.loss_probability = 0.25, .min_delay = 0, .max_delay = 1}};
+  int received = 0;
+  net.attach(1, [&](int, const Msg&) { ++received; });
+  const int total = 10000;
+  for (int i = 0; i < total; ++i) net.send(0, 1, Msg{});
+  sim.run_until(10);
+  const double loss = 1.0 - static_cast<double>(received) / total;
+  EXPECT_NEAR(loss, 0.25, 0.03);
+  EXPECT_EQ(net.stats().sent, static_cast<std::uint64_t>(total));
+  EXPECT_EQ(net.stats().delivered + net.stats().lost,
+            static_cast<std::uint64_t>(total));
+}
+
+TEST(Network, DeterministicForSeed) {
+  const auto run = [](std::uint64_t seed) {
+    Simulator sim{seed};
+    Network<Msg> net{sim, {.loss_probability = 0.5, .min_delay = 0, .max_delay = 3}};
+    std::vector<Time> arrivals;
+    net.attach(1, [&](int, const Msg&) { arrivals.push_back(sim.now()); });
+    for (int i = 0; i < 100; ++i) net.send(0, 1, Msg{i});
+    sim.run_until(10);
+    return arrivals;
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+TEST(Network, LinkOverrideApplies) {
+  Simulator sim{1};
+  Network<Msg> net{sim, {.loss_probability = 0.0, .min_delay = 0, .max_delay = 0}};
+  net.set_link(0, 1, {.loss_probability = 1.0, .min_delay = 0, .max_delay = 0});
+  int received_1 = 0, received_2 = 0;
+  net.attach(1, [&](int, const Msg&) { ++received_1; });
+  net.attach(2, [&](int, const Msg&) { ++received_2; });
+  for (int i = 0; i < 20; ++i) {
+    net.send(0, 1, Msg{});
+    net.send(0, 2, Msg{});
+  }
+  sim.run_until(5);
+  EXPECT_EQ(received_1, 0);  // overridden link loses everything
+  EXPECT_EQ(received_2, 20);
+}
+
+TEST(Network, LinkDownBlocksSilently) {
+  Simulator sim{1};
+  Network<Msg> net{sim, {}};
+  int received = 0;
+  net.attach(1, [&](int, const Msg&) { ++received; });
+  net.set_link_up(0, 1, false);
+  net.send(0, 1, Msg{});
+  sim.run_until(5);
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(net.stats().blocked, 1u);
+  net.set_link_up(0, 1, true);
+  net.send(0, 1, Msg{});
+  sim.run_until(10);
+  EXPECT_EQ(received, 1);
+}
+
+TEST(Network, IsolatedNodeNeitherSendsNorReceives) {
+  Simulator sim{1};
+  Network<Msg> net{sim, {}};
+  int received = 0;
+  net.attach(1, [&](int, const Msg&) { ++received; });
+  net.isolate(0);
+  net.send(0, 1, Msg{});  // isolated sender
+  net.send(2, 1, Msg{});  // unrelated sender still works
+  sim.run_until(5);
+  EXPECT_EQ(received, 1);
+}
+
+TEST(Network, InFlightMessageDroppedWhenReceiverIsolatedMeanwhile) {
+  Simulator sim{1};
+  Network<Msg> net{sim, {.loss_probability = 0.0, .min_delay = 3, .max_delay = 3}};
+  int received = 0;
+  net.attach(1, [&](int, const Msg&) { ++received; });
+  net.send(0, 1, Msg{});
+  sim.at(1, [&] { net.isolate(1); });
+  sim.run_until(10);
+  EXPECT_EQ(received, 0);
+}
+
+}  // namespace
+}  // namespace ahb::sim

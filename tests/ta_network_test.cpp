@@ -1,0 +1,342 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ta/network.hpp"
+
+namespace ahb::ta {
+namespace {
+
+/// Counts successors of the initial state by kind.
+struct Kinds {
+  int ticks = 0;
+  int internals = 0;
+  int syncs = 0;
+  int broadcasts = 0;
+};
+
+Kinds kinds_of(const Network& net, const State& s) {
+  Kinds k;
+  for (const auto& t : net.successors(s)) {
+    switch (t.kind) {
+      case Transition::Kind::Tick: ++k.ticks; break;
+      case Transition::Kind::Internal: ++k.internals; break;
+      case Transition::Kind::Sync: ++k.syncs; break;
+      case Transition::Kind::Broadcast: ++k.broadcasts; break;
+    }
+  }
+  return k;
+}
+
+TEST(Network, TickAdvancesClocksUpToCap) {
+  Network net;
+  const auto a = net.add_automaton("a");
+  net.add_location(a, "idle");
+  const auto c = net.add_clock("c", 3);
+  net.freeze();
+
+  State s = net.initial_state();
+  for (int expected = 1; expected <= 5; ++expected) {
+    auto succ = net.successors(s);
+    ASSERT_EQ(succ.size(), 1u);
+    EXPECT_EQ(succ[0].kind, Transition::Kind::Tick);
+    s = succ[0].target;
+    EXPECT_EQ(StateView(net, s).clk(c), std::min(expected, 3));
+  }
+}
+
+TEST(Network, InvariantBlocksTick) {
+  Network net;
+  const auto a = net.add_automaton("a");
+  const auto c = net.add_clock("c", 10);
+  net.add_location(a, "bounded", LocKind::Normal,
+                   [c](const StateView& v) { return v.clk(c) <= 2; });
+  net.freeze();
+
+  State s = net.initial_state();
+  s = net.successors(s)[0].target;  // c=1
+  s = net.successors(s)[0].target;  // c=2
+  EXPECT_TRUE(net.successors(s).empty());  // tick to 3 would break invariant
+}
+
+TEST(Network, UrgentLocationFreezesTime) {
+  Network net;
+  const auto a = net.add_automaton("a");
+  net.add_location(a, "urgent", LocKind::Urgent);
+  const auto b = net.add_automaton("b");
+  net.add_location(b, "idle");
+  net.add_clock("c", 5);
+  net.freeze();
+  EXPECT_TRUE(net.successors(net.initial_state()).empty());
+}
+
+TEST(Network, InternalEdgeFiresWhenGuardHolds) {
+  Network net;
+  const auto a = net.add_automaton("a");
+  const auto l0 = net.add_location(a, "l0");
+  const auto l1 = net.add_location(a, "l1");
+  const auto x = net.add_var("x", 0);
+  net.add_edge(a, Edge{.src = l0,
+                       .dst = l1,
+                       .guard = [x](const StateView& v) {
+                         return v.var(x) == 0;
+                       },
+                       .effect = [x](StateMut& m) { m.set(x, 7); },
+                       .label = "go"});
+  net.freeze();
+
+  // The internal edge plus a (state-preserving, clockless) tick.
+  const auto k = kinds_of(net, net.initial_state());
+  EXPECT_EQ(k.internals, 1);
+  EXPECT_EQ(k.ticks, 1);
+  const auto succ = net.successors(net.initial_state());
+  const auto it = std::find_if(succ.begin(), succ.end(), [](const auto& t) {
+    return t.kind == Transition::Kind::Internal;
+  });
+  ASSERT_NE(it, succ.end());
+  EXPECT_EQ(StateView(net, it->target).var(x), 7);
+}
+
+TEST(Network, GuardFalseDisablesEdge) {
+  Network net;
+  const auto a = net.add_automaton("a");
+  const auto l0 = net.add_location(a, "l0");
+  const auto l1 = net.add_location(a, "l1");
+  net.add_edge(a, Edge{.src = l0,
+                       .dst = l1,
+                       .guard = [](const StateView&) { return false; },
+                       .label = "never"});
+  net.add_clock("c", 2);
+  net.freeze();
+  const auto k = kinds_of(net, net.initial_state());
+  EXPECT_EQ(k.internals, 0);
+  EXPECT_EQ(k.ticks, 1);
+}
+
+TEST(Network, HandshakePairsSenderAndReceiver) {
+  Network net;
+  const auto ch = net.add_channel("ch", ChanKind::Handshake);
+  const auto a = net.add_automaton("a");
+  const auto a0 = net.add_location(a, "a0");
+  const auto a1 = net.add_location(a, "a1");
+  net.add_edge(a, Edge{.src = a0,
+                       .dst = a1,
+                       .chan = ch,
+                       .dir = SyncDir::Send,
+                       .label = "snd"});
+  const auto b = net.add_automaton("b");
+  const auto b0 = net.add_location(b, "b0");
+  const auto b1 = net.add_location(b, "b1");
+  const auto x = net.add_var("x", 0);
+  net.add_edge(b, Edge{.src = b0,
+                       .dst = b1,
+                       .chan = ch,
+                       .dir = SyncDir::Recv,
+                       .effect = [x](StateMut& m) { m.set(x, 1); },
+                       .label = "rcv"});
+  net.freeze();
+
+  const auto succ = net.successors(net.initial_state());
+  const auto it = std::find_if(succ.begin(), succ.end(), [](const auto& t) {
+    return t.kind == Transition::Kind::Sync;
+  });
+  ASSERT_NE(it, succ.end());
+  const StateView v{net, it->target};
+  EXPECT_EQ(v.loc(AutomatonId{0}), a1);
+  EXPECT_EQ(v.loc(AutomatonId{1}), b1);
+  EXPECT_EQ(v.var(x), 1);
+}
+
+TEST(Network, HandshakeBlocksWithoutReceiver) {
+  Network net;
+  const auto ch = net.add_channel("ch", ChanKind::Handshake);
+  const auto a = net.add_automaton("a");
+  const auto a0 = net.add_location(a, "a0");
+  const auto a1 = net.add_location(a, "a1");
+  net.add_edge(a, Edge{.src = a0,
+                       .dst = a1,
+                       .chan = ch,
+                       .dir = SyncDir::Send,
+                       .label = "snd"});
+  net.add_clock("c", 2);
+  net.freeze();
+  const auto k = kinds_of(net, net.initial_state());
+  EXPECT_EQ(k.syncs, 0);
+  EXPECT_EQ(k.ticks, 1);
+}
+
+TEST(Network, BroadcastReachesAllEnabledReceivers) {
+  Network net;
+  const auto ch = net.add_channel("ch", ChanKind::Broadcast);
+  const auto a = net.add_automaton("a");
+  const auto a0 = net.add_location(a, "a0");
+  const auto a1 = net.add_location(a, "a1");
+  net.add_edge(a, Edge{.src = a0,
+                       .dst = a1,
+                       .chan = ch,
+                       .dir = SyncDir::Send,
+                       .label = "snd"});
+  const auto x = net.add_var("x", 0);
+  for (int i = 0; i < 3; ++i) {
+    const auto b = net.add_automaton("b" + std::to_string(i));
+    const auto b0 = net.add_location(b, "b0");
+    const auto b1 = net.add_location(b, "b1");
+    Edge e{.src = b0,
+           .dst = b1,
+           .chan = ch,
+           .dir = SyncDir::Recv,
+           .effect = [x](StateMut& m) { m.set(x, m.var(x) + 1); },
+           .label = "rcv"};
+    if (i == 2) {
+      // Receiver 2 is disabled; the broadcast must proceed without it.
+      e.guard = [](const StateView&) { return false; };
+    }
+    net.add_edge(b, std::move(e));
+  }
+  net.freeze();
+
+  const auto succ = net.successors(net.initial_state());
+  const auto it = std::find_if(succ.begin(), succ.end(), [](const auto& t) {
+    return t.kind == Transition::Kind::Broadcast;
+  });
+  ASSERT_NE(it, succ.end());
+  EXPECT_EQ(it->receivers.size(), 2u);
+  EXPECT_EQ(StateView(net, it->target).var(x), 2);
+}
+
+TEST(Network, BroadcastFiresWithZeroReceivers) {
+  Network net;
+  const auto ch = net.add_channel("ch", ChanKind::Broadcast);
+  const auto a = net.add_automaton("a");
+  const auto a0 = net.add_location(a, "a0");
+  const auto a1 = net.add_location(a, "a1");
+  net.add_edge(a, Edge{.src = a0,
+                       .dst = a1,
+                       .chan = ch,
+                       .dir = SyncDir::Send,
+                       .label = "snd"});
+  net.freeze();
+  const auto k = kinds_of(net, net.initial_state());
+  EXPECT_EQ(k.broadcasts, 1);
+}
+
+TEST(Network, CommittedLocationRestrictsInterleaving) {
+  Network net;
+  // Automaton a sits in a committed location with an outgoing edge;
+  // automaton b has an independent internal edge that must be blocked.
+  const auto a = net.add_automaton("a");
+  const auto ac = net.add_location(a, "committed", LocKind::Committed);
+  const auto a1 = net.add_location(a, "done");
+  net.add_edge(a, Edge{.src = ac, .dst = a1, .label = "resolve"});
+  const auto b = net.add_automaton("b");
+  const auto b0 = net.add_location(b, "b0");
+  const auto b1 = net.add_location(b, "b1");
+  net.add_edge(b, Edge{.src = b0, .dst = b1, .label = "independent"});
+  net.add_clock("c", 2);
+  net.freeze();
+
+  const auto succ = net.successors(net.initial_state());
+  ASSERT_EQ(succ.size(), 1u);
+  EXPECT_EQ(net.label_of(succ[0]), "a.resolve");
+
+  // After resolving, both b's edge and the tick become available.
+  const auto k = kinds_of(net, succ[0].target);
+  EXPECT_EQ(k.internals, 1);
+  EXPECT_EQ(k.ticks, 1);
+}
+
+TEST(Network, TargetInvariantBlocksDiscreteTransition) {
+  Network net;
+  const auto a = net.add_automaton("a");
+  const auto c = net.add_clock("c", 10);
+  const auto l0 = net.add_location(a, "l0");
+  const auto l1 = net.add_location(a, "l1", LocKind::Normal,
+                                   [c](const StateView& v) {
+                                     return v.clk(c) <= 1;
+                                   });
+  net.add_edge(a, Edge{.src = l0, .dst = l1, .label = "enter"});
+  net.freeze();
+
+  State s = net.initial_state();
+  // c == 0: entering l1 is allowed.
+  auto k = kinds_of(net, s);
+  EXPECT_EQ(k.internals, 1);
+  // Advance to c == 2: entering l1 would violate its invariant.
+  s = net.successors(s)[1].target;  // pick the tick (internal listed first)
+  s = *[&]() -> std::optional<State> {
+    for (const auto& t : net.successors(s)) {
+      if (t.kind == Transition::Kind::Tick) return t.target;
+    }
+    return std::nullopt;
+  }();
+  k = kinds_of(net, s);
+  EXPECT_EQ(k.internals, 0);
+}
+
+TEST(Network, EdgePriorityMasksLowerPriority) {
+  Network net;
+  const auto a = net.add_automaton("a");
+  const auto l0 = net.add_location(a, "l0");
+  const auto l1 = net.add_location(a, "hi");
+  const auto l2 = net.add_location(a, "lo");
+  net.add_edge(a, Edge{.src = l0, .dst = l1, .label = "hi", .priority = 1});
+  net.add_edge(a, Edge{.src = l0, .dst = l2, .label = "lo", .priority = 0});
+  net.freeze();
+
+  // Priorities filter discrete transitions only; the (clockless) tick
+  // remains available.
+  std::vector<std::string> labels;
+  for (const auto& t : net.successors(net.initial_state())) {
+    labels.push_back(net.label_of(t));
+  }
+  EXPECT_NE(std::find(labels.begin(), labels.end(), "a.hi"), labels.end());
+  EXPECT_EQ(std::find(labels.begin(), labels.end(), "a.lo"), labels.end());
+}
+
+TEST(Network, ClockSaturationKeepsStateSpaceFinite) {
+  Network net;
+  const auto a = net.add_automaton("a");
+  net.add_location(a, "idle");
+  net.add_clock("c", 4);
+  net.freeze();
+
+  State s = net.initial_state();
+  for (int i = 0; i < 10; ++i) s = net.successors(s)[0].target;
+  // Saturated: ticking further returns the identical state.
+  const auto succ = net.successors(s);
+  ASSERT_EQ(succ.size(), 1u);
+  EXPECT_EQ(succ[0].target, s);
+}
+
+TEST(Network, DescribeMentionsLocationsVarsClocks) {
+  Network net;
+  const auto a = net.add_automaton("proc");
+  net.add_location(a, "start");
+  net.add_var("flag", 1);
+  net.add_clock("timer", 5);
+  net.freeze();
+  const auto text = net.describe(net.initial_state());
+  EXPECT_NE(text.find("proc@start"), std::string::npos);
+  EXPECT_NE(text.find("flag=1"), std::string::npos);
+  EXPECT_NE(text.find("timer=0"), std::string::npos);
+}
+
+TEST(Network, LabelOfSyncMentionsBothParties) {
+  Network net;
+  const auto ch = net.add_channel("ch", ChanKind::Handshake);
+  const auto a = net.add_automaton("a");
+  const auto a0 = net.add_location(a, "a0");
+  net.add_edge(a, Edge{.src = a0, .dst = a0, .chan = ch,
+                       .dir = SyncDir::Send, .label = "snd"});
+  const auto b = net.add_automaton("b");
+  const auto b0 = net.add_location(b, "b0");
+  net.add_edge(b, Edge{.src = b0, .dst = b0, .chan = ch,
+                       .dir = SyncDir::Recv, .label = "rcv"});
+  net.freeze();
+  const auto succ = net.successors(net.initial_state());
+  ASSERT_FALSE(succ.empty());
+  EXPECT_EQ(net.label_of(succ[0]), "a.snd >> b.rcv");
+}
+
+}  // namespace
+}  // namespace ahb::ta

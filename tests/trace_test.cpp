@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "mc/explorer.hpp"
+#include "mc/lts.hpp"
+#include "ta/network.hpp"
+#include "trace/trace.hpp"
+
+namespace ahb::trace {
+namespace {
+
+using ta::Edge;
+using ta::StateMut;
+using ta::StateView;
+
+/// One automaton, one clock: fires "go" at c == 2, then idles.
+ta::Network timed_net() {
+  ta::Network net;
+  const auto a = net.add_automaton("a");
+  const auto c = net.add_clock("c", 5);
+  const auto l0 = net.add_location(a, "wait", ta::LocKind::Normal,
+                                   [c](const StateView& v) {
+                                     return v.clk(c) <= 2;
+                                   });
+  const auto l1 = net.add_location(a, "done");
+  net.add_edge(a, Edge{.src = l0,
+                       .dst = l1,
+                       .guard = [c](const StateView& v) {
+                         return v.clk(c) == 2;
+                       },
+                       .label = "go"});
+  net.freeze();
+  return net;
+}
+
+std::vector<mc::TraceStep> reach_done(const ta::Network& net) {
+  mc::Explorer ex{net};
+  const auto r = ex.reach([](const StateView& v) {
+    return v.loc(ta::AutomatonId{0}) == 1;
+  });
+  EXPECT_TRUE(r.found);
+  return r.trace;
+}
+
+TEST(Trace, TimelineFoldsTicksIntoTimestamps) {
+  const auto net = timed_net();
+  const auto trace = reach_done(net);
+  const auto text = render_timeline(net, trace);
+  // The action fires at model time 2 and ticks are not listed.
+  EXPECT_NE(text.find("t=2    a.go"), std::string::npos);
+  EXPECT_EQ(text.find("tick"), std::string::npos);
+  EXPECT_NE(text.find("a@done"), std::string::npos);
+}
+
+TEST(Trace, FullRenderListsEveryStep) {
+  const auto net = timed_net();
+  const auto trace = reach_done(net);
+  const auto text = render_full(net, trace);
+  EXPECT_NE(text.find("=== initial state ==="), std::string::npos);
+  EXPECT_NE(text.find("step 3: a.go"), std::string::npos);  // 2 ticks + go
+  EXPECT_NE(text.find("c="), std::string::npos);
+}
+
+TEST(Trace, FilteredTimelineKeepsOnlyMatches) {
+  const auto net = timed_net();
+  const auto trace = reach_done(net);
+  EXPECT_NE(render_timeline_filtered(net, trace, {"go"}).find("a.go"),
+            std::string::npos);
+  EXPECT_EQ(render_timeline_filtered(net, trace, {"nothing"}).find("a.go"),
+            std::string::npos);
+  // Empty filter keeps everything.
+  EXPECT_NE(render_timeline_filtered(net, trace, {}).find("a.go"),
+            std::string::npos);
+}
+
+TEST(Trace, DotContainsStatesAndLabels) {
+  mc::Lts lts;
+  lts.state_count = 2;
+  lts.initial = 0;
+  lts.edges.push_back(mc::Lts::Edge{0, lts.label_id("hop"), 1});
+  const auto dot = to_dot(lts);
+  EXPECT_NE(dot.find("digraph lts"), std::string::npos);
+  EXPECT_NE(dot.find("s0 -> s1 [label=\"hop\"]"), std::string::npos);
+  EXPECT_NE(dot.find("init -> s0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ahb::trace

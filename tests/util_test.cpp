@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace ahb {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a{42}, b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a{1}, b{2};
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a() != b()) ++differing;
+  }
+  EXPECT_GT(differing, 28);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng{7};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng{7};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng{3};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all five values hit
+}
+
+TEST(Rng, Uniform01Bounds) {
+  Rng rng{11};
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng{5};
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceRoughlyCalibrated) {
+  Rng rng{13};
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+}
+
+TEST(Hash, EqualInputsEqualHashes) {
+  const std::vector<std::int16_t> a{1, 2, 3};
+  const std::vector<std::int16_t> b{1, 2, 3};
+  EXPECT_EQ(hash_span(std::span<const std::int16_t>{a}),
+            hash_span(std::span<const std::int16_t>{b}));
+}
+
+TEST(Hash, SmallPerturbationChangesHash) {
+  std::vector<std::int16_t> a{1, 2, 3, 4, 5};
+  const auto base = hash_span(std::span<const std::int16_t>{a});
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    auto mutated = a;
+    mutated[i] ^= 1;
+    EXPECT_NE(base, hash_span(std::span<const std::int16_t>{mutated}));
+  }
+}
+
+TEST(Hash, CombineIsOrderSensitive) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+}
+
+TEST(Strings, Strprintf) {
+  EXPECT_EQ(strprintf("x=%d y=%s", 3, "ok"), "x=3 y=ok");
+  EXPECT_EQ(strprintf("%s", ""), "");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(Strings, Pad) {
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("abcde", 3), "abcde");
+}
+
+}  // namespace
+}  // namespace ahb
