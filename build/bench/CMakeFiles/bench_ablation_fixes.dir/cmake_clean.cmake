@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fixes.dir/bench_ablation_fixes.cpp.o"
+  "CMakeFiles/bench_ablation_fixes.dir/bench_ablation_fixes.cpp.o.d"
+  "bench_ablation_fixes"
+  "bench_ablation_fixes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fixes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_expanding.dir/bench_fig13_expanding.cpp.o"
+  "CMakeFiles/bench_fig13_expanding.dir/bench_fig13_expanding.cpp.o.d"
+  "bench_fig13_expanding"
+  "bench_fig13_expanding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_expanding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

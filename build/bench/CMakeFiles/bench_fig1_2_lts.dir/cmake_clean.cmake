@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_2_lts.dir/bench_fig1_2_lts.cpp.o"
+  "CMakeFiles/bench_fig1_2_lts.dir/bench_fig1_2_lts.cpp.o.d"
+  "bench_fig1_2_lts"
+  "bench_fig1_2_lts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_2_lts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rejoin_extension.dir/bench_rejoin_extension.cpp.o"
+  "CMakeFiles/bench_rejoin_extension.dir/bench_rejoin_extension.cpp.o.d"
+  "bench_rejoin_extension"
+  "bench_rejoin_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rejoin_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_fixed.dir/bench_table3_fixed.cpp.o"
+  "CMakeFiles/bench_table3_fixed.dir/bench_table3_fixed.cpp.o.d"
+  "bench_table3_fixed"
+  "bench_table3_fixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_fixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

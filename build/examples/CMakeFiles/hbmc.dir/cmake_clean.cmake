@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbmc.dir/hbmc.cpp.o"
+  "CMakeFiles/hbmc.dir/hbmc.cpp.o.d"
+  "hbmc"
+  "hbmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

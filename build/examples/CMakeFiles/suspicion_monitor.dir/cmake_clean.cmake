@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suspicion_monitor.dir/suspicion_monitor.cpp.o"
+  "CMakeFiles/suspicion_monitor.dir/suspicion_monitor.cpp.o.d"
+  "suspicion_monitor"
+  "suspicion_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suspicion_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

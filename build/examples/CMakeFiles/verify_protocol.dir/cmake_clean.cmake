@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_protocol.dir/verify_protocol.cpp.o"
+  "CMakeFiles/verify_protocol.dir/verify_protocol.cpp.o.d"
+  "verify_protocol"
+  "verify_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hb/cluster.cpp" "src/hb/CMakeFiles/ahb_hb.dir/cluster.cpp.o" "gcc" "src/hb/CMakeFiles/ahb_hb.dir/cluster.cpp.o.d"
+  "/root/repo/src/hb/coordinator.cpp" "src/hb/CMakeFiles/ahb_hb.dir/coordinator.cpp.o" "gcc" "src/hb/CMakeFiles/ahb_hb.dir/coordinator.cpp.o.d"
+  "/root/repo/src/hb/failure_detector.cpp" "src/hb/CMakeFiles/ahb_hb.dir/failure_detector.cpp.o" "gcc" "src/hb/CMakeFiles/ahb_hb.dir/failure_detector.cpp.o.d"
+  "/root/repo/src/hb/participant.cpp" "src/hb/CMakeFiles/ahb_hb.dir/participant.cpp.o" "gcc" "src/hb/CMakeFiles/ahb_hb.dir/participant.cpp.o.d"
+  "/root/repo/src/hb/plain.cpp" "src/hb/CMakeFiles/ahb_hb.dir/plain.cpp.o" "gcc" "src/hb/CMakeFiles/ahb_hb.dir/plain.cpp.o.d"
+  "/root/repo/src/hb/types.cpp" "src/hb/CMakeFiles/ahb_hb.dir/types.cpp.o" "gcc" "src/hb/CMakeFiles/ahb_hb.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ahb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ahb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahb_hb.dir/cluster.cpp.o"
+  "CMakeFiles/ahb_hb.dir/cluster.cpp.o.d"
+  "CMakeFiles/ahb_hb.dir/coordinator.cpp.o"
+  "CMakeFiles/ahb_hb.dir/coordinator.cpp.o.d"
+  "CMakeFiles/ahb_hb.dir/failure_detector.cpp.o"
+  "CMakeFiles/ahb_hb.dir/failure_detector.cpp.o.d"
+  "CMakeFiles/ahb_hb.dir/participant.cpp.o"
+  "CMakeFiles/ahb_hb.dir/participant.cpp.o.d"
+  "CMakeFiles/ahb_hb.dir/plain.cpp.o"
+  "CMakeFiles/ahb_hb.dir/plain.cpp.o.d"
+  "CMakeFiles/ahb_hb.dir/types.cpp.o"
+  "CMakeFiles/ahb_hb.dir/types.cpp.o.d"
+  "libahb_hb.a"
+  "libahb_hb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahb_hb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mc/bitstate.cpp" "src/mc/CMakeFiles/ahb_mc.dir/bitstate.cpp.o" "gcc" "src/mc/CMakeFiles/ahb_mc.dir/bitstate.cpp.o.d"
+  "/root/repo/src/mc/explorer.cpp" "src/mc/CMakeFiles/ahb_mc.dir/explorer.cpp.o" "gcc" "src/mc/CMakeFiles/ahb_mc.dir/explorer.cpp.o.d"
+  "/root/repo/src/mc/lts.cpp" "src/mc/CMakeFiles/ahb_mc.dir/lts.cpp.o" "gcc" "src/mc/CMakeFiles/ahb_mc.dir/lts.cpp.o.d"
+  "/root/repo/src/mc/ndfs.cpp" "src/mc/CMakeFiles/ahb_mc.dir/ndfs.cpp.o" "gcc" "src/mc/CMakeFiles/ahb_mc.dir/ndfs.cpp.o.d"
+  "/root/repo/src/mc/store.cpp" "src/mc/CMakeFiles/ahb_mc.dir/store.cpp.o" "gcc" "src/mc/CMakeFiles/ahb_mc.dir/store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ta/CMakeFiles/ahb_ta.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ahb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahb_mc.dir/bitstate.cpp.o"
+  "CMakeFiles/ahb_mc.dir/bitstate.cpp.o.d"
+  "CMakeFiles/ahb_mc.dir/explorer.cpp.o"
+  "CMakeFiles/ahb_mc.dir/explorer.cpp.o.d"
+  "CMakeFiles/ahb_mc.dir/lts.cpp.o"
+  "CMakeFiles/ahb_mc.dir/lts.cpp.o.d"
+  "CMakeFiles/ahb_mc.dir/ndfs.cpp.o"
+  "CMakeFiles/ahb_mc.dir/ndfs.cpp.o.d"
+  "CMakeFiles/ahb_mc.dir/store.cpp.o"
+  "CMakeFiles/ahb_mc.dir/store.cpp.o.d"
+  "libahb_mc.a"
+  "libahb_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahb_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

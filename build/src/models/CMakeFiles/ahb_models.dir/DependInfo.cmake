@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/heartbeat_model.cpp" "src/models/CMakeFiles/ahb_models.dir/heartbeat_model.cpp.o" "gcc" "src/models/CMakeFiles/ahb_models.dir/heartbeat_model.cpp.o.d"
+  "/root/repo/src/models/options.cpp" "src/models/CMakeFiles/ahb_models.dir/options.cpp.o" "gcc" "src/models/CMakeFiles/ahb_models.dir/options.cpp.o.d"
+  "/root/repo/src/models/standalone.cpp" "src/models/CMakeFiles/ahb_models.dir/standalone.cpp.o" "gcc" "src/models/CMakeFiles/ahb_models.dir/standalone.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ta/CMakeFiles/ahb_ta.dir/DependInfo.cmake"
+  "/root/repo/build/src/mc/CMakeFiles/ahb_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ahb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahb_models.dir/heartbeat_model.cpp.o"
+  "CMakeFiles/ahb_models.dir/heartbeat_model.cpp.o.d"
+  "CMakeFiles/ahb_models.dir/options.cpp.o"
+  "CMakeFiles/ahb_models.dir/options.cpp.o.d"
+  "CMakeFiles/ahb_models.dir/standalone.cpp.o"
+  "CMakeFiles/ahb_models.dir/standalone.cpp.o.d"
+  "libahb_models.a"
+  "libahb_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahb_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahb_sim.dir/simulator.cpp.o"
+  "CMakeFiles/ahb_sim.dir/simulator.cpp.o.d"
+  "libahb_sim.a"
+  "libahb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

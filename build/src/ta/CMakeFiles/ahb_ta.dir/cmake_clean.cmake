@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahb_ta.dir/network.cpp.o"
+  "CMakeFiles/ahb_ta.dir/network.cpp.o.d"
+  "libahb_ta.a"
+  "libahb_ta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahb_ta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

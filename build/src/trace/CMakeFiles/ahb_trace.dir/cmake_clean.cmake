@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahb_trace.dir/trace.cpp.o"
+  "CMakeFiles/ahb_trace.dir/trace.cpp.o.d"
+  "libahb_trace.a"
+  "libahb_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahb_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahb_util.dir/rng.cpp.o"
+  "CMakeFiles/ahb_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ahb_util.dir/strings.cpp.o"
+  "CMakeFiles/ahb_util.dir/strings.cpp.o.d"
+  "libahb_util.a"
+  "libahb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

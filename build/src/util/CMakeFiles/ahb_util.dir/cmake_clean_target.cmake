@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libahb_util.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_failure_detector.dir/hb_failure_detector_test.cpp.o"
+  "CMakeFiles/test_failure_detector.dir/hb_failure_detector_test.cpp.o.d"
+  "test_failure_detector"
+  "test_failure_detector.pdb"
+  "test_failure_detector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_failure_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

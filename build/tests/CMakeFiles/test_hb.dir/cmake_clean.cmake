@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hb.dir/hb_cluster_test.cpp.o"
+  "CMakeFiles/test_hb.dir/hb_cluster_test.cpp.o.d"
+  "CMakeFiles/test_hb.dir/hb_coordinator_test.cpp.o"
+  "CMakeFiles/test_hb.dir/hb_coordinator_test.cpp.o.d"
+  "CMakeFiles/test_hb.dir/hb_participant_test.cpp.o"
+  "CMakeFiles/test_hb.dir/hb_participant_test.cpp.o.d"
+  "test_hb"
+  "test_hb.pdb"
+  "test_hb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hb_random_property_test.cpp" "tests/CMakeFiles/test_hb_random.dir/hb_random_property_test.cpp.o" "gcc" "tests/CMakeFiles/test_hb_random.dir/hb_random_property_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/models/CMakeFiles/ahb_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/mc/CMakeFiles/ahb_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/ta/CMakeFiles/ahb_ta.dir/DependInfo.cmake"
+  "/root/repo/build/src/hb/CMakeFiles/ahb_hb.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ahb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ahb_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ahb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

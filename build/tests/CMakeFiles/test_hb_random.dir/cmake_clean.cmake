@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hb_random.dir/hb_random_property_test.cpp.o"
+  "CMakeFiles/test_hb_random.dir/hb_random_property_test.cpp.o.d"
+  "test_hb_random"
+  "test_hb_random.pdb"
+  "test_hb_random[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hb_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

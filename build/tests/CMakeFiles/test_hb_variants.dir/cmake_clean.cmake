@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hb_variants.dir/hb_variants_test.cpp.o"
+  "CMakeFiles/test_hb_variants.dir/hb_variants_test.cpp.o.d"
+  "test_hb_variants"
+  "test_hb_variants.pdb"
+  "test_hb_variants[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hb_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

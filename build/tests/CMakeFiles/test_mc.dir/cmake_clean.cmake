@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mc.dir/mc_bitstate_test.cpp.o"
+  "CMakeFiles/test_mc.dir/mc_bitstate_test.cpp.o.d"
+  "CMakeFiles/test_mc.dir/mc_explorer_test.cpp.o"
+  "CMakeFiles/test_mc.dir/mc_explorer_test.cpp.o.d"
+  "CMakeFiles/test_mc.dir/mc_lts_test.cpp.o"
+  "CMakeFiles/test_mc.dir/mc_lts_test.cpp.o.d"
+  "CMakeFiles/test_mc.dir/mc_ndfs_test.cpp.o"
+  "CMakeFiles/test_mc.dir/mc_ndfs_test.cpp.o.d"
+  "CMakeFiles/test_mc.dir/mc_store_test.cpp.o"
+  "CMakeFiles/test_mc.dir/mc_store_test.cpp.o.d"
+  "test_mc"
+  "test_mc.pdb"
+  "test_mc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rejoin.dir/rejoin_test.cpp.o"
+  "CMakeFiles/test_rejoin.dir/rejoin_test.cpp.o.d"
+  "test_rejoin"
+  "test_rejoin.pdb"
+  "test_rejoin[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rejoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

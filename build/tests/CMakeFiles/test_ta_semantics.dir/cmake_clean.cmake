@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ta_semantics.dir/ta_semantics_test.cpp.o"
+  "CMakeFiles/test_ta_semantics.dir/ta_semantics_test.cpp.o.d"
+  "test_ta_semantics"
+  "test_ta_semantics.pdb"
+  "test_ta_semantics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ta_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

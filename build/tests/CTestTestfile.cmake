@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_ta[1]_include.cmake")
+include("/root/repo/build/tests/test_mc[1]_include.cmake")
+include("/root/repo/build/tests/test_models[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_hb[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_rejoin[1]_include.cmake")
+include("/root/repo/build/tests/test_failure_injection[1]_include.cmake")
+include("/root/repo/build/tests/test_failure_detector[1]_include.cmake")
+include("/root/repo/build/tests/test_ta_semantics[1]_include.cmake")
+include("/root/repo/build/tests/test_hb_variants[1]_include.cmake")
+include("/root/repo/build/tests/test_hb_random[1]_include.cmake")
