@@ -14,11 +14,13 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "models/heartbeat_model.hpp"
 #include "util/strings.hpp"
 
 namespace {
 
+using ahb::bench::BenchArgs;
 using ahb::models::BuildOptions;
 using ahb::models::Flavor;
 using ahb::models::Timing;
@@ -36,7 +38,8 @@ Expected paper_expectation(const Timing& t) {
 
 const char* tf(bool b) { return b ? "T" : "F"; }
 
-void run_flavor(Flavor flavor, int participants, bool compare) {
+void run_flavor(Flavor flavor, int participants, bool compare,
+                const BenchArgs& args) {
   const std::vector<int> tmins{1, 4, 5, 9, 10};
   const int tmax = 10;
 
@@ -49,6 +52,8 @@ void run_flavor(Flavor flavor, int participants, bool compare) {
   for (int tmin : tmins) std::printf(" %3d", tmin);
   std::printf("   paper\n");
 
+  ahb::mc::SearchLimits limits;
+  limits.threads = args.threads;
   std::vector<Verdicts> verdicts;
   std::uint64_t total_states = 0;
   double total_seconds = 0;
@@ -56,11 +61,26 @@ void run_flavor(Flavor flavor, int participants, bool compare) {
     BuildOptions options;
     options.timing = Timing{tmin, tmax};
     options.participants = participants;
-    verdicts.push_back(ahb::models::verify_requirements(flavor, options));
+    verdicts.push_back(
+        ahb::models::verify_requirements(flavor, options, limits));
     const auto& v = verdicts.back();
-    total_states += v.r1_stats.states + v.r2_stats.states + v.r3_stats.states;
-    total_seconds += v.r1_stats.elapsed.count() + v.r2_stats.elapsed.count() +
-                     v.r3_stats.elapsed.count();
+    const std::uint64_t states =
+        v.r1_stats.states + v.r2_stats.states + v.r3_stats.states;
+    const std::uint64_t transitions = v.r1_stats.transitions +
+                                      v.r2_stats.transitions +
+                                      v.r3_stats.transitions;
+    const double seconds = v.r1_stats.elapsed.count() +
+                           v.r2_stats.elapsed.count() +
+                           v.r3_stats.elapsed.count();
+    total_states += states;
+    total_seconds += seconds;
+    if (args.json) {
+      ahb::bench::emit_json_line(
+          ahb::strprintf("table1/%s_n%d_tmin%d",
+                         ahb::models::to_string(flavor).c_str(), participants,
+                         tmin),
+          states, transitions, seconds, args.threads);
+    }
   }
 
   bool all_match = true;
@@ -91,14 +111,15 @@ void run_flavor(Flavor flavor, int participants, bool compare) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchArgs args = ahb::bench::parse_bench_args(argc, argv);
   std::printf("== Table 1: (revised) binary and static heartbeat protocols ==\n\n");
-  run_flavor(Flavor::Binary, 1, /*compare=*/true);
-  run_flavor(Flavor::RevisedBinary, 1, /*compare=*/true);
-  run_flavor(Flavor::Static, 1, /*compare=*/true);
-  run_flavor(Flavor::Static, 2, /*compare=*/true);
+  run_flavor(Flavor::Binary, 1, /*compare=*/true, args);
+  run_flavor(Flavor::RevisedBinary, 1, /*compare=*/true, args);
+  run_flavor(Flavor::Static, 1, /*compare=*/true, args);
+  run_flavor(Flavor::Static, 2, /*compare=*/true, args);
   std::printf("-- two-phase variant (not tabulated in the paper; our adopted\n"
               "   inactivation rule: a miss at t == tmin inactivates) --\n\n");
-  run_flavor(Flavor::TwoPhase, 1, /*compare=*/false);
+  run_flavor(Flavor::TwoPhase, 1, /*compare=*/false, args);
   return 0;
 }

@@ -15,11 +15,13 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "models/heartbeat_model.hpp"
 #include "util/strings.hpp"
 
 namespace {
 
+using ahb::bench::BenchArgs;
 using ahb::models::BuildOptions;
 using ahb::models::Flavor;
 using ahb::models::Timing;
@@ -35,7 +37,7 @@ Expected paper_expectation(const Timing& t) {
 
 const char* tf(bool b) { return b ? "T" : "F"; }
 
-void run_flavor(Flavor flavor, int participants) {
+void run_flavor(Flavor flavor, int participants, const BenchArgs& args) {
   const std::vector<int> tmins{1, 4, 5, 9, 10};
   const int tmax = 10;
 
@@ -45,6 +47,8 @@ void run_flavor(Flavor flavor, int participants) {
   for (int tmin : tmins) std::printf(" %3d", tmin);
   std::printf("   paper\n");
 
+  ahb::mc::SearchLimits limits;
+  limits.threads = args.threads;
   std::vector<Verdicts> verdicts;
   std::uint64_t total_states = 0;
   double total_seconds = 0;
@@ -52,11 +56,26 @@ void run_flavor(Flavor flavor, int participants) {
     BuildOptions options;
     options.timing = Timing{tmin, tmax};
     options.participants = participants;
-    verdicts.push_back(ahb::models::verify_requirements(flavor, options));
+    verdicts.push_back(
+        ahb::models::verify_requirements(flavor, options, limits));
     const auto& v = verdicts.back();
-    total_states += v.r1_stats.states + v.r2_stats.states + v.r3_stats.states;
-    total_seconds += v.r1_stats.elapsed.count() + v.r2_stats.elapsed.count() +
-                     v.r3_stats.elapsed.count();
+    const std::uint64_t states =
+        v.r1_stats.states + v.r2_stats.states + v.r3_stats.states;
+    const std::uint64_t transitions = v.r1_stats.transitions +
+                                      v.r2_stats.transitions +
+                                      v.r3_stats.transitions;
+    const double seconds = v.r1_stats.elapsed.count() +
+                           v.r2_stats.elapsed.count() +
+                           v.r3_stats.elapsed.count();
+    total_states += states;
+    total_seconds += seconds;
+    if (args.json) {
+      ahb::bench::emit_json_line(
+          ahb::strprintf("table2/%s_n%d_tmin%d",
+                         ahb::models::to_string(flavor).c_str(), participants,
+                         tmin),
+          states, transitions, seconds, args.threads);
+    }
   }
 
   bool all_match = true;
@@ -86,9 +105,10 @@ int main(int argc, char** argv) {
   // Pass a participant count to scale the instance (default 1; the
   // Fig. 13 join-phase counterexample already manifests with a single
   // participant, and larger instances grow the state space steeply).
-  const int n = argc > 1 ? std::atoi(argv[1]) : 1;
+  const BenchArgs args = ahb::bench::parse_bench_args(argc, argv);
+  const int n = args.participants > 0 ? args.participants : 1;
   std::printf("== Table 2: expanding and dynamic heartbeat protocols ==\n\n");
-  run_flavor(Flavor::Expanding, n);
-  run_flavor(Flavor::Dynamic, n);
+  run_flavor(Flavor::Expanding, n, args);
+  run_flavor(Flavor::Dynamic, n, args);
   return 0;
 }

@@ -1,0 +1,56 @@
+// Shared command-line handling for the table/figure reproduction
+// binaries: a --threads=N knob for the parallel explorer and a --json
+// mode that emits one machine-readable line per measured configuration,
+//   {"bench": "...", "states": S, "transitions": T, "seconds": X.XXX,
+//    "threads": N}
+// so sweep scripts can diff runs without scraping the human tables.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace ahb::bench {
+
+struct BenchArgs {
+  bool json = false;     ///< emit JSON lines instead of / alongside tables
+  unsigned threads = 0;  ///< SearchLimits::threads (0 = hardware concurrency)
+  int participants = 0;  ///< first positional argument, when given
+};
+
+/// Parses --json, --threads=N and an optional positional participant
+/// count; exits with usage on anything else.
+inline BenchArgs parse_bench_args(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--json") == 0) {
+      args.json = true;
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      args.threads = static_cast<unsigned>(std::atoi(arg + 10));
+    } else if (arg[0] != '-') {
+      args.participants = std::atoi(arg);
+    } else {
+      std::fprintf(stderr, "usage: %s [--json] [--threads=N] [participants]\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+/// One JSON result line on stdout. `bench` names the configuration,
+/// e.g. "table1/static_n2_tmin5".
+inline void emit_json_line(const std::string& bench, std::uint64_t states,
+                           std::uint64_t transitions, double seconds,
+                           unsigned threads) {
+  std::printf(
+      "{\"bench\": \"%s\", \"states\": %llu, \"transitions\": %llu, "
+      "\"seconds\": %.3f, \"threads\": %u}\n",
+      bench.c_str(), static_cast<unsigned long long>(states),
+      static_cast<unsigned long long>(transitions), seconds, threads);
+}
+
+}  // namespace ahb::bench

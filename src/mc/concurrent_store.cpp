@@ -1,0 +1,137 @@
+#include "mc/concurrent_store.hpp"
+
+#include <cstring>
+
+#include "util/contracts.hpp"
+#include "util/hash.hpp"
+
+namespace ahb::mc {
+
+namespace {
+// Small per-shard start: with 64 shards even tiny models pay little, and
+// big runs grow each shard geometrically like StateStore does.
+constexpr std::size_t kInitialTableSize = 1u << 8;
+}  // namespace
+
+ConcurrentStateStore::ConcurrentStateStore(std::size_t stride)
+    : stride_(stride) {
+  AHB_EXPECTS(stride > 0);
+  for (auto& shard : shards_) {
+    shard.table.assign(kInitialTableSize, kInvalidIndex);
+  }
+}
+
+const ta::Slot* ConcurrentStateStore::slots_of(const Shard& shard,
+                                               std::uint32_t offset) const {
+  const auto [seg, within] = segment_of(offset);
+  return shard.segments[static_cast<std::size_t>(seg)].get() +
+         static_cast<std::size_t>(within) * stride_;
+}
+
+std::uint32_t ConcurrentStateStore::probe(const Shard& shard,
+                                          std::span<const ta::Slot> slots,
+                                          std::uint64_t hash,
+                                          bool& found) const {
+  const std::size_t mask = shard.table.size() - 1;
+  std::size_t i = static_cast<std::size_t>(hash) & mask;
+  while (true) {
+    const std::uint32_t entry = shard.table[i];
+    if (entry == kInvalidIndex) {
+      found = false;
+      return static_cast<std::uint32_t>(i);
+    }
+    if (shard.hashes[entry] == hash &&
+        std::memcmp(slots_of(shard, entry), slots.data(),
+                    stride_ * sizeof(ta::Slot)) == 0) {
+      found = true;
+      return static_cast<std::uint32_t>(i);
+    }
+    i = (i + 1) & mask;
+  }
+}
+
+void ConcurrentStateStore::grow_table(Shard& shard) {
+  std::vector<std::uint32_t> old = std::move(shard.table);
+  shard.table.assign(old.size() * 2, kInvalidIndex);
+  const std::size_t mask = shard.table.size() - 1;
+  for (std::uint32_t entry : old) {
+    if (entry == kInvalidIndex) continue;
+    std::size_t i = static_cast<std::size_t>(shard.hashes[entry]) & mask;
+    while (shard.table[i] != kInvalidIndex) i = (i + 1) & mask;
+    shard.table[i] = entry;
+  }
+}
+
+std::pair<std::uint32_t, bool> ConcurrentStateStore::intern(
+    std::span<const ta::Slot> slots, std::uint32_t parent) {
+  AHB_EXPECTS(slots.size() == stride_);
+  const std::uint64_t hash = hash_span(slots);
+  // Top bits pick the shard; probe() uses the low bits, so shard siblings
+  // still spread over the whole table.
+  const auto shard_id =
+      static_cast<std::uint32_t>(hash >> (64 - kShardBits));
+  Shard& shard = shards_[shard_id];
+
+  std::uint32_t offset;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    bool found = false;
+    const std::uint32_t slot = probe(shard, slots, hash, found);
+    if (found) {
+      return {(shard_id << kOffsetBits) | shard.table[slot], false};
+    }
+
+    AHB_ASSERT(shard.count < kMaxPerShard);
+    offset = shard.count;
+    const auto [seg, within] = segment_of(offset);
+    auto& segment = shard.segments[static_cast<std::size_t>(seg)];
+    if (!segment) {
+      const std::size_t cap =
+          seg == 0 ? kSeg0States : (1u << (kSeg0Bits + seg - 1));
+      segment = std::make_unique<ta::Slot[]>(cap * stride_);
+      shard.arena_slots += cap * stride_;
+    }
+    std::memcpy(segment.get() + static_cast<std::size_t>(within) * stride_,
+                slots.data(), stride_ * sizeof(ta::Slot));
+    shard.hashes.push_back(hash);
+    shard.parents.push_back(parent);
+    shard.table[slot] = offset;
+    ++shard.count;
+    if (static_cast<std::size_t>(shard.count) * 10 >=
+        shard.table.size() * 7) {
+      grow_table(shard);
+    }
+  }
+  total_.fetch_add(1, std::memory_order_relaxed);
+  return {(shard_id << kOffsetBits) | offset, true};
+}
+
+std::span<const ta::Slot> ConcurrentStateStore::raw(
+    std::uint32_t index) const {
+  const std::uint32_t shard_id = index >> kOffsetBits;
+  const std::uint32_t offset = index & kMaxPerShard;
+  return {slots_of(shards_[shard_id], offset), stride_};
+}
+
+ta::State ConcurrentStateStore::get(std::uint32_t index) const {
+  return ta::State{raw(index)};
+}
+
+std::uint32_t ConcurrentStateStore::parent_of(std::uint32_t index) const {
+  const std::uint32_t shard_id = index >> kOffsetBits;
+  const std::uint32_t offset = index & kMaxPerShard;
+  return shards_[shard_id].parents[offset];
+}
+
+std::size_t ConcurrentStateStore::memory_bytes() const {
+  std::size_t bytes = 0;
+  for (const auto& shard : shards_) {
+    bytes += shard.arena_slots * sizeof(ta::Slot) +
+             shard.hashes.capacity() * sizeof(std::uint64_t) +
+             shard.parents.capacity() * sizeof(std::uint32_t) +
+             shard.table.capacity() * sizeof(std::uint32_t);
+  }
+  return bytes;
+}
+
+}  // namespace ahb::mc

@@ -1,0 +1,116 @@
+// Sharded, thread-safe interned storage for parallel state-space
+// exploration.
+//
+// The store splits the open-addressing intern table of StateStore into
+// 64 shards selected by the top bits of the state hash (the table probe
+// uses the low bits, so the two are independent). Each shard owns a
+// striped mutex, its own hash table, and a segmented slot arena whose
+// segments never move once allocated — concurrent readers may therefore
+// dereference states of *earlier BFS layers* without locking while other
+// threads intern new states into the same shard. A global 32-bit index
+// encodes [shard:6][offset:26], preserving StateStore's compact
+// index-addressed layout (and its memory_bytes() accounting) at a cost
+// of 6 bits of per-shard capacity.
+//
+// Parent links for shortest-counterexample reconstruction are recorded
+// at intern time, under the same shard lock as the insertion: the first
+// thread to intern a state wins, so every parent pointer refers to a
+// state of the previous BFS layer and trace lengths stay deterministic.
+//
+// Thread-safety contract:
+//  - intern() may be called concurrently from any number of threads.
+//  - raw()/get()/parent_of() may be called concurrently with intern()
+//    only for indices published before a synchronization point (the
+//    explorer's per-layer barrier provides it).
+//  - size() is an atomic running count, safe anywhere.
+//  - memory_bytes() must only be called while no intern() is in flight.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "ta/state.hpp"
+
+namespace ahb::mc {
+
+class ConcurrentStateStore {
+ public:
+  static constexpr std::uint32_t kInvalidIndex = 0xffffffffu;
+  static constexpr int kShardBits = 6;
+  static constexpr std::uint32_t kShardCount = 1u << kShardBits;
+  static constexpr int kOffsetBits = 32 - kShardBits;
+  /// One below 2^26 so no valid index collides with kInvalidIndex.
+  static constexpr std::uint32_t kMaxPerShard = (1u << kOffsetBits) - 1;
+
+  explicit ConcurrentStateStore(std::size_t stride);
+
+  /// Interns `slots`; returns the global index and whether this call
+  /// inserted it. For new states, `parent` is recorded as the BFS
+  /// predecessor (first inserter wins).
+  std::pair<std::uint32_t, bool> intern(std::span<const ta::Slot> slots,
+                                        std::uint32_t parent = kInvalidIndex);
+  std::pair<std::uint32_t, bool> intern(const ta::State& s,
+                                        std::uint32_t parent = kInvalidIndex) {
+    return intern(s.slots(), parent);
+  }
+
+  /// Raw slot span of an interned state. Safe concurrently with intern()
+  /// for indices published before a synchronization point.
+  std::span<const ta::Slot> raw(std::uint32_t index) const;
+
+  /// Reconstructs a State value from a global index.
+  ta::State get(std::uint32_t index) const;
+
+  /// BFS predecessor recorded when `index` was interned.
+  std::uint32_t parent_of(std::uint32_t index) const;
+
+  /// Number of interned states (atomic running count).
+  std::size_t size() const { return total_.load(std::memory_order_relaxed); }
+  std::size_t stride() const { return stride_; }
+
+  /// Approximate heap footprint in bytes (arenas + tables + hashes +
+  /// parents). Only valid while no intern() is in flight.
+  std::size_t memory_bytes() const;
+
+ private:
+  // Segmented arena: segment 0 holds kSeg0States states; segment k >= 1
+  // holds 2^(kSeg0Bits + k - 1), i.e. capacity doubles and the total
+  // allocation stays within 2x of what is used. Offsets decompose with
+  // one bit-width computation and segments never reallocate.
+  static constexpr int kSeg0Bits = 10;
+  static constexpr std::uint32_t kSeg0States = 1u << kSeg0Bits;
+  static constexpr int kMaxSegments = kOffsetBits - kSeg0Bits + 1;
+
+  struct alignas(64) Shard {
+    std::mutex mu;
+    std::array<std::unique_ptr<ta::Slot[]>, kMaxSegments> segments;
+    std::vector<std::uint64_t> hashes;   // per state, guarded by mu
+    std::vector<std::uint32_t> parents;  // per state, guarded by mu
+    std::vector<std::uint32_t> table;    // open addressing, power of two
+    std::uint32_t count = 0;
+    std::size_t arena_slots = 0;  ///< slots allocated across segments
+  };
+
+  static std::pair<int, std::uint32_t> segment_of(std::uint32_t offset) {
+    if (offset < kSeg0States) return {0, offset};
+    const int b = 31 - std::countl_zero(offset);
+    return {b - kSeg0Bits + 1, offset - (1u << b)};
+  }
+
+  const ta::Slot* slots_of(const Shard& shard, std::uint32_t offset) const;
+  std::uint32_t probe(const Shard& shard, std::span<const ta::Slot> slots,
+                      std::uint64_t hash, bool& found) const;
+  void grow_table(Shard& shard);
+
+  std::size_t stride_;
+  std::atomic<std::size_t> total_{0};
+  std::array<Shard, kShardCount> shards_;
+};
+
+}  // namespace ahb::mc

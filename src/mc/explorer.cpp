@@ -1,18 +1,41 @@
 #include "mc/explorer.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <barrier>
 #include <deque>
+#include <thread>
 
 #include "util/contracts.hpp"
 
 namespace ahb::mc {
 
+namespace {
+
+unsigned resolve_threads(unsigned requested) {
+  if (requested != 0) return std::min(requested, 256u);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1u : hw;
+}
+
+bool lex_less(std::span<const ta::Slot> a, std::span<const ta::Slot> b) {
+  return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
+}
+
+}  // namespace
+
 Explorer::Explorer(const ta::Network& net) : net_(&net) {
   AHB_EXPECTS(net.frozen());
 }
 
-SearchResult Explorer::run(const std::function<bool(const ta::State&)>& stop,
-                           const SearchLimits& limits) {
+SearchResult Explorer::run(const StopFn& stop, const SearchLimits& limits) {
+  const unsigned threads = resolve_threads(limits.threads);
+  if (threads == 1) return run_sequential(stop, limits);
+  return run_parallel(stop, limits, threads);
+}
+
+SearchResult Explorer::run_sequential(const StopFn& stop,
+                                      const SearchLimits& limits) {
   const auto start_time = std::chrono::steady_clock::now();
   Core core{StateStore{net_->slot_count()}, {}, 0, 0};
 
@@ -27,18 +50,26 @@ SearchResult Explorer::run(const std::function<bool(const ta::State&)>& stop,
     return result;
   };
 
+  ta::SuccessorScratch scratch;       // drives the enumeration
+  ta::SuccessorScratch stop_scratch;  // available to the stop predicate
+  ta::State state_buf;
+  ta::State test_buf;
+
   const ta::State init = net_->initial_state();
   auto [init_index, inserted] = core.store.intern(init);
   AHB_ASSERT(inserted);
   core.parent.push_back(StateStore::kInvalidIndex);
 
-  if (stop(init)) {
+  if (stop(init, stop_scratch)) {
     result.found = true;
     result.trace = rebuild_trace(core, init_index);
-    return finish(false);
+    // The initial state already answers the query: nothing beyond it was
+    // asked for, so the trivial search is complete, not truncated.
+    return finish(true);
   }
 
   // BFS layer by layer so `depth` is exact and depth limits are honest.
+  enum class Outcome { kRunning, kFound, kLimit };
   std::deque<std::uint32_t> frontier{init_index};
   while (!frontier.empty()) {
     if (limits.max_depth != 0 && core.depth >= limits.max_depth) {
@@ -47,32 +78,209 @@ SearchResult Explorer::run(const std::function<bool(const ta::State&)>& stop,
     ++core.depth;
     std::deque<std::uint32_t> next_frontier;
     for (const std::uint32_t index : frontier) {
-      const ta::State state = core.store.get(index);
-      for (const auto& t : net_->successors(state)) {
-        ++core.transitions;
-        auto [child, is_new] = core.store.intern(t.target);
-        if (!is_new) continue;
-        core.parent.push_back(index);
-        if (stop(t.target)) {
-          result.found = true;
-          result.trace = rebuild_trace(core, child);
-          return finish(false);
-        }
-        if (core.store.size() >= limits.max_states) {
-          return finish(false);
-        }
-        next_frontier.push_back(child);
+      state_buf.assign(core.store.raw(index));
+      Outcome outcome = Outcome::kRunning;
+      std::uint32_t found_index = 0;
+      net_->for_each_successor(
+          state_buf, scratch, [&](const ta::SuccessorView& v) {
+            ++core.transitions;
+            // Checked before interning so the store never exceeds
+            // limits.max_states, no matter the remaining fan-out.
+            if (core.store.size() >= limits.max_states) {
+              outcome = Outcome::kLimit;
+              return false;
+            }
+            auto [child, is_new] = core.store.intern(v.target);
+            if (!is_new) return true;
+            core.parent.push_back(index);
+            test_buf.assign(v.target);
+            if (stop(test_buf, stop_scratch)) {
+              outcome = Outcome::kFound;
+              found_index = child;
+              return false;
+            }
+            next_frontier.push_back(child);
+            return true;
+          });
+      if (outcome == Outcome::kFound) {
+        result.found = true;
+        result.trace = rebuild_trace(core, found_index);
+        return finish(false);
       }
+      if (outcome == Outcome::kLimit) return finish(false);
     }
     frontier = std::move(next_frontier);
   }
   return finish(true);
 }
 
+SearchResult Explorer::run_parallel(const StopFn& stop,
+                                    const SearchLimits& limits,
+                                    unsigned threads) {
+  const auto start_time = std::chrono::steady_clock::now();
+  ConcurrentStateStore store{net_->slot_count()};
+  std::uint64_t depth = 0;
+  std::uint64_t transitions = 0;
+
+  SearchResult result;
+  const auto finish = [&](bool complete) {
+    result.complete = complete;
+    result.stats.states = store.size();
+    result.stats.transitions = transitions;
+    result.stats.depth = depth;
+    result.stats.store_bytes = store.memory_bytes();
+    result.stats.elapsed = std::chrono::steady_clock::now() - start_time;
+    return result;
+  };
+
+  // Per-worker state: scratches, reusable state buffers, the next-layer
+  // indices it discovered, and its best (lexicographically smallest)
+  // target hit of the current layer.
+  struct Worker {
+    ta::SuccessorScratch scratch;
+    ta::SuccessorScratch stop_scratch;
+    ta::State state_buf;
+    ta::State test_buf;
+    std::vector<std::uint32_t> next;
+    std::uint64_t transitions = 0;
+    bool found = false;
+    std::uint32_t found_index = 0;
+    ta::State found_state;
+  };
+  std::vector<Worker> workers(threads);
+
+  const ta::State init = net_->initial_state();
+  auto [init_index, inserted] =
+      store.intern(init, ConcurrentStateStore::kInvalidIndex);
+  AHB_ASSERT(inserted);
+
+  if (stop(init, workers[0].stop_scratch)) {
+    result.found = true;
+    result.trace = rebuild_trace(store, init_index);
+    return finish(true);
+  }
+
+  // Layer-synchronous BFS. Each layer, workers claim frontier chunks via
+  // an atomic cursor, expand them through the allocation-free successor
+  // API, and intern children (with parent links) into the sharded store.
+  // A layer always runs to completion — target hits never abort it — so
+  // the set of states discovered per layer, and with it every verdict,
+  // depth and counterexample length, is independent of scheduling.
+  std::vector<std::uint32_t> frontier{init_index};
+  std::vector<std::uint32_t> next_frontier;
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<bool> limit_hit{false};
+  std::atomic<bool> done{false};
+  std::size_t chunk = 1;
+  std::barrier<> sync(static_cast<std::ptrdiff_t>(threads));
+
+  const auto expand = [&](Worker& w) {
+    while (!limit_hit.load(std::memory_order_relaxed)) {
+      const std::size_t begin =
+          cursor.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= frontier.size()) return;
+      const std::size_t end = std::min(begin + chunk, frontier.size());
+      for (std::size_t i = begin; i < end; ++i) {
+        const std::uint32_t index = frontier[i];
+        // Frontier states were published before the previous layer
+        // barrier, so the lock-free raw() read is ordered.
+        w.state_buf.assign(store.raw(index));
+        net_->for_each_successor(
+            w.state_buf, w.scratch, [&](const ta::SuccessorView& v) {
+              ++w.transitions;
+              if (store.size() >= limits.max_states) {
+                limit_hit.store(true, std::memory_order_relaxed);
+                return false;
+              }
+              auto [child, is_new] = store.intern(v.target, index);
+              if (!is_new) return true;
+              w.test_buf.assign(v.target);
+              if (stop(w.test_buf, w.stop_scratch)) {
+                // Which worker sees which target depends on scheduling;
+                // the per-layer lexicographic minimum does not.
+                if (!w.found || lex_less(v.target, w.found_state.slots())) {
+                  w.found = true;
+                  w.found_index = child;
+                  w.found_state.assign(v.target);
+                }
+                return true;  // finish the layer regardless
+              }
+              w.next.push_back(child);
+              return true;
+            });
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads - 1);
+  for (unsigned t = 1; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      while (true) {
+        sync.arrive_and_wait();  // layer start (or shutdown)
+        if (done.load(std::memory_order_relaxed)) return;
+        expand(workers[t]);
+        sync.arrive_and_wait();  // layer end
+      }
+    });
+  }
+
+  bool complete = false;
+  bool found = false;
+  std::uint32_t found_index = 0;
+  while (true) {
+    if (limit_hit.load(std::memory_order_relaxed)) break;
+    if (frontier.empty()) {
+      complete = true;
+      break;
+    }
+    if (limits.max_depth != 0 && depth >= limits.max_depth) break;
+    ++depth;
+    cursor.store(0, std::memory_order_relaxed);
+    chunk = std::clamp<std::size_t>(
+        frontier.size() / (static_cast<std::size_t>(threads) * 8), 1, 1024);
+    sync.arrive_and_wait();  // release the layer
+    expand(workers[0]);
+    sync.arrive_and_wait();  // wait for stragglers
+
+    const Worker* best = nullptr;
+    for (const auto& w : workers) {
+      if (!w.found) continue;
+      if (best == nullptr ||
+          lex_less(w.found_state.slots(), best->found_state.slots())) {
+        best = &w;
+      }
+    }
+    if (best != nullptr) {
+      found = true;
+      found_index = best->found_index;
+      break;
+    }
+    next_frontier.clear();
+    for (auto& w : workers) {
+      next_frontier.insert(next_frontier.end(), w.next.begin(), w.next.end());
+      w.next.clear();
+    }
+    frontier.swap(next_frontier);
+  }
+
+  done.store(true, std::memory_order_relaxed);
+  sync.arrive_and_wait();  // let the pool observe `done` and exit
+  for (auto& t : pool) t.join();
+  for (const auto& w : workers) transitions += w.transitions;
+
+  if (found) {
+    result.found = true;
+    result.trace = rebuild_trace(store, found_index);
+    return finish(false);
+  }
+  return finish(complete);
+}
+
 SearchResult Explorer::reach(const Pred& target, const SearchLimits& limits) {
   AHB_EXPECTS(target != nullptr);
   return run(
-      [&](const ta::State& s) {
+      [&](const ta::State& s, ta::SuccessorScratch&) {
         return target(ta::StateView{*net_, s});
       },
       limits);
@@ -80,19 +288,23 @@ SearchResult Explorer::reach(const Pred& target, const SearchLimits& limits) {
 
 SearchResult Explorer::find_deadlock(const SearchLimits& limits) {
   return run(
-      [&](const ta::State& s) { return net_->successors(s).empty(); },
+      [&](const ta::State& s, ta::SuccessorScratch& scratch) {
+        return !net_->has_successor(s, scratch);
+      },
       limits);
 }
 
 SearchStats Explorer::explore_all(const SearchLimits& limits) {
-  return run([](const ta::State&) { return false; }, limits).stats;
+  return run([](const ta::State&, ta::SuccessorScratch&) { return false; },
+             limits)
+      .stats;
 }
 
 SearchResult Explorer::check_invariant(const Pred& invariant,
                                        const SearchLimits& limits) {
   AHB_EXPECTS(invariant != nullptr);
   SearchResult r = run(
-      [&](const ta::State& s) {
+      [&](const ta::State& s, ta::SuccessorScratch&) {
         return !invariant(ta::StateView{*net_, s});
       },
       limits);
@@ -112,20 +324,41 @@ std::vector<TraceStep> Explorer::rebuild_trace(
   }
   std::reverse(path.begin(), path.end());
 
+  ta::SuccessorScratch scratch;
   std::vector<TraceStep> trace;
   trace.reserve(path.size());
   trace.push_back(TraceStep{"", core.store.get(path.front())});
   for (std::size_t i = 1; i < path.size(); ++i) {
     const ta::State parent_state = core.store.get(path[i - 1]);
-    const ta::State child_state = core.store.get(path[i]);
-    std::string action = "<unknown>";
-    for (const auto& t : net_->successors(parent_state)) {
-      if (t.target == child_state) {
-        action = net_->label_of(t);
-        break;
-      }
-    }
-    trace.push_back(TraceStep{std::move(action), child_state});
+    trace.push_back(
+        TraceStep{net_->action_between(parent_state, core.store.raw(path[i]),
+                                       scratch),
+                  core.store.get(path[i])});
+  }
+  return trace;
+}
+
+std::vector<TraceStep> Explorer::rebuild_trace(
+    const ConcurrentStateStore& store, std::uint32_t target_index) const {
+  // Same walk as the sequential variant, over the sharded store's parent
+  // links. Every parent was recorded at intern time from the previous
+  // BFS layer, so the path length always equals the target's layer.
+  std::vector<std::uint32_t> path;
+  for (std::uint32_t i = target_index;
+       i != ConcurrentStateStore::kInvalidIndex; i = store.parent_of(i)) {
+    path.push_back(i);
+  }
+  std::reverse(path.begin(), path.end());
+
+  ta::SuccessorScratch scratch;
+  std::vector<TraceStep> trace;
+  trace.reserve(path.size());
+  trace.push_back(TraceStep{"", store.get(path.front())});
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    const ta::State parent_state = store.get(path[i - 1]);
+    trace.push_back(TraceStep{
+        net_->action_between(parent_state, store.raw(path[i]), scratch),
+        store.get(path[i])});
   }
   return trace;
 }

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "mc/concurrent_store.hpp"
 #include "mc/store.hpp"
 #include "ta/network.hpp"
 
@@ -27,6 +28,13 @@ using Pred = std::function<bool(const ta::StateView&)>;
 struct SearchLimits {
   std::uint64_t max_states = 200'000'000;
   std::uint64_t max_depth = 0;  ///< 0 means unlimited (BFS layers)
+  /// Worker threads for the BFS: 0 = hardware concurrency, 1 = the
+  /// sequential path (bit-for-bit the classic explorer), N = N workers
+  /// over a sharded ConcurrentStateStore. Verdicts, depths and
+  /// counterexample lengths are identical for every thread count; see
+  /// DESIGN.md "Parallel exploration" for what is (and is not)
+  /// deterministic about the statistics.
+  unsigned threads = 0;
 };
 
 struct SearchStats {
@@ -81,12 +89,22 @@ class Explorer {
     std::uint64_t depth = 0;
   };
 
-  /// Shared BFS loop. `stop` decides, per discovered state, whether the
-  /// search should stop there (the target test).
-  SearchResult run(const std::function<bool(const ta::State&)>& stop,
-                   const SearchLimits& limits);
+  /// The per-discovered-state target test. The scratch argument is a
+  /// buffer distinct from the one driving the enumeration, so predicates
+  /// may themselves generate successors (the deadlock test does).
+  using StopFn =
+      std::function<bool(const ta::State&, ta::SuccessorScratch&)>;
+
+  /// Shared BFS entry: dispatches to the sequential or the parallel
+  /// layer-synchronous loop depending on `limits.threads`.
+  SearchResult run(const StopFn& stop, const SearchLimits& limits);
+  SearchResult run_sequential(const StopFn& stop, const SearchLimits& limits);
+  SearchResult run_parallel(const StopFn& stop, const SearchLimits& limits,
+                            unsigned threads);
 
   std::vector<TraceStep> rebuild_trace(const Core& core,
+                                       std::uint32_t target_index) const;
+  std::vector<TraceStep> rebuild_trace(const ConcurrentStateStore& store,
                                        std::uint32_t target_index) const;
 
   const ta::Network* net_;

@@ -30,6 +30,8 @@ Lts extract_lts(const ta::Network& net, std::size_t max_states) {
   AHB_EXPECTS(net.frozen());
   Lts lts;
   StateStore store{net.slot_count()};
+  ta::SuccessorScratch scratch;
+  ta::State state_buf;
 
   const ta::State init = net.initial_state();
   auto [init_index, inserted] = store.intern(init);
@@ -40,15 +42,15 @@ Lts extract_lts(const ta::Network& net, std::size_t max_states) {
   while (!frontier.empty()) {
     const std::uint32_t index = frontier.front();
     frontier.pop_front();
-    const ta::State state = store.get(index);
-    for (const auto& t : net.successors(state)) {
-      auto [child, is_new] = store.intern(t.target);
+    state_buf.assign(store.raw(index));
+    net.for_each_successor(state_buf, scratch, [&](const ta::SuccessorView& v) {
+      auto [child, is_new] = store.intern(v.target);
       AHB_ASSERT(store.size() <= max_states);
       lts.edges.push_back(Lts::Edge{static_cast<int>(index),
-                                    lts.label_id(net.label_of(t)),
+                                    lts.label_id(net.label_of(v)),
                                     static_cast<int>(child)});
       if (is_new) frontier.push_back(child);
-    }
+    });
   }
   lts.state_count = static_cast<int>(store.size());
   return lts;

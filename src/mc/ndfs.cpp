@@ -16,15 +16,6 @@ struct Frame {
   std::size_t next = 0;
 };
 
-/// Finds the label of some transition from `from` to `to`.
-std::string action_between(const ta::Network& net, const ta::State& from,
-                           const ta::State& to) {
-  for (const auto& t : net.successors(from)) {
-    if (t.target == to) return net.label_of(t);
-  }
-  return "<unknown>";
-}
-
 }  // namespace
 
 LivenessResult find_accepting_cycle(const ta::Network& net,
@@ -38,6 +29,8 @@ LivenessResult find_accepting_cycle(const ta::Network& net,
   std::vector<std::uint8_t> color;
   std::vector<bool> red;
   std::uint64_t transitions = 0;
+  ta::SuccessorScratch scratch;
+  ta::State state_buf;
 
   const auto is_accepting = [&](std::uint32_t index) {
     const ta::State s = store.get(index);
@@ -46,16 +39,16 @@ LivenessResult find_accepting_cycle(const ta::Network& net,
 
   const auto expand = [&](std::uint32_t index) {
     std::vector<std::uint32_t> children;
-    const ta::State s = store.get(index);
-    for (const auto& t : net.successors(s)) {
+    state_buf.assign(store.raw(index));
+    net.for_each_successor(state_buf, scratch, [&](const ta::SuccessorView& v) {
       ++transitions;
-      auto [child, _] = store.intern(t.target);
+      auto [child, _] = store.intern(v.target);
       if (color.size() < store.size()) {
         color.resize(store.size(), kWhite);
         red.resize(store.size(), false);
       }
       children.push_back(child);
-    }
+    });
     return children;
   };
 
@@ -93,7 +86,9 @@ LivenessResult find_accepting_cycle(const ta::Network& net,
     for (std::size_t i = 0; i < path.size(); ++i) {
       const ta::State s = store.get(path[i]);
       std::string action;
-      if (i > 0) action = action_between(net, store.get(path[i - 1]), s);
+      if (i > 0) {
+        action = net.action_between(store.get(path[i - 1]), s.slots(), scratch);
+      }
       result.lasso.push_back(TraceStep{std::move(action), s});
     }
   };

@@ -50,14 +50,19 @@ void StateStore::grow_table() {
 }
 
 std::pair<std::uint32_t, bool> StateStore::intern(const ta::State& s) {
-  AHB_EXPECTS(s.size() == stride_);
-  const std::uint64_t hash = s.hash();
+  return intern(s.slots());
+}
+
+std::pair<std::uint32_t, bool> StateStore::intern(
+    std::span<const ta::Slot> slots) {
+  AHB_EXPECTS(slots.size() == stride_);
+  const std::uint64_t hash = hash_span(slots);
   bool found = false;
-  std::uint32_t slot = probe(s.slots(), hash, found);
+  std::uint32_t slot = probe(slots, hash, found);
   if (found) return {table_[slot], false};
 
   const auto index = static_cast<std::uint32_t>(count_);
-  arena_.insert(arena_.end(), s.slots().begin(), s.slots().end());
+  arena_.insert(arena_.end(), slots.begin(), slots.end());
   hashes_.push_back(hash);
   table_[slot] = index;
   ++count_;

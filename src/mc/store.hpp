@@ -24,6 +24,10 @@ class StateStore {
   /// Interns `s`; returns its index and whether it was newly inserted.
   std::pair<std::uint32_t, bool> intern(const ta::State& s);
 
+  /// Allocation-free variant: interns a raw slot span (e.g. a
+  /// SuccessorView target) without constructing a State.
+  std::pair<std::uint32_t, bool> intern(std::span<const ta::Slot> slots);
+
   /// Index of `s` if present, kInvalidIndex otherwise.
   std::uint32_t find(const ta::State& s) const;
 

@@ -111,18 +111,26 @@ bool Network::edge_guard_holds(const StateView& v, int automaton,
   return !e.guard || e.guard(v);
 }
 
-std::optional<State> Network::apply_discrete(
-    const State& s, std::span<const Transition::Part> parts) const {
-  State next = s;
-  StateMut mut{*this, next};
+bool Network::apply_discrete_into(const State& s,
+                                  std::span<const Transition::Part> parts,
+                                  State& out) const {
+  out.assign(s.slots());
+  StateMut mut{*this, out};
   for (const auto& part : parts) {
     const auto& automaton = automata_[static_cast<std::size_t>(part.automaton)];
     const auto& edge = automaton.edges[static_cast<std::size_t>(part.edge)];
     if (edge.effect) edge.effect(mut);
-    next[loc_slot(part.automaton)] = static_cast<Slot>(edge.dst);
+    out[loc_slot(part.automaton)] = static_cast<Slot>(edge.dst);
   }
-  if (!invariants_hold(next)) return std::nullopt;
-  return next;
+  return invariants_hold(out);
+}
+
+bool Network::committed_location_active(const State& s) const {
+  for (std::size_t i = 0; i < automata_.size(); ++i) {
+    const auto loc = static_cast<std::size_t>(s[loc_slot(static_cast<int>(i))]);
+    if (automata_[i].locations[loc].kind == LocKind::Committed) return true;
+  }
+  return false;
 }
 
 bool Network::tick_enabled(const State& s) const {
@@ -139,8 +147,29 @@ bool Network::tick_enabled(const State& s) const {
   return invariants_hold(next);
 }
 
-void Network::collect_discrete(const State& s, bool committed_active,
-                               std::vector<Transition>& out) const {
+namespace {
+
+/// Appends the scratch candidate state + parts as one discrete record.
+void commit_record(SuccessorScratch& scratch, Transition::Kind kind,
+                   std::span<const Transition::Part> parts, int priority) {
+  SuccessorScratch::Record rec;
+  rec.kind = kind;
+  rec.parts_begin = static_cast<std::uint32_t>(scratch.parts.size());
+  rec.parts_count = static_cast<std::uint32_t>(parts.size());
+  rec.target_begin = static_cast<std::uint32_t>(scratch.targets.size());
+  rec.priority = priority;
+  scratch.parts.insert(scratch.parts.end(), parts.begin(), parts.end());
+  scratch.targets.insert(scratch.targets.end(),
+                         scratch.candidate.slots().begin(),
+                         scratch.candidate.slots().end());
+  scratch.records.push_back(rec);
+}
+
+}  // namespace
+
+bool Network::collect_discrete_into(const State& s, bool committed_active,
+                                    SuccessorScratch& scratch,
+                                    bool first_only) const {
   StateView view{*this, s};
   const auto committed_src = [&](int automaton, const Edge& e) {
     const auto& a = automata_[static_cast<std::size_t>(automaton)];
@@ -157,12 +186,10 @@ void Network::collect_discrete(const State& s, bool committed_active,
       if (committed_active && !committed_src(ai, e)) continue;
       if (!edge_guard_holds(view, ai, e)) continue;
       const Transition::Part part{ai, ei};
-      if (auto next = apply_discrete(s, std::span{&part, 1})) {
-        Transition t;
-        t.target = std::move(*next);
-        t.kind = Transition::Kind::Internal;
-        t.sender = part;
-        out.push_back(std::move(t));
+      if (apply_discrete_into(s, std::span{&part, 1}, scratch.candidate)) {
+        commit_record(scratch, Transition::Kind::Internal, std::span{&part, 1},
+                      e.priority);
+        if (first_only) return true;
       }
     }
   }
@@ -189,114 +216,181 @@ void Network::collect_discrete(const State& s, bool committed_active,
               continue;
             }
             const Transition::Part parts[] = {{ai, ei}, {bi, fi}};
-            if (auto next = apply_discrete(s, parts)) {
-              Transition t;
-              t.target = std::move(*next);
-              t.kind = Transition::Kind::Sync;
-              t.sender = parts[0];
-              t.receivers = {parts[1]};
-              out.push_back(std::move(t));
+            if (apply_discrete_into(s, parts, scratch.candidate)) {
+              commit_record(scratch, Transition::Kind::Sync, parts,
+                            send.priority);
+              if (first_only) return true;
             }
           }
         }
       } else {
         // Broadcast: every automaton with at least one enabled receive
         // edge participates; automata with several enabled receive edges
-        // contribute one alternative each (cartesian product).
-        std::vector<std::vector<Transition::Part>> options;
+        // contribute one alternative each (cartesian product). The
+        // option groups live flattened in scratch.bcast_enabled, with
+        // scratch.bcast_offsets marking group boundaries.
+        scratch.bcast_enabled.clear();
+        scratch.bcast_offsets.assign(1, 0);
         for (int bi = 0; bi < static_cast<int>(automata_.size()); ++bi) {
           if (bi == ai) continue;
           const auto& b = automata_[static_cast<std::size_t>(bi)];
-          std::vector<Transition::Part> enabled;
+          bool any = false;
           for (int fi = 0; fi < static_cast<int>(b.edges.size()); ++fi) {
             const auto& recv = b.edges[static_cast<std::size_t>(fi)];
             if (recv.dir != SyncDir::Recv || recv.chan != send.chan) continue;
-            if (edge_guard_holds(view, bi, recv)) enabled.push_back({bi, fi});
+            if (edge_guard_holds(view, bi, recv)) {
+              scratch.bcast_enabled.push_back({bi, fi});
+              any = true;
+            }
           }
-          if (!enabled.empty()) options.push_back(std::move(enabled));
+          if (any) {
+            scratch.bcast_offsets.push_back(
+                static_cast<std::uint32_t>(scratch.bcast_enabled.size()));
+          }
         }
 
-        std::vector<std::size_t> pick(options.size(), 0);
+        const std::size_t groups = scratch.bcast_offsets.size() - 1;
+        scratch.bcast_pick.assign(groups, 0);
         while (true) {
-          std::vector<Transition::Part> parts;
-          parts.reserve(options.size() + 1);
-          parts.push_back({ai, ei});
-          for (std::size_t i = 0; i < options.size(); ++i) {
-            parts.push_back(options[i][pick[i]]);
+          scratch.bcast_parts.clear();
+          scratch.bcast_parts.push_back({ai, ei});
+          for (std::size_t i = 0; i < groups; ++i) {
+            scratch.bcast_parts.push_back(
+                scratch.bcast_enabled[scratch.bcast_offsets[i] +
+                                      scratch.bcast_pick[i]]);
           }
+          const auto& bparts = scratch.bcast_parts;
           const bool committed_ok =
               !committed_active ||
-              std::any_of(parts.begin(), parts.end(), [&](const auto& p) {
+              std::any_of(bparts.begin(), bparts.end(), [&](const auto& p) {
                 const auto& e = automata_[static_cast<std::size_t>(p.automaton)]
                                     .edges[static_cast<std::size_t>(p.edge)];
                 return committed_src(p.automaton, e);
               });
-          if (committed_ok) {
-            if (auto next = apply_discrete(s, parts)) {
-              Transition t;
-              t.target = std::move(*next);
-              t.kind = Transition::Kind::Broadcast;
-              t.sender = parts[0];
-              t.receivers.assign(parts.begin() + 1, parts.end());
-              out.push_back(std::move(t));
-            }
+          if (committed_ok &&
+              apply_discrete_into(s, bparts, scratch.candidate)) {
+            commit_record(scratch, Transition::Kind::Broadcast, bparts,
+                          send.priority);
+            if (first_only) return true;
           }
           // Advance the mixed-radix counter over receive alternatives.
           std::size_t i = 0;
-          for (; i < options.size(); ++i) {
-            if (++pick[i] < options[i].size()) break;
-            pick[i] = 0;
+          for (; i < groups; ++i) {
+            const std::size_t width =
+                scratch.bcast_offsets[i + 1] - scratch.bcast_offsets[i];
+            if (++scratch.bcast_pick[i] < width) break;
+            scratch.bcast_pick[i] = 0;
           }
-          if (i == options.size()) break;
+          if (i == groups) break;
         }
       }
     }
   }
+  return !scratch.records.empty();
 }
 
-std::vector<Transition> Network::successors(const State& s) const {
+void Network::for_each_successor_impl(const State& s,
+                                      SuccessorScratch& scratch,
+                                      bool (*f)(void*, const SuccessorView&),
+                                      void* ctx) const {
   AHB_EXPECTS(frozen_);
-  bool committed_active = false;
-  for (std::size_t i = 0; i < automata_.size(); ++i) {
-    const auto loc = static_cast<std::size_t>(s[loc_slot(static_cast<int>(i))]);
-    if (automata_[i].locations[loc].kind == LocKind::Committed) {
-      committed_active = true;
-      break;
-    }
-  }
+  AHB_EXPECTS(s.size() == slot_count_);
+  scratch.targets.clear();
+  scratch.parts.clear();
+  scratch.records.clear();
 
-  std::vector<Transition> out;
-  collect_discrete(s, committed_active, out);
+  collect_discrete_into(s, committed_location_active(s), scratch,
+                        /*first_only=*/false);
 
   // Priority filtering: only maximal-priority discrete transitions may
   // fire. Delay is never affected by priorities.
   int max_priority = 0;
   bool have_nonzero = false;
-  for (const auto& t : out) {
-    const auto& e = automata_[static_cast<std::size_t>(t.sender.automaton)]
-                        .edges[static_cast<std::size_t>(t.sender.edge)];
-    if (e.priority != 0) have_nonzero = true;
-    max_priority = std::max(max_priority, e.priority);
-  }
-  if (have_nonzero) {
-    std::erase_if(out, [&](const Transition& t) {
-      const auto& e = automata_[static_cast<std::size_t>(t.sender.automaton)]
-                          .edges[static_cast<std::size_t>(t.sender.edge)];
-      return e.priority < max_priority;
-    });
+  for (const auto& rec : scratch.records) {
+    if (rec.priority != 0) have_nonzero = true;
+    max_priority = std::max(max_priority, rec.priority);
   }
 
-  if (tick_enabled(s)) {
-    Transition tick;
-    tick.kind = Transition::Kind::Tick;
-    tick.target = s;
-    for (std::size_t c = 0; c < clocks_.size(); ++c) {
-      auto& slot = tick.target[clock_slot(static_cast<int>(c))];
-      if (slot < clocks_[c].cap) ++slot;
-    }
-    out.push_back(std::move(tick));
+  for (const auto& rec : scratch.records) {
+    if (have_nonzero && rec.priority < max_priority) continue;
+    SuccessorView v;
+    v.target = std::span<const Slot>{scratch.targets}.subspan(rec.target_begin,
+                                                              slot_count_);
+    v.kind = rec.kind;
+    v.sender = scratch.parts[rec.parts_begin];
+    v.receivers = std::span<const Transition::Part>{scratch.parts}.subspan(
+        rec.parts_begin + 1, rec.parts_count - 1);
+    if (!f(ctx, v)) return;
   }
+
+  // The tick reuses the candidate buffer: the discrete records above
+  // already hold copies of their targets in the arena. Urgent and
+  // committed locations freeze time.
+  for (std::size_t i = 0; i < automata_.size(); ++i) {
+    const auto loc = static_cast<std::size_t>(s[loc_slot(static_cast<int>(i))]);
+    if (automata_[i].locations[loc].kind != LocKind::Normal) return;
+  }
+  scratch.candidate.assign(s.slots());
+  for (std::size_t c = 0; c < clocks_.size(); ++c) {
+    auto& slot = scratch.candidate[clock_slot(static_cast<int>(c))];
+    if (slot < clocks_[c].cap) ++slot;
+  }
+  if (!invariants_hold(scratch.candidate)) return;
+  SuccessorView tick;
+  tick.target = scratch.candidate.slots();
+  tick.kind = Transition::Kind::Tick;
+  f(ctx, tick);
+}
+
+std::vector<Transition> Network::successors(const State& s) const {
+  AHB_EXPECTS(frozen_);
+  std::vector<Transition> out;
+  SuccessorScratch scratch;
+  for_each_successor(s, scratch, [&](const SuccessorView& v) {
+    Transition t;
+    t.target = ta::State{v.target};
+    t.kind = v.kind;
+    t.sender = v.sender;
+    t.receivers.assign(v.receivers.begin(), v.receivers.end());
+    out.push_back(std::move(t));
+  });
   return out;
+}
+
+bool Network::has_successor(const State& s) const {
+  SuccessorScratch scratch;
+  return has_successor(s, scratch);
+}
+
+bool Network::has_successor(const State& s, SuccessorScratch& scratch) const {
+  AHB_EXPECTS(frozen_);
+  AHB_EXPECTS(s.size() == slot_count_);
+  // Priority filtering never empties a non-empty discrete set and the
+  // tick is unaffected by priorities, so deadlock-freedom is exactly
+  // "some discrete candidate applies, or the tick is enabled" — which
+  // allows an early exit on the first applicable candidate.
+  scratch.targets.clear();
+  scratch.parts.clear();
+  scratch.records.clear();
+  if (collect_discrete_into(s, committed_location_active(s), scratch,
+                            /*first_only=*/true)) {
+    return true;
+  }
+  return tick_enabled(s);
+}
+
+std::string Network::action_between(const State& from,
+                                    std::span<const Slot> to,
+                                    SuccessorScratch& scratch) const {
+  std::string action = "<unknown>";
+  for_each_successor(from, scratch, [&](const SuccessorView& v) {
+    if (std::ranges::equal(v.target, to)) {
+      action = label_of(v);
+      return false;
+    }
+    return true;
+  });
+  return action;
 }
 
 const std::string& Network::automaton_name(AutomatonId a) const {
@@ -332,6 +426,18 @@ std::string Network::label_of(const Transition& t) const {
   };
   std::string out = part_label(t.sender);
   for (const auto& r : t.receivers) out += " >> " + part_label(r);
+  return out;
+}
+
+std::string Network::label_of(const SuccessorView& v) const {
+  if (v.kind == Transition::Kind::Tick) return "tick";
+  const auto part_label = [&](const Transition::Part& p) {
+    const auto& a = automata_[static_cast<std::size_t>(p.automaton)];
+    const auto& e = a.edges[static_cast<std::size_t>(p.edge)];
+    return a.name + "." + (e.label.empty() ? "<unlabeled>" : e.label);
+  };
+  std::string out = part_label(v.sender);
+  for (const auto& r : v.receivers) out += " >> " + part_label(r);
   return out;
 }
 

@@ -14,10 +14,13 @@
 // (Henzinger/Manna/Pnueli); the only strict comparisons are lower bounds.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "ta/ids.hpp"
@@ -91,12 +94,53 @@ struct Transition {
   struct Part {
     int automaton = -1;
     int edge = -1;  ///< index into that automaton's edge list
+
+    friend bool operator==(const Part&, const Part&) = default;
   };
 
   State target;
   Kind kind = Kind::Tick;
   Part sender{};                ///< the internal edge for Kind::Internal
   std::vector<Part> receivers;  ///< one for Sync, zero or more for Broadcast
+};
+
+/// Borrowed view of one successor, handed to for_each_successor
+/// callbacks. `target` (and the receiver span) point into the
+/// SuccessorScratch and are valid only for the duration of the callback;
+/// copy them (e.g. by interning) to keep them.
+struct SuccessorView {
+  std::span<const Slot> target;
+  Transition::Kind kind = Transition::Kind::Tick;
+  Transition::Part sender{};
+  std::span<const Transition::Part> receivers;
+};
+
+/// Reusable per-caller (per-worker) buffers for successor generation.
+/// One scratch must not be shared between concurrent callers, and a
+/// callback running inside for_each_successor must not re-enter the
+/// generator with the same scratch (use a second scratch instead).
+///
+/// All members are implementation details of Network::for_each_successor;
+/// callers only default-construct and reuse the object.
+struct SuccessorScratch {
+  std::vector<Slot> targets;             ///< packed candidate target states
+  std::vector<Transition::Part> parts;   ///< sender+receivers, packed
+  struct Record {
+    Transition::Kind kind;
+    std::uint32_t parts_begin = 0;  ///< into `parts`; first part = sender
+    std::uint32_t parts_count = 0;
+    std::uint32_t target_begin = 0;  ///< into `targets`
+    int priority = 0;
+  };
+  std::vector<Record> records;
+  State candidate;  ///< working buffer for effect application
+
+  // Broadcast enumeration buffers (flattened receive-option groups plus
+  // the mixed-radix counter over them).
+  std::vector<Transition::Part> bcast_enabled;
+  std::vector<std::uint32_t> bcast_offsets;
+  std::vector<std::size_t> bcast_pick;
+  std::vector<Transition::Part> bcast_parts;
 };
 
 /// A network of timed automata over shared variables, clocks and channels.
@@ -139,7 +183,50 @@ class Network {
   /// All enabled transitions from `s`: the maximal-priority discrete
   /// transitions (respecting committed-location semantics) plus the tick
   /// if delay is allowed.
+  ///
+  /// Compatibility wrapper over for_each_successor: materializes every
+  /// successor into a fresh vector. Hot paths (explorer, NDFS, LTS
+  /// extraction) use for_each_successor directly to stay allocation-free.
   std::vector<Transition> successors(const State& s) const;
+
+  /// Streams the enabled transitions of `s` (same set and order as
+  /// successors()) into `f` without allocating: candidate targets are
+  /// built in `scratch`, which is reused across calls. `f` receives a
+  /// SuccessorView valid only during the call; if `f` returns bool,
+  /// returning false stops the enumeration early.
+  template <typename F>
+  void for_each_successor(const State& s, SuccessorScratch& scratch,
+                          F&& f) const {
+    for_each_successor_impl(
+        s, scratch,
+        [](void* ctx, const SuccessorView& v) -> bool {
+          auto& fn =
+              *static_cast<std::remove_const_t<std::remove_reference_t<F>>*>(
+                  ctx);
+          if constexpr (std::is_void_v<decltype(fn(v))>) {
+            fn(v);
+            return true;
+          } else {
+            return fn(v);
+          }
+        },
+        const_cast<std::remove_const_t<std::remove_reference_t<F>>*>(
+            std::addressof(f)));
+  }
+
+  /// True iff `s` has at least one successor. Early-exits on the first
+  /// applicable discrete edge instead of materializing the full
+  /// successor vector (the emptiness test is the deadlock check, which
+  /// runs once per explored state).
+  bool has_successor(const State& s) const;
+  bool has_successor(const State& s, SuccessorScratch& scratch) const;
+
+  /// Label of some transition from `from` to the state with slots `to`,
+  /// or "<unknown>" if none connects them. Used when rebuilding
+  /// counterexample traces, where labels are re-derived instead of being
+  /// stored per state.
+  std::string action_between(const State& from, std::span<const Slot> to,
+                             SuccessorScratch& scratch) const;
 
   /// True iff the unit delay step is enabled in `s`.
   bool tick_enabled(const State& s) const;
@@ -163,6 +250,7 @@ class Network {
   /// Human-readable action label of a transition ("tick",
   /// "p0.send_beat -> ch.recv_beat", ...).
   std::string label_of(const Transition& t) const;
+  std::string label_of(const SuccessorView& v) const;
 
   /// Multi-line dump of a state (locations, variables, clocks).
   std::string describe(const State& s) const;
@@ -216,13 +304,27 @@ class Network {
   bool edge_guard_holds(const StateView& v, int automaton,
                         const Edge& e) const;
 
-  /// Applies a discrete transition: runs effects in `parts` order,
-  /// moves locations, and checks all invariants on the result.
-  std::optional<State> apply_discrete(
-      const State& s, std::span<const Transition::Part> parts) const;
+  /// Applies a discrete transition (effects in `parts` order, then
+  /// location moves) on top of `s` into the reusable buffer `out`;
+  /// returns false (leaving `out` unspecified) when an invariant rejects
+  /// the result.
+  bool apply_discrete_into(const State& s,
+                           std::span<const Transition::Part> parts,
+                           State& out) const;
 
-  void collect_discrete(const State& s, bool committed_active,
-                        std::vector<Transition>& out) const;
+  /// Non-template core of for_each_successor.
+  void for_each_successor_impl(const State& s, SuccessorScratch& scratch,
+                               bool (*f)(void*, const SuccessorView&),
+                               void* ctx) const;
+
+  /// Generates discrete candidates of `s` into scratch.records (priority
+  /// filtering happens at emission time). With `first_only` it stops at
+  /// the first applicable candidate. Returns whether any was recorded.
+  bool collect_discrete_into(const State& s, bool committed_active,
+                             SuccessorScratch& scratch,
+                             bool first_only) const;
+
+  bool committed_location_active(const State& s) const;
 
   std::vector<Automaton> automata_;
   std::vector<VarDecl> vars_;

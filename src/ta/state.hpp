@@ -18,6 +18,14 @@ class State {
  public:
   State() = default;
   explicit State(std::size_t slot_count) : slots_(slot_count, 0) {}
+  explicit State(std::span<const Slot> slots)
+      : slots_(slots.begin(), slots.end()) {}
+
+  /// Overwrites this state with `slots`. Reuses the existing buffer when
+  /// the size matches, which keeps hot loops allocation-free.
+  void assign(std::span<const Slot> slots) {
+    slots_.assign(slots.begin(), slots.end());
+  }
 
   Slot operator[](std::size_t i) const { return slots_[i]; }
   Slot& operator[](std::size_t i) { return slots_[i]; }

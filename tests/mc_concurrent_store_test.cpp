@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "mc/concurrent_store.hpp"
+
+namespace ahb::mc {
+namespace {
+
+using ta::Slot;
+
+/// Encodes an integer as a 4-slot state (little-endian base-256 digits),
+/// giving well-spread hashes without collisions below 2^32.
+std::array<Slot, 4> encode(std::uint32_t n) {
+  return {static_cast<Slot>(n & 0xff), static_cast<Slot>((n >> 8) & 0xff),
+          static_cast<Slot>((n >> 16) & 0xff),
+          static_cast<Slot>((n >> 24) & 0xff)};
+}
+
+TEST(ConcurrentStateStore, InternDeduplicates) {
+  ConcurrentStateStore store{4};
+  const auto a = encode(7);
+  auto [i1, fresh1] = store.intern(a);
+  auto [i2, fresh2] = store.intern(a);
+  EXPECT_TRUE(fresh1);
+  EXPECT_FALSE(fresh2);
+  EXPECT_EQ(i1, i2);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(ConcurrentStateStore, RoundTripsSlotsAndParents) {
+  ConcurrentStateStore store{4};
+  auto [root, _] = store.intern(encode(0));
+  EXPECT_EQ(store.parent_of(root), ConcurrentStateStore::kInvalidIndex);
+  auto [child, fresh] = store.intern(encode(1), root);
+  ASSERT_TRUE(fresh);
+  EXPECT_EQ(store.parent_of(child), root);
+  const auto raw = store.raw(child);
+  const auto want = encode(1);
+  ASSERT_EQ(raw.size(), want.size());
+  EXPECT_TRUE(std::equal(raw.begin(), raw.end(), want.begin()));
+  EXPECT_EQ(store.get(child).slots().size(), 4u);
+}
+
+TEST(ConcurrentStateStore, FirstInserterWinsParentLink) {
+  ConcurrentStateStore store{4};
+  auto [p1, f1] = store.intern(encode(100));
+  auto [p2, f2] = store.intern(encode(200));
+  ASSERT_TRUE(f1 && f2);
+  auto [c, fresh] = store.intern(encode(300), p1);
+  ASSERT_TRUE(fresh);
+  // A second intern with a different parent is a duplicate; the recorded
+  // parent must stay the first one (it is one BFS layer closer).
+  auto [c2, fresh2] = store.intern(encode(300), p2);
+  EXPECT_FALSE(fresh2);
+  EXPECT_EQ(c2, c);
+  EXPECT_EQ(store.parent_of(c), p1);
+}
+
+TEST(ConcurrentStateStore, GrowsAcrossArenaSegmentsAndTableResizes) {
+  // Enough states to force several table growths and arena segments in
+  // most shards (segment 0 holds 1024 states per shard).
+  constexpr std::uint32_t kCount = 50'000;
+  ConcurrentStateStore store{4};
+  std::vector<std::uint32_t> index(kCount);
+  for (std::uint32_t n = 0; n < kCount; ++n) {
+    auto [i, fresh] = store.intern(encode(n));
+    ASSERT_TRUE(fresh) << n;
+    index[n] = i;
+  }
+  EXPECT_EQ(store.size(), kCount);
+  EXPECT_GT(store.memory_bytes(), kCount * 4 * sizeof(Slot));
+  for (std::uint32_t n = 0; n < kCount; ++n) {
+    const auto raw = store.raw(index[n]);
+    const auto want = encode(n);
+    ASSERT_TRUE(std::equal(raw.begin(), raw.end(), want.begin())) << n;
+    auto [i, fresh] = store.intern(want);
+    EXPECT_FALSE(fresh) << n;
+    EXPECT_EQ(i, index[n]) << n;
+  }
+}
+
+TEST(ConcurrentStateStore, ConcurrentInternHammer) {
+  // 8 threads intern heavily overlapping ranges: every state is offered
+  // by four threads, so the store sees constant duplicate pressure on
+  // every shard. Afterwards the store must contain each state exactly
+  // once and agree on one index per state across all threads' records.
+  constexpr unsigned kThreads = 8;
+  constexpr std::uint32_t kStates = 40'000;
+  ConcurrentStateStore store{4};
+
+  std::vector<std::vector<std::uint32_t>> seen(
+      kThreads, std::vector<std::uint32_t>(kStates));
+  std::vector<std::uint64_t> fresh_count(kThreads, 0);
+  {
+    std::vector<std::thread> pool;
+    for (unsigned t = 0; t < kThreads; ++t) {
+      pool.emplace_back([&, t] {
+        // Each thread walks the full range from a different start so
+        // collisions happen mid-flight, not just at the end.
+        for (std::uint32_t k = 0; k < kStates; ++k) {
+          const std::uint32_t n =
+              (k + t * (kStates / kThreads)) % kStates;
+          if (t % 2 == 1 && n % 2 == 0) continue;  // odd threads skip half
+          const auto slots = encode(n);
+          auto [index, fresh] = store.intern(slots);
+          seen[t][n] = index;
+          if (fresh) ++fresh_count[t];
+        }
+      });
+    }
+    for (auto& th : pool) th.join();
+  }
+
+  EXPECT_EQ(store.size(), kStates);
+  std::uint64_t total_fresh = 0;
+  for (const auto c : fresh_count) total_fresh += c;
+  // Exactly one insertion per distinct state, no matter which thread won.
+  EXPECT_EQ(total_fresh, kStates);
+
+  for (std::uint32_t n = 0; n < kStates; ++n) {
+    auto [index, fresh] = store.intern(encode(n));
+    EXPECT_FALSE(fresh) << n;
+    for (unsigned t = 0; t < kThreads; ++t) {
+      if (t % 2 == 1 && n % 2 == 0) continue;
+      EXPECT_EQ(seen[t][n], index) << "thread " << t << " state " << n;
+    }
+    const auto raw = store.raw(index);
+    const auto want = encode(n);
+    EXPECT_TRUE(std::equal(raw.begin(), raw.end(), want.begin())) << n;
+  }
+}
+
+}  // namespace
+}  // namespace ahb::mc

@@ -61,6 +61,8 @@ TEST(Explorer, TargetInInitialState) {
   EXPECT_TRUE(r.found);
   EXPECT_EQ(r.trace.size(), 1u);
   EXPECT_TRUE(r.trace[0].action.empty());
+  // The initial state answers the query exactly; nothing was truncated.
+  EXPECT_TRUE(r.complete);
 }
 
 TEST(Explorer, MaxStatesLimitMakesSearchIncomplete) {
@@ -72,6 +74,42 @@ TEST(Explorer, MaxStatesLimitMakesSearchIncomplete) {
       [](const StateView& v) { return v.var(ta::VarId{0}) == 42; }, limits);
   EXPECT_FALSE(r.found);
   EXPECT_FALSE(r.complete);
+  // The cap is checked before interning: the store never overshoots.
+  EXPECT_LE(r.stats.states, 3u);
+}
+
+TEST(Explorer, MaxStatesNeverExceededInParallelRuns) {
+  const auto net = counter_net();
+  Explorer ex{net};
+  for (unsigned threads : {2u, 4u}) {
+    SearchLimits limits;
+    limits.max_states = 4;
+    limits.threads = threads;
+    const auto r = ex.reach(
+        [](const StateView& v) { return v.var(ta::VarId{0}) == 42; }, limits);
+    EXPECT_FALSE(r.found);
+    EXPECT_FALSE(r.complete);
+    EXPECT_LE(r.stats.states, 4u) << "threads=" << threads;
+  }
+}
+
+TEST(Explorer, ParallelReachMatchesSequential) {
+  const auto net = counter_net();
+  Explorer ex{net};
+  const auto target = [](const StateView& v) {
+    return v.var(ta::VarId{0}) == 7;
+  };
+  SearchLimits seq;
+  seq.threads = 1;
+  const auto r1 = ex.reach(target, seq);
+  for (unsigned threads : {2u, 8u}) {
+    SearchLimits limits;
+    limits.threads = threads;
+    const auto rn = ex.reach(target, limits);
+    EXPECT_EQ(rn.found, r1.found) << "threads=" << threads;
+    EXPECT_EQ(rn.trace.size(), r1.trace.size()) << "threads=" << threads;
+    EXPECT_EQ(rn.stats.depth, r1.stats.depth) << "threads=" << threads;
+  }
 }
 
 TEST(Explorer, DepthLimitStopsBfs) {
