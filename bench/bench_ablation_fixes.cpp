@@ -15,19 +15,23 @@
 //     and the boundary case still races (priority needed as well).
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "models/heartbeat_model.hpp"
+#include "util/strings.hpp"
 
 namespace {
 
 using namespace ahb;
+using bench::BenchArgs;
 using models::BuildOptions;
 using models::Flavor;
 
 const char* tf(bool b) { return b ? "T" : "F"; }
 
-void run_point(Flavor flavor, int tmin, int tmax, const char* focus) {
+void run_point(Flavor flavor, int tmin, int tmax, const char* focus,
+               const BenchArgs& args) {
   std::printf("--- %s, tmin=%d tmax=%d (focus: %s) ---\n",
-              models::to_string(flavor).c_str(), tmin, tmax, focus);
+              models::to_string(flavor), tmin, tmax, focus);
   std::printf("  %-28s %4s %4s %4s\n", "fix combination", "R1", "R2", "R3");
   struct Combo {
     const char* name;
@@ -40,26 +44,43 @@ void run_point(Flavor flavor, int tmin, int tmax, const char* focus) {
       {"corrected bounds only", false, true},
       {"both (Section 6)", true, true},
   };
+  mc::SearchLimits limits;
+  limits.threads = args.threads;
   for (const auto& combo : combos) {
     BuildOptions options;
     options.timing = {tmin, tmax};
     options.receive_priority = combo.priority;
     options.corrected_bounds = combo.bounds;
-    const auto v = models::verify_requirements(flavor, options);
+    const auto v = models::verify_requirements(flavor, options, limits);
     std::printf("  %-28s %4s %4s %4s\n", combo.name, tf(v.r1), tf(v.r2),
                 tf(v.r3));
+    if (args.json) {
+      bench::emit_json_line(
+          strprintf("ablation/%s_tmin%d_prio%d_bounds%d",
+                    models::to_string(flavor), tmin, combo.priority ? 1 : 0,
+                    combo.bounds ? 1 : 0),
+          v.r1_stats.states + v.r2_stats.states + v.r3_stats.states,
+          v.r1_stats.transitions + v.r2_stats.transitions +
+              v.r3_stats.transitions,
+          v.r1_stats.elapsed.count() + v.r2_stats.elapsed.count() +
+              v.r3_stats.elapsed.count(),
+          args.threads);
+    }
   }
   std::printf("\n");
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchArgs args = bench::parse_bench_args(argc, argv);
   std::printf("== Ablation: which Section 6 fix removes which failure ==\n\n");
-  run_point(Flavor::Binary, 1, 10, "R1, understated bound");
-  run_point(Flavor::Binary, 10, 10, "R2/R3 simultaneity races");
-  run_point(Flavor::Expanding, 5, 10, "join-phase race (2*tmin == tmax)");
-  run_point(Flavor::Expanding, 9, 10, "join-phase bound (2*tmin > tmax)");
+  run_point(Flavor::Binary, 1, 10, "R1, understated bound", args);
+  run_point(Flavor::Binary, 10, 10, "R2/R3 simultaneity races", args);
+  run_point(Flavor::Expanding, 5, 10, "join-phase race (2*tmin == tmax)",
+            args);
+  run_point(Flavor::Expanding, 9, 10, "join-phase bound (2*tmin > tmax)",
+            args);
   std::printf(
       "Reading: R1 flips only with the bound correction (it is a statement\n"
       "about p[0]'s worst-case inactivation time, which no scheduling rule\n"

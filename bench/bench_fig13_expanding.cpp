@@ -26,7 +26,7 @@ void show(models::Flavor flavor, int tmin, int tmax, bool fixed) {
   const auto result = explorer.reach(model.r2_violation_any());
 
   std::printf("--- %s%s protocol, tmin=%d tmax=%d ---\n",
-              fixed ? "fixed " : "", models::to_string(flavor).c_str(), tmin,
+              fixed ? "fixed " : "", models::to_string(flavor), tmin,
               tmax);
   if (!result.found) {
     std::printf("R2 violation reachable: no%s\n\n",

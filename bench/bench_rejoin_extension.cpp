@@ -10,24 +10,38 @@
 // after departure) removes every counterexample.
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "mc/explorer.hpp"
 #include "models/heartbeat_model.hpp"
 #include "trace/trace.hpp"
+#include "util/strings.hpp"
 
 namespace {
 
 using namespace ahb;
+using bench::BenchArgs;
 using models::BuildOptions;
 using models::Flavor;
 
-void check(BuildOptions::Rejoin mode, const char* name) {
+void check(BuildOptions::Rejoin mode, const char* name,
+           const BenchArgs& args) {
   BuildOptions options;
   options.timing = {4, 4};
   options.fixed = true;  // both Section 6 corrections applied
   options.rejoin = mode;
   const auto model = models::HeartbeatModel::build(Flavor::Dynamic, options);
   mc::Explorer explorer{model.net()};
-  const auto r2 = explorer.reach(model.r2_violation_any());
+  mc::SearchLimits limits;
+  limits.threads = args.threads;
+  const auto r2 = explorer.reach(model.r2_violation_any(), limits);
+  if (args.json) {
+    bench::emit_json_line(
+        strprintf("rejoin/%s_r2_%s",
+                  mode == BuildOptions::Rejoin::Naive ? "naive" : "graceful",
+                  r2.found ? "violated" : "holds"),
+        r2.stats.states, r2.stats.transitions, r2.stats.elapsed.count(),
+        args.threads);
+  }
   std::printf("--- corrected dynamic protocol + %s rejoin (tmin=tmax=4) ---\n",
               name);
   if (!r2.found) {
@@ -42,10 +56,12 @@ void check(BuildOptions::Rejoin mode, const char* name) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchArgs args = bench::parse_bench_args(argc, argv);
   std::printf("== Rejoin extension: the reincarnation hazard ==\n\n");
-  check(BuildOptions::Rejoin::Naive, "naive");
-  check(BuildOptions::Rejoin::Graceful, "graceful (> tmin after leaving)");
+  check(BuildOptions::Rejoin::Naive, "naive", args);
+  check(BuildOptions::Rejoin::Graceful, "graceful (> tmin after leaving)",
+        args);
   std::printf(
       "Reading: the naive witness shows the stale leave beat overtaking\n"
       "the new join registration at p[0] (join processed, then leave),\n"

@@ -26,14 +26,11 @@ using ahb::models::Flavor;
 using ahb::models::Timing;
 using ahb::models::Verdicts;
 
-struct Expected {
-  bool r1, r2, r3;
-};
-
-/// Closed-form verdicts implied by the counterexample analysis for the
-/// binary/revised/static protocols.
-Expected paper_expectation(const Timing& t) {
-  return Expected{2 * t.tmin > t.tmax, t.tmin < t.tmax, t.tmin < t.tmax};
+/// Closed-form verdicts implied by the counterexample analysis — the
+/// shared predicate from the protocol kernel (proto/timing.hpp).
+ahb::proto::ExpectedVerdicts paper_expectation(Flavor flavor,
+                                               const Timing& t) {
+  return ahb::proto::expected_verdicts(flavor, t.to_proto());
 }
 
 const char* tf(bool b) { return b ? "T" : "F"; }
@@ -43,7 +40,7 @@ void run_flavor(Flavor flavor, int participants, bool compare,
   const std::vector<int> tmins{1, 4, 5, 9, 10};
   const int tmax = 10;
 
-  std::printf("%s protocol (tmax=%d%s)\n", ahb::models::to_string(flavor).c_str(),
+  std::printf("%s protocol (tmax=%d%s)\n", ahb::models::to_string(flavor),
               tmax,
               participants > 1
                   ? ahb::strprintf(", n=%d", participants).c_str()
@@ -77,7 +74,7 @@ void run_flavor(Flavor flavor, int participants, bool compare,
     if (args.json) {
       ahb::bench::emit_json_line(
           ahb::strprintf("table1/%s_n%d_tmin%d",
-                         ahb::models::to_string(flavor).c_str(), participants,
+                         ahb::models::to_string(flavor), participants,
                          tmin),
           states, transitions, seconds, args.threads);
     }
@@ -92,7 +89,7 @@ void run_flavor(Flavor flavor, int participants, bool compare,
       const bool got = row == 0 ? v.r1 : row == 1 ? v.r2 : v.r3;
       std::printf(" %3s", tf(got));
       if (compare) {
-        const Expected e = paper_expectation(Timing{tmins[i], tmax});
+        const auto e = paper_expectation(flavor, Timing{tmins[i], tmax});
         const bool want = row == 0 ? e.r1 : row == 1 ? e.r2 : e.r3;
         paper_row += ahb::strprintf(" %3s", tf(want));
         if (got != want) all_match = false;

@@ -27,12 +27,11 @@ using ahb::models::Flavor;
 using ahb::models::Timing;
 using ahb::models::Verdicts;
 
-struct Expected {
-  bool r1, r2, r3;
-};
-
-Expected paper_expectation(const Timing& t) {
-  return Expected{2 * t.tmin > t.tmax, 2 * t.tmin < t.tmax, t.tmin < t.tmax};
+/// Closed-form verdicts for the join-phase protocols — the shared
+/// predicate from the protocol kernel (proto/timing.hpp).
+ahb::proto::ExpectedVerdicts paper_expectation(Flavor flavor,
+                                               const Timing& t) {
+  return ahb::proto::expected_verdicts(flavor, t.to_proto());
 }
 
 const char* tf(bool b) { return b ? "T" : "F"; }
@@ -42,7 +41,7 @@ void run_flavor(Flavor flavor, int participants, const BenchArgs& args) {
   const int tmax = 10;
 
   std::printf("%s protocol (tmax=%d, n=%d)\n",
-              ahb::models::to_string(flavor).c_str(), tmax, participants);
+              ahb::models::to_string(flavor), tmax, participants);
   std::printf("  %-6s", "tmin");
   for (int tmin : tmins) std::printf(" %3d", tmin);
   std::printf("   paper\n");
@@ -72,7 +71,7 @@ void run_flavor(Flavor flavor, int participants, const BenchArgs& args) {
     if (args.json) {
       ahb::bench::emit_json_line(
           ahb::strprintf("table2/%s_n%d_tmin%d",
-                         ahb::models::to_string(flavor).c_str(), participants,
+                         ahb::models::to_string(flavor), participants,
                          tmin),
           states, transitions, seconds, args.threads);
     }
@@ -86,7 +85,7 @@ void run_flavor(Flavor flavor, int participants, const BenchArgs& args) {
       const auto& v = verdicts[i];
       const bool got = row == 0 ? v.r1 : row == 1 ? v.r2 : v.r3;
       std::printf(" %3s", tf(got));
-      const Expected e = paper_expectation(Timing{tmins[i], tmax});
+      const auto e = paper_expectation(flavor, Timing{tmins[i], tmax});
       const bool want = row == 0 ? e.r1 : row == 1 ? e.r2 : e.r3;
       paper_row += ahb::strprintf(" %3s", tf(want));
       if (got != want) all_match = false;

@@ -10,27 +10,32 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "models/heartbeat_model.hpp"
+#include "util/strings.hpp"
 
 namespace {
 
+using ahb::bench::BenchArgs;
 using ahb::models::BuildOptions;
 using ahb::models::Flavor;
 using ahb::models::Timing;
 
 const char* tf(bool b) { return b ? "T" : "F"; }
 
-bool run_flavor(Flavor flavor, int participants) {
+bool run_flavor(Flavor flavor, int participants, const BenchArgs& args) {
   const std::vector<int> tmins{1, 4, 5, 9, 10};
   const int tmax = 10;
 
   std::printf("fixed %s protocol (tmax=%d, n=%d)\n",
-              ahb::models::to_string(flavor).c_str(), tmax, participants);
+              ahb::models::to_string(flavor), tmax, participants);
   std::printf("  %-6s", "tmin");
   for (int tmin : tmins) std::printf(" %3d", tmin);
   std::printf("\n");
 
   bool all_hold = true;
+  ahb::mc::SearchLimits limits;
+  limits.threads = args.threads;
   std::vector<ahb::models::Verdicts> verdicts;
   std::uint64_t total_states = 0;
   double total_seconds = 0;
@@ -39,12 +44,26 @@ bool run_flavor(Flavor flavor, int participants) {
     options.timing = Timing{tmin, tmax};
     options.participants = participants;
     options.fixed = true;
-    verdicts.push_back(ahb::models::verify_requirements(flavor, options));
+    verdicts.push_back(
+        ahb::models::verify_requirements(flavor, options, limits));
     const auto& v = verdicts.back();
     all_hold = all_hold && v.r1 && v.r2 && v.r3;
-    total_states += v.r1_stats.states + v.r2_stats.states + v.r3_stats.states;
-    total_seconds += v.r1_stats.elapsed.count() + v.r2_stats.elapsed.count() +
-                     v.r3_stats.elapsed.count();
+    const std::uint64_t states =
+        v.r1_stats.states + v.r2_stats.states + v.r3_stats.states;
+    const std::uint64_t transitions = v.r1_stats.transitions +
+                                      v.r2_stats.transitions +
+                                      v.r3_stats.transitions;
+    const double seconds = v.r1_stats.elapsed.count() +
+                           v.r2_stats.elapsed.count() +
+                           v.r3_stats.elapsed.count();
+    total_states += states;
+    total_seconds += seconds;
+    if (args.json) {
+      ahb::bench::emit_json_line(
+          ahb::strprintf("table3/%s_n%d_tmin%d",
+                         ahb::models::to_string(flavor), participants, tmin),
+          states, transitions, seconds, args.threads);
+    }
   }
   for (int row = 0; row < 3; ++row) {
     std::printf("  %-6s", row == 0 ? "R1" : row == 1 ? "R2" : "R3");
@@ -63,13 +82,14 @@ bool run_flavor(Flavor flavor, int participants) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int n = argc > 1 ? std::atoi(argv[1]) : 1;
+  const BenchArgs args = ahb::bench::parse_bench_args(argc, argv);
+  const int n = args.participants > 0 ? args.participants : 1;
   std::printf("== Section 6: corrected protocols satisfy R1-R3 ==\n\n");
   bool ok = true;
-  ok &= run_flavor(Flavor::Binary, 1);
-  ok &= run_flavor(Flavor::RevisedBinary, 1);
-  ok &= run_flavor(Flavor::Static, n);
-  ok &= run_flavor(Flavor::Expanding, n);
-  ok &= run_flavor(Flavor::Dynamic, n);
+  ok &= run_flavor(Flavor::Binary, 1, args);
+  ok &= run_flavor(Flavor::RevisedBinary, 1, args);
+  ok &= run_flavor(Flavor::Static, n, args);
+  ok &= run_flavor(Flavor::Expanding, n, args);
+  ok &= run_flavor(Flavor::Dynamic, n, args);
   return ok ? 0 : 1;
 }

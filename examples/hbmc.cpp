@@ -169,7 +169,7 @@ int main(int argc, char** argv) {
   }
 
   std::printf("model: %s protocol, tmin=%d tmax=%d, n=%d%s%s%s\n",
-              models::to_string(cli.flavor).c_str(), cli.build.timing.tmin,
+              models::to_string(cli.flavor), cli.build.timing.tmin,
               cli.build.timing.tmax, cli.build.participants,
               cli.build.use_receive_priority() ? ", receive-priority" : "",
               cli.build.use_corrected_bounds() ? ", corrected-bounds" : "",

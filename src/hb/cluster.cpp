@@ -34,8 +34,14 @@ Cluster::Cluster(const ClusterConfig& config)
                      NodeStats{});
 
   net_.attach(0, [this](int from, const Message& msg) {
-    (void)from;
     ++node_stats_[0].received;
+    // A delivery to a crashed/inactive coordinator is absorbed silently
+    // (the model aborts the channel wait instead of delivering).
+    if (coordinator_->status() == Status::Active) {
+      emit(msg.flag ? ProtocolEvent::Kind::CoordinatorReceivedBeat
+                    : ProtocolEvent::Kind::CoordinatorReceivedLeave,
+           from);
+    }
     dispatch(0, coordinator_->on_message(sim_.now(), msg));
     arm_timer(0);
   });
@@ -43,6 +49,11 @@ Cluster::Cluster(const ClusterConfig& config)
     net_.attach(i, [this, i](int from, const Message& msg) {
       (void)from;
       ++node_stats_[static_cast<std::size_t>(i)].received;
+      if (msg.flag &&
+          parts_[static_cast<std::size_t>(i) - 1]->status() ==
+              Status::Active) {
+        emit(ProtocolEvent::Kind::ParticipantReceivedBeat, i);
+      }
       dispatch(i, parts_[static_cast<std::size_t>(i) - 1]->on_message(
                       sim_.now(), msg));
       arm_timer(i);
@@ -64,13 +75,20 @@ void Cluster::start() {
 void Cluster::run_until(sim::Time horizon) { sim_.run_until(horizon); }
 
 void Cluster::crash_coordinator_at(sim::Time when) {
-  sim_.at(when, [this] { coordinator_->crash(sim_.now()); });
+  sim_.at(when, [this] {
+    const bool was_active = coordinator_->status() == Status::Active;
+    coordinator_->crash(sim_.now());
+    if (was_active) emit(ProtocolEvent::Kind::CoordinatorCrashed, 0);
+  });
 }
 
 void Cluster::crash_participant_at(int id, sim::Time when) {
   AHB_EXPECTS(id >= 1 && id <= participant_count());
-  sim_.at(when,
-          [this, id] { participant(id).crash(sim_.now()); });
+  sim_.at(when, [this, id] {
+    const bool was_active = participant(id).status() == Status::Active;
+    participant(id).crash(sim_.now());
+    if (was_active) emit(ProtocolEvent::Kind::ParticipantCrashed, id);
+  });
 }
 
 void Cluster::leave_at(int id, sim::Time when) {
@@ -82,6 +100,7 @@ void Cluster::rejoin_at(int id, sim::Time when) {
   AHB_EXPECTS(id >= 1 && id <= participant_count());
   sim_.at(when, [this, id] {
     if (participant(id).status() != Status::Left) return;
+    emit(ProtocolEvent::Kind::ParticipantRejoined, id);
     dispatch(id, participant(id).rejoin(sim_.now()));
     arm_timer(id);
   });
@@ -111,13 +130,34 @@ bool Cluster::all_inactive() const {
 }
 
 void Cluster::dispatch(int node_id, const Actions& actions) {
+  // The coordinator's beats fan out as one message per member but form
+  // one protocol event per round (the model's single broadcast edge) —
+  // including member-less rounds, where the broadcast has no receivers.
+  bool coordinator_beat = node_id == 0 && actions.round_completed;
   for (const auto& out : actions.messages) {
     ++node_stats_[static_cast<std::size_t>(node_id)].sent;
+    if (node_id == 0) {
+      coordinator_beat = coordinator_beat || out.message.flag;
+    } else if (!out.message.flag) {
+      emit(ProtocolEvent::Kind::ParticipantLeft, node_id);
+    } else if (parts_[static_cast<std::size_t>(node_id) - 1]->joined()) {
+      emit(ProtocolEvent::Kind::ParticipantReplied, node_id);
+    } else {
+      emit(ProtocolEvent::Kind::ParticipantJoinBeat, node_id);
+    }
     net_.send(node_id, out.to, out.message);
   }
-  if (actions.inactivated && inactivation_cb_) {
-    inactivation_cb_(node_id, sim_.now());
+  if (coordinator_beat) emit(ProtocolEvent::Kind::CoordinatorBeat, 0);
+  if (actions.inactivated) {
+    emit(node_id == 0 ? ProtocolEvent::Kind::CoordinatorInactivated
+                      : ProtocolEvent::Kind::ParticipantInactivated,
+         node_id);
+    if (inactivation_cb_) inactivation_cb_(node_id, sim_.now());
   }
+}
+
+void Cluster::emit(ProtocolEvent::Kind kind, int node) {
+  if (event_cb_) event_cb_(ProtocolEvent{kind, sim_.now(), node});
 }
 
 sim::Time Cluster::node_next_event(int node_id) const {

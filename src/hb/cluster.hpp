@@ -40,6 +40,30 @@ struct NodeStats {
   std::uint64_t received = 0;
 };
 
+/// One protocol-level event of a cluster execution, as observed at the
+/// simulator boundary. The stream of these events is the cluster's
+/// timed trace; the conformance layer (proto/conformance.hpp) replays
+/// it through the corresponding timed-automata model.
+struct ProtocolEvent {
+  enum class Kind {
+    CoordinatorBeat,          ///< p[0] beat its members (round or initial beat)
+    CoordinatorReceivedBeat,  ///< a reply/join beat reached p[0] (node = sender)
+    CoordinatorReceivedLeave, ///< a leave beat reached p[0] (node = sender)
+    CoordinatorInactivated,   ///< p[0] NV-inactivated
+    CoordinatorCrashed,       ///< injected p[0] crash took effect
+    ParticipantReceivedBeat,  ///< p[0]'s beat reached p[node]
+    ParticipantReplied,       ///< p[node] echoed a beat
+    ParticipantJoinBeat,      ///< p[node] sent a join-phase beat
+    ParticipantLeft,          ///< p[node] replied with a leave beat
+    ParticipantInactivated,   ///< p[node] NV-inactivated
+    ParticipantCrashed,       ///< injected p[node] crash took effect
+    ParticipantRejoined,      ///< p[node] re-entered the join phase
+  };
+  Kind kind{};
+  sim::Time at = 0;
+  int node = 0;  ///< participant id; sender id for CoordinatorReceived*
+};
+
 class Cluster {
  public:
   explicit Cluster(const ClusterConfig& config);
@@ -68,6 +92,12 @@ class Cluster {
     inactivation_cb_ = std::move(cb);
   }
 
+  /// Observer called on every protocol-level event (see ProtocolEvent).
+  /// Install before start() to capture the complete trace.
+  void on_protocol_event(std::function<void(const ProtocolEvent&)> cb) {
+    event_cb_ = std::move(cb);
+  }
+
   Coordinator& coordinator() { return *coordinator_; }
   const Coordinator& coordinator() const { return *coordinator_; }
   Participant& participant(int id);
@@ -84,6 +114,7 @@ class Cluster {
 
  private:
   void dispatch(int node_id, const Actions& actions);
+  void emit(ProtocolEvent::Kind kind, int node);
   void arm_timer(int node_id);
   Actions node_elapsed(int node_id, sim::Time now);
   sim::Time node_next_event(int node_id) const;
@@ -96,6 +127,7 @@ class Cluster {
   std::vector<sim::Simulator::EventId> timers_;  // index: node id
   std::vector<NodeStats> node_stats_;
   std::function<void(int, sim::Time)> inactivation_cb_;
+  std::function<void(const ProtocolEvent&)> event_cb_;
   bool started_ = false;
 };
 

@@ -19,19 +19,12 @@ Coordinator::Coordinator(const Config& config, std::vector<int> members)
   }
 }
 
-Time Coordinator::accelerate(Time tm) const {
-  if (config_.variant != Variant::TwoPhase) return tm / 2;
-  // Two-phase: drop straight to tmin; a second consecutive miss at tmin
-  // inactivates (returning 0 forces the < tmin decision).
-  return tm == config_.tmin ? 0 : config_.tmin;
-}
-
 Actions Coordinator::start(Time now) {
   AHB_EXPECTS(!started_);
   started_ = true;
   deadline_ = now + config_.tmax;
   Actions actions;
-  if (config_.variant == Variant::RevisedBinary) {
+  if (proto::rules_for(config_.variant).initial_beat) {
     for (auto& [id, member] : members_) {
       member.rcvd = false;
       actions.messages.push_back(Outbound{id, Message{0, true}});
@@ -45,16 +38,20 @@ Actions Coordinator::on_elapsed(Time now) {
   if (status_ != Status::Active || !started_) return actions;
   if (now < deadline_) return actions;  // stale host timer
 
-  // Close the round: compute every member's next waiting time.
+  // Close the round: step every member down the waiting-time ladder
+  // (the shared law in proto/timing.hpp — reset on a received beat,
+  // accelerate on a miss).
   Time min_t = config_.tmax;
   for (auto& [id, member] : members_) {
     if (!member.joined) continue;
-    member.tm = member.rcvd ? config_.tmax : accelerate(member.tm);
+    member.tm =
+        proto::next_wait(member.rcvd, member.tm, config_.timing(),
+                         config_.variant);
     member.rcvd = false;
     min_t = std::min(min_t, member.tm);
   }
 
-  if (min_t < config_.tmin) {
+  if (proto::wait_inactivates(min_t, config_.timing())) {
     status_ = Status::InactiveNonVoluntarily;
     inactivated_at_ = now;
     actions.inactivated = true;
@@ -63,6 +60,7 @@ Actions Coordinator::on_elapsed(Time now) {
 
   t_ = min_t;
   deadline_ = now + t_;
+  actions.round_completed = true;
   for (const auto& [id, member] : members_) {
     if (!member.joined) continue;
     actions.messages.push_back(Outbound{id, Message{0, true}});
@@ -88,7 +86,7 @@ Actions Coordinator::on_message(Time now, const Message& message) {
       member.tm = config_.tmax;
     }
     member.rcvd = true;
-  } else if (config_.variant == Variant::Dynamic) {
+  } else if (proto::variant_leaves(config_.variant)) {
     const auto it = members_.find(message.sender);
     if (it != members_.end()) {
       it->second.joined = false;

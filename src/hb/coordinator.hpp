@@ -54,8 +54,6 @@ class Coordinator {
     Time tm = 0;
   };
 
-  Time accelerate(Time tm) const;
-
   Config config_;
   Status status_ = Status::Active;
   std::map<int, Member> members_;

@@ -12,7 +12,7 @@ FailureDetector::FailureDetector(const Config& config,
   AHB_EXPECTS(suspect_after_misses >= 1);
   // The suspicion gradient comes from the halving ladder; the two-phase
   // variant jumps straight to tmin and offers no gradient.
-  AHB_EXPECTS(config.variant != Variant::TwoPhase);
+  AHB_EXPECTS(!proto::rules_for(config.variant).two_phase);
 }
 
 int FailureDetector::missed_rounds(int id) const {

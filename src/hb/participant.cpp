@@ -21,11 +21,11 @@ Actions Participant::start(Time now) {
   if (joined_) {
     deadline_ = now + config_.participant_deadline();
   } else {
-    // Join phase: beat immediately and then every tmin until the
-    // coordinator's heartbeat confirms the join.
+    // Join phase: beat every join period (tmin) until the coordinator's
+    // heartbeat confirms the join. The first join beat goes out one
+    // period after start-up, matching the verified model (Fig. 6).
     deadline_ = now + config_.join_deadline();
-    next_join_ = now + config_.tmin;
-    actions.messages.push_back(Outbound{0, Message{id_, true}});
+    next_join_ = now + proto::join_beat_period(config_.timing());
   }
   return actions;
 }
@@ -41,7 +41,7 @@ Actions Participant::on_elapsed(Time now) {
     return actions;
   }
   if (!joined_ && now >= next_join_) {
-    next_join_ = now + config_.tmin;
+    next_join_ = now + proto::join_beat_period(config_.timing());
     actions.messages.push_back(Outbound{0, Message{id_, true}});
   }
   return actions;
@@ -57,7 +57,7 @@ Actions Participant::on_message(Time now, const Message& message) {
     joined_ = true;
     next_join_ = kNever;
   }
-  if (leave_requested_ && config_.variant == Variant::Dynamic) {
+  if (leave_requested_ && proto::variant_leaves(config_.variant)) {
     status_ = Status::Left;
     left_at_ = now;
     actions.messages.push_back(Outbound{0, Message{id_, false}});
@@ -74,26 +74,24 @@ void Participant::crash(Time now) {
 }
 
 void Participant::request_leave() {
-  AHB_EXPECTS(config_.variant == Variant::Dynamic);
+  AHB_EXPECTS(proto::variant_leaves(config_.variant));
   leave_requested_ = true;
 }
 
 Actions Participant::rejoin(Time now) {
-  AHB_EXPECTS(config_.variant == Variant::Dynamic);
+  AHB_EXPECTS(proto::variant_leaves(config_.variant));
   AHB_EXPECTS(status_ == Status::Left);
   // Graceful rejoin only: the leave beat must have drained from the
   // network first (its delivery is bounded by tmin), otherwise a stale
   // leave processed after the new join de-registers the reincarnation
   // (hazard confirmed by model checking; see EXPERIMENTS.md).
-  AHB_EXPECTS(now > left_at_ + config_.tmin);
+  AHB_EXPECTS(now >= proto::earliest_rejoin(left_at_, config_.timing()));
   status_ = Status::Active;
   joined_ = false;
   leave_requested_ = false;
   deadline_ = now + config_.join_deadline();
-  next_join_ = now + config_.tmin;
-  Actions actions;
-  actions.messages.push_back(Outbound{0, Message{id_, true}});
-  return actions;
+  next_join_ = now + proto::join_beat_period(config_.timing());
+  return Actions{};
 }
 
 Time Participant::next_event_time() const {

@@ -15,8 +15,9 @@ class Participant {
   /// is a priori) and false for expanding/dynamic (joins by beating).
   Participant(const Config& config, int id, bool starts_joined);
 
-  /// Must be called once; emits the first join beat for the
-  /// expanding/dynamic variants and arms the inactivation deadline.
+  /// Must be called once; arms the inactivation deadline and, for the
+  /// expanding/dynamic variants, schedules the first join beat one join
+  /// period after start-up (matching the verified model).
   Actions start(Time now);
 
   /// Host callback when now >= next_event_time().
@@ -37,7 +38,8 @@ class Participant {
   /// status() == Status::Left and strictly more than tmin after the
   /// leave was sent (so the leave beat has drained from the network —
   /// rejoining earlier risks the stale leave cancelling the new
-  /// registration). Emits the first join beat of the new incarnation.
+  /// registration). Re-enters the join phase; the new incarnation's
+  /// first join beat follows one join period later.
   Actions rejoin(Time now);
 
   Status status() const { return status_; }

@@ -4,18 +4,6 @@
 
 namespace ahb::hb {
 
-const char* to_string(Variant v) {
-  switch (v) {
-    case Variant::Binary: return "binary";
-    case Variant::RevisedBinary: return "revised-binary";
-    case Variant::TwoPhase: return "two-phase";
-    case Variant::Static: return "static";
-    case Variant::Expanding: return "expanding";
-    case Variant::Dynamic: return "dynamic";
-  }
-  AHB_UNREACHABLE("invalid Variant");
-}
-
 const char* to_string(Status s) {
   switch (s) {
     case Status::Active: return "active";

@@ -4,57 +4,57 @@
 // state machines driven by a host (the bundled simulator, or any real
 // event loop) through on_message/on_elapsed calls; they emit messages
 // and status changes as values instead of performing I/O.
+//
+// All protocol semantics — the variant taxonomy, the acceleration law,
+// and every timeout bound — come from the shared kernel in `src/proto`,
+// which the timed-automata models consume too.
 #pragma once
 
 #include <cstdint>
 #include <limits>
 #include <vector>
 
+#include "proto/rules.hpp"
+#include "proto/timing.hpp"
+
 namespace ahb::hb {
 
-using Time = std::int64_t;
+using Time = proto::Time;
 
 /// Sentinel for "no pending event".
 inline constexpr Time kNever = std::numeric_limits<Time>::max();
 
 /// Protocol variants of Gouda & McGuire (ICDCS'98) plus the revised
-/// binary start-up of McGuire & Gouda (2004).
-enum class Variant {
-  Binary,         ///< two processes, halving acceleration
-  RevisedBinary,  ///< binary, but p[0] beats immediately at start-up
-  TwoPhase,       ///< on a miss the waiting time drops straight to tmin
-  Static,         ///< fixed set of n participants, broadcast beats
-  Expanding,      ///< participants may join during execution
-  Dynamic,        ///< participants may join and (gracefully) leave
-};
+/// binary start-up of McGuire & Gouda (2004). Shared with the
+/// timed-automata layer (`models::Flavor` is the same type).
+using Variant = proto::Variant;
 
-const char* to_string(Variant v);
-
-constexpr bool variant_joins(Variant v) {
-  return v == Variant::Expanding || v == Variant::Dynamic;
-}
+using proto::to_string;
+using proto::variant_joins;
 
 struct Config {
   Time tmin = 1;   ///< minimum waiting time; also the round-trip delay bound
   Time tmax = 10;  ///< maximum waiting time
   Variant variant = Variant::Binary;
-  /// Use the corrected inactivation bounds from the formal analysis:
-  /// participants time out after 2*tmax (joined) / 2*tmax + tmin (join
-  /// phase) instead of 3*tmax - tmin.
+  /// Use the corrected inactivation bounds from the formal analysis
+  /// (Section 6.2) instead of the published ones; see proto/timing.hpp
+  /// for both formulas.
   bool fixed_bounds = false;
 
-  constexpr bool valid() const { return 0 < tmin && tmin <= tmax; }
+  constexpr proto::Timing timing() const { return proto::Timing{tmin, tmax}; }
+
+  constexpr bool valid() const { return timing().valid(); }
 
   constexpr Time participant_deadline() const {
-    return fixed_bounds ? 2 * tmax : 3 * tmax - tmin;
+    return proto::participant_deadline(timing(), fixed_bounds);
   }
   constexpr Time join_deadline() const {
-    return fixed_bounds ? 2 * tmax + tmin : 3 * tmax - tmin;
+    return proto::join_deadline(timing(), fixed_bounds);
   }
   /// The bound within which p[0] is guaranteed to self-inactivate after
   /// its last received beat (the corrected R1 bound of the analysis).
   constexpr Time coordinator_detection_bound() const {
-    return 2 * tmin > tmax ? 2 * tmax : 3 * tmax - tmin;
+    return proto::coordinator_detection_bound(timing());
   }
 };
 
@@ -75,6 +75,10 @@ struct Outbound {
 struct Actions {
   std::vector<Outbound> messages;
   bool inactivated = false;  ///< the machine just became non-voluntarily inactive
+  /// Coordinator only: this on_elapsed call closed a heartbeat round
+  /// and the coordinator stayed active (it broadcast to the joined
+  /// members — possibly none). Observed by the conformance recorder.
+  bool round_completed = false;
 };
 
 enum class Status {

@@ -1,0 +1,131 @@
+#include "mc/guided.hpp"
+
+#include <deque>
+#include <unordered_set>
+
+#include "util/contracts.hpp"
+#include "util/hash.hpp"
+#include "util/strings.hpp"
+
+namespace ahb::mc {
+
+namespace {
+
+/// A search node: model state, elapsed ticks, observations consumed.
+struct Node {
+  ta::State state;
+  std::int64_t time = 0;
+  std::size_t next_obs = 0;
+};
+
+std::uint64_t node_key_hash(const ta::State& s, std::int64_t time,
+                            std::size_t next_obs) {
+  std::uint64_t h = s.hash();
+  h = hash_combine(h, static_cast<std::uint64_t>(time));
+  h = hash_combine(h, static_cast<std::uint64_t>(next_obs));
+  return h;
+}
+
+bool matches(const GuidedObservation& o, const std::string& label) {
+  for (const auto& needle : o.any_of) {
+    if (label.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+GuidedResult guided_replay(
+    const ta::Network& net, std::span<const GuidedObservation> obs,
+    const std::function<bool(const std::string&)>& is_observable,
+    const GuidedLimits& limits) {
+  AHB_EXPECTS(net.frozen());
+  AHB_EXPECTS(is_observable != nullptr);
+  for (std::size_t i = 1; i < obs.size(); ++i) {
+    AHB_EXPECTS(obs[i - 1].at <= obs[i].at);
+  }
+
+  GuidedResult result;
+  if (obs.empty()) {
+    result.ok = true;
+    return result;
+  }
+
+  // Depth-first search over (state, time, observation index), memoized:
+  // a node reached twice explores the identical subtree, so revisits are
+  // pruned on a hash of the triple. (Hash collisions would prune a
+  // distinct node — with 64-bit hashes over these small state vectors
+  // that is the bitstate trade-off, acceptable for a checker that only
+  // ever answers "found a witness run" positively.)
+  std::unordered_set<std::uint64_t> seen;
+  std::deque<Node> stack;
+  stack.push_back(Node{net.initial_state(), 0, 0});
+
+  ta::SuccessorScratch scratch;
+  std::int64_t best_time = 0;
+
+  while (!stack.empty()) {
+    Node node = std::move(stack.back());
+    stack.pop_back();
+
+    if (node.next_obs > result.matched) {
+      result.matched = node.next_obs;
+      best_time = node.time;
+    }
+    if (node.next_obs == obs.size()) {
+      result.ok = true;
+      return result;
+    }
+    if (!seen.insert(node_key_hash(node.state, node.time, node.next_obs))
+             .second) {
+      continue;
+    }
+    if (++result.expanded > limits.max_nodes) {
+      result.diagnostic = strprintf(
+          "search limit of %llu nodes exceeded after matching %zu/%zu "
+          "observations",
+          static_cast<unsigned long long>(limits.max_nodes), result.matched,
+          obs.size());
+      return result;
+    }
+
+    const GuidedObservation& pending = obs[node.next_obs];
+    net.for_each_successor(
+        node.state, scratch, [&](const ta::SuccessorView& v) {
+          if (v.kind == ta::Transition::Kind::Tick) {
+            // Time may advance, but never past the pending observation.
+            if (node.time + 1 <= pending.at) {
+              stack.push_back(Node{ta::State{v.target}, node.time + 1,
+                                   node.next_obs});
+            }
+            return;
+          }
+          const std::string label = net.label_of(v);
+          if (is_observable(label)) {
+            if (node.time == pending.at && matches(pending, label)) {
+              stack.push_back(Node{ta::State{v.target}, node.time,
+                                   node.next_obs + 1});
+            }
+            // An unmatched observable may not fire: the implementation
+            // did not produce it here.
+            return;
+          }
+          stack.push_back(
+              Node{ta::State{v.target}, node.time, node.next_obs});
+        });
+  }
+
+  result.diagnostic = strprintf(
+      "no model run matches observation %zu/%zu (\"%s\" at t=%lld); deepest "
+      "run reached t=%lld",
+      result.matched + 1, obs.size(),
+      result.matched < obs.size() ? obs[result.matched].describe.c_str()
+                                  : "?",
+      static_cast<long long>(result.matched < obs.size()
+                                 ? obs[result.matched].at
+                                 : 0),
+      static_cast<long long>(best_time));
+  return result;
+}
+
+}  // namespace ahb::mc

@@ -1,0 +1,61 @@
+// Guided trace replay: drive a timed-automata network along a sequence
+// of timed observations.
+//
+// A guided walk answers "is this timed event trace a trace of the
+// model?" — the membership question behind runtime conformance checking
+// (the proto/conformance layer records traces from the executable hb
+// engines and replays them here). The observations partition the
+// model's transitions: *observable* transitions must match the next
+// pending observation exactly at its timestamp, *silent* transitions
+// (internal choices such as channel loss or committed bookkeeping
+// steps) may interleave freely, and unit ticks advance time but never
+// past the next observation's timestamp.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ta/network.hpp"
+
+namespace ahb::mc {
+
+/// One timed observation. Matches a transition whose label (as produced
+/// by Network::label_of) contains any of the `any_of` substrings, taken
+/// exactly when the model's tick count equals `at`.
+struct GuidedObservation {
+  std::int64_t at = 0;
+  std::vector<std::string> any_of;
+  /// Human-readable description used in failure diagnostics.
+  std::string describe;
+};
+
+struct GuidedResult {
+  bool ok = false;
+  /// Furthest observation index any explored run reached (== size() on
+  /// success).
+  std::size_t matched = 0;
+  /// Nodes expanded by the search (diagnostics/limit accounting).
+  std::uint64_t expanded = 0;
+  /// On failure: which observation could not be matched, and why.
+  std::string diagnostic;
+};
+
+struct GuidedLimits {
+  /// Cap on distinct (state, time, observation-index) search nodes.
+  std::uint64_t max_nodes = 2'000'000;
+};
+
+/// Searches for a run of `net` whose observable transitions reproduce
+/// `obs` in order at the given tick times. `is_observable` classifies
+/// transition labels; tick transitions are handled internally and must
+/// not be classified as observable. Observations must be sorted by
+/// non-decreasing `at`.
+GuidedResult guided_replay(
+    const ta::Network& net, std::span<const GuidedObservation> obs,
+    const std::function<bool(const std::string&)>& is_observable,
+    const GuidedLimits& limits = {});
+
+}  // namespace ahb::mc

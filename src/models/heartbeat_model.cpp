@@ -21,16 +21,14 @@ namespace {
 
 using Handles = HeartbeatModel::Handles;
 
-/// New waiting time for one participant after a round: reset to tmax on a
-/// received beat, otherwise halved (the acceleration). The two-phase
-/// variant instead drops straight to tmin; the original paper leaves its
-/// inactivation condition unspecified, so we adopt "a miss at t == tmin
-/// inactivates" (returning 0 forces the < tmin branch).
+/// New waiting time for one participant after a round. Delegates to the
+/// shared acceleration law in proto/timing.hpp (reset to tmax on a
+/// received beat, accelerate on a miss; the two-phase miss at tmin
+/// yields proto::kInactivateWait, which forces the inactivation branch).
 int next_waiting_time(bool received, int current, const Timing& timing,
-                      bool two_phase) {
-  if (received) return timing.tmax;
-  if (!two_phase) return current / 2;
-  return current == timing.tmin ? 0 : timing.tmin;
+                      Flavor flavor) {
+  return static_cast<int>(
+      proto::next_wait(received, current, timing.to_proto(), flavor));
 }
 
 /// Fixed-variant receive priority (Section 6.1): "before processing
@@ -87,7 +85,7 @@ class Builder {
           net_.add_channel(strprintf("reply%d", i), ChanKind::Handshake));
       deliver_p0_true_.push_back(net_.add_channel(
           strprintf("deliver_p0_from%d", i), ChanKind::Broadcast));
-      if (flavor_ == Flavor::Dynamic) {
+      if (leaves()) {
         reply_false_.push_back(net_.add_channel(
             strprintf("reply_false%d", i), ChanKind::Handshake));
         deliver_p0_false_.push_back(net_.add_channel(
@@ -114,10 +112,12 @@ class Builder {
   }
 
  private:
-  bool has_join_phase() const {
-    return flavor_ == Flavor::Expanding || flavor_ == Flavor::Dynamic;
+  // Variant-dependent structure, all answered by the shared rule table.
+  bool has_join_phase() const { return proto::variant_joins(flavor_); }
+  bool leaves() const { return proto::variant_leaves(flavor_); }
+  bool initial_beat() const {
+    return proto::rules_for(flavor_).initial_beat;
   }
-  bool two_phase() const { return flavor_ == Flavor::TwoPhase; }
 
   void build_p0(int n) {
     auto& h = h_;
@@ -151,7 +151,7 @@ class Builder {
     h.l_timeout = net_.add_location(h.p0, "TimeOut", LocKind::Committed);
     h.l_v = net_.add_location(h.p0, "VInactivated");
     h.l_nv = net_.add_location(h.p0, "NVInactivated");
-    if (flavor_ == Flavor::RevisedBinary) {
+    if (initial_beat()) {
       h.l_init = net_.add_location(h.p0, "Init", LocKind::Urgent);
       net_.set_initial(h.p0, h.l_init);
     }
@@ -182,7 +182,7 @@ class Builder {
                                if (join) m.set(jnd, 1);
                              },
                          .label = strprintf("recv_beat_from_p%d", i + 1)});
-      if (flavor_ == Flavor::Dynamic) {
+      if (leaves()) {
         net_.add_edge(
             h.p0,
             Edge{.src = h.l_alive,
@@ -228,18 +228,19 @@ class Builder {
     }
     const bool multi = is_multi(flavor_);
     const bool join = has_join_phase();
-    const bool twop = two_phase();
-    const auto min_next = [multi, join, twop, rcvds, tms, jnds, t_var,
+    const Flavor flavor = flavor_;
+    const auto min_next = [multi, join, flavor, rcvds, tms, jnds, t_var,
                            timing](const StateView& v) {
       if (!multi) {
         return next_waiting_time(v.var(rcvds[0]) != 0, v.var(t_var), timing,
-                                 twop);
+                                 flavor);
       }
       int min_t = timing.tmax;
       for (std::size_t i = 0; i < rcvds.size(); ++i) {
         if (join && v.var(jnds[i]) == 0) continue;
-        min_t = std::min(min_t, next_waiting_time(v.var(rcvds[i]) != 0,
-                                                  v.var(tms[i]), timing, twop));
+        min_t =
+            std::min(min_t, next_waiting_time(v.var(rcvds[i]) != 0,
+                                              v.var(tms[i]), timing, flavor));
       }
       return min_t;
     };
@@ -258,9 +259,9 @@ class Builder {
       }
       e.dir = SyncDir::Send;
       e.guard = [min_next, timing](const StateView& v) {
-        return min_next(v) >= timing.tmin;
+        return !proto::wait_inactivates(min_next(v), timing.to_proto());
       };
-      e.effect = [multi, join, twop, rcvds, tms, jnds, t_var, waiting,
+      e.effect = [multi, join, flavor, rcvds, tms, jnds, t_var, waiting,
                   timing](StateMut& m) {
         int min_t = timing.tmax;
         if (multi) {
@@ -270,14 +271,14 @@ class Builder {
               continue;
             }
             const int next = next_waiting_time(m.var(rcvds[i]) != 0,
-                                               m.var(tms[i]), timing, twop);
+                                               m.var(tms[i]), timing, flavor);
             m.set(tms[i], next);
             m.set(rcvds[i], 0);
             min_t = std::min(min_t, next);
           }
         } else {
           min_t = next_waiting_time(m.var(rcvds[0]) != 0, m.var(t_var), timing,
-                                    twop);
+                                    flavor);
           m.set(rcvds[0], 0);
         }
         m.set(t_var, min_t);
@@ -291,14 +292,15 @@ class Builder {
                              .dst = h.l_nv,
                              .guard =
                                  [min_next, timing](const StateView& v) {
-                                   return min_next(v) < timing.tmin;
+                                   return proto::wait_inactivates(
+                                       min_next(v), timing.to_proto());
                                  },
                              .effect =
                                  [active0](StateMut& m) { m.set(active0, 0); },
                              .label = "nv_inactivate"});
 
     // Revised binary: an immediate first beat before the first wait.
-    if (flavor_ == Flavor::RevisedBinary) {
+    if (initial_beat()) {
       const VarId rcvd0 = h.parts[0].rcvd0;
       net_.add_edge(h.p0, Edge{.src = h.l_init,
                                .dst = h.l_alive,
@@ -327,7 +329,7 @@ class Builder {
     const ClockId wfb = p.wfb;
     const VarId active = p.active;
     const Handles* hp = &h_;
-    if (flavor_ == Flavor::Dynamic) {
+    if (leaves()) {
       p.left = net_.add_var(strprintf("left%d", i + 1), 0);
     }
 
@@ -358,27 +360,28 @@ class Builder {
     };
 
     if (has_join_phase()) {
-      p.wtj = net_.add_clock(strprintf("wtj%d", i + 1), timing_.tmin + 1);
+      const int jperiod =
+          static_cast<int>(proto::join_beat_period(timing_.to_proto()));
+      p.wtj = net_.add_clock(strprintf("wtj%d", i + 1), jperiod + 1);
       const ClockId wtj = p.wtj;
-      const int tmin = timing_.tmin;
       p.l_joining = net_.add_location(
           p.proc, "Joining", LocKind::Normal,
-          [wfb, wtj, joining_bound, tmin](const StateView& v) {
-            return v.clk(wfb) <= joining_bound && v.clk(wtj) <= tmin;
+          [wfb, wtj, joining_bound, jperiod](const StateView& v) {
+            return v.clk(wfb) <= joining_bound && v.clk(wtj) <= jperiod;
           });
       net_.set_initial(p.proc, p.l_joining);
 
-      // Join beats every tmin until joined; per Fig. 6 the *first* join
-      // beat is also sent at waitingtojoin == tmin (not at time zero),
-      // which is what allows a join request to reach p[0] right after
-      // one of its timeouts (the Fig. 13 scenario).
+      // Join beats every join period until joined; per Fig. 6 the
+      // *first* join beat is also sent one period after start-up (not
+      // at time zero), which is what allows a join request to reach
+      // p[0] right after one of its timeouts (the Fig. 13 scenario).
       net_.add_edge(p.proc, Edge{.src = p.l_joining,
                                  .dst = p.l_joining,
                                  .chan = join_send_[idx],
                                  .dir = SyncDir::Send,
                                  .guard =
-                                     [wtj, tmin](const StateView& v) {
-                                       return v.clk(wtj) == tmin;
+                                     [wtj, jperiod](const StateView& v) {
+                                       return v.clk(wtj) == jperiod;
                                      },
                                  .effect =
                                      [wtj](StateMut& m) { m.reset(wtj); },
@@ -422,7 +425,7 @@ class Builder {
                                .dir = SyncDir::Send,
                                .effect = [wfb](StateMut& m) { m.reset(wfb); },
                                .label = "send_reply"});
-    if (flavor_ == Flavor::Dynamic) {
+    if (leaves()) {
       // Alternatively, reply with a leave beat and depart gracefully.
       p.l_left = net_.add_location(p.proc, "Left");
       const VarId left = p.left;
@@ -445,11 +448,14 @@ class Builder {
         // The graceful variant first lets the in-flight leave beat
         // drain (its delivery is bounded by tmin).
         const ClockId wtj = p.wtj;
-        const int tmin = timing_.tmin;
+        // wtj measures time since the leave beat; the earliest safe
+        // rejoin offset is proto::earliest_rejoin relative to it.
+        const int drain = static_cast<int>(
+            proto::earliest_rejoin(0, timing_.to_proto()));
         ta::Guard guard;
         if (options_.rejoin == BuildOptions::Rejoin::Graceful) {
-          guard = [wtj, tmin](const StateView& v) {
-            return v.clk(wtj) > tmin;
+          guard = [wtj, drain](const StateView& v) {
+            return v.clk(wtj) >= drain;
           };
         }
         net_.add_edge(p.proc, Edge{.src = p.l_left,
@@ -501,7 +507,7 @@ class Builder {
         net_.add_location(p.ch, "AwaitingReply", LocKind::Normal, bounded);
     p.ch_t1 =
         net_.add_location(p.ch, "ReplyInTransit", LocKind::Normal, bounded);
-    if (flavor_ == Flavor::Dynamic) {
+    if (leaves()) {
       p.ch_t1f =
           net_.add_location(p.ch, "LeaveInTransit", LocKind::Normal, bounded);
     }
@@ -567,7 +573,7 @@ class Builder {
                                           loc == part.l_joining;
                                  },
                              .label = "abort_wait"});
-    if (flavor_ == Flavor::Dynamic) {
+    if (leaves()) {
       net_.add_edge(p.ch, Edge{.src = p.ch_w1,
                                .dst = p.ch_t1f,
                                .chan = reply_false_[idx],
@@ -683,7 +689,7 @@ class Builder {
                               .effect =
                                   [mdelay](StateMut& m) { m.reset(mdelay); },
                               .label = "observe_beat"});
-    if (flavor_ == Flavor::Dynamic) {
+    if (leaves()) {
       net_.add_edge(p.mon, Edge{.src = p.mon_armed,
                                 .dst = p.mon_wait,
                                 .chan = deliver_p0_false_[idx],

@@ -1,17 +1,1 @@
 #include "models/options.hpp"
-
-namespace ahb::models {
-
-std::string to_string(Flavor f) {
-  switch (f) {
-    case Flavor::Binary: return "binary";
-    case Flavor::RevisedBinary: return "revised-binary";
-    case Flavor::TwoPhase: return "two-phase";
-    case Flavor::Static: return "static";
-    case Flavor::Expanding: return "expanding";
-    case Flavor::Dynamic: return "dynamic";
-  }
-  AHB_UNREACHABLE("invalid Flavor");
-}
-
-}  // namespace ahb::models

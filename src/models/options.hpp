@@ -1,36 +1,40 @@
 // Configuration of the heartbeat protocol models.
+//
+// The variant taxonomy and every timing law come from the shared
+// protocol kernel in `src/proto` — the same kernel the executable
+// engines in `src/hb` use — so the two layers cannot silently diverge.
+// This header keeps thin int-typed wrappers because the model checker's
+// variables and clocks are ints.
 #pragma once
 
 #include <string>
 
+#include "proto/rules.hpp"
+#include "proto/timing.hpp"
 #include "util/contracts.hpp"
 
 namespace ahb::models {
 
 /// The protocol variants of Gouda & McGuire (ICDCS'98), plus the revised
-/// binary variant of McGuire & Gouda (2004).
-enum class Flavor {
-  Binary,
-  RevisedBinary,
-  TwoPhase,
-  Static,
-  Expanding,
-  Dynamic,
-};
+/// binary variant of McGuire & Gouda (2004). Shared with the hb engine
+/// layer (`hb::Variant` is the same type).
+using Flavor = proto::Variant;
 
-std::string to_string(Flavor f);
+using proto::to_string;
 
 /// True for the flavors with n participants and a broadcasting p[0].
-constexpr bool is_multi(Flavor f) {
-  return f == Flavor::Static || f == Flavor::Expanding || f == Flavor::Dynamic;
-}
+constexpr bool is_multi(Flavor f) { return proto::variant_is_multi(f); }
 
 struct Timing {
   int tmin = 1;   ///< lower bound on waiting times; also the upper bound
                   ///< on the round-trip channel delay
   int tmax = 10;  ///< upper bound on waiting times
 
-  constexpr bool valid() const { return 0 < tmin && tmin <= tmax; }
+  constexpr proto::Timing to_proto() const {
+    return proto::Timing{tmin, tmax};
+  }
+
+  constexpr bool valid() const { return to_proto().valid(); }
 };
 
 struct BuildOptions {
@@ -43,9 +47,9 @@ struct BuildOptions {
   /// timeouts (pending channel deliveries are processed before any
   /// timeout fires).
   bool receive_priority = false;
-  /// Section 6.2 fix only: corrected inactivation bounds — p[i] times
-  /// out after 2*tmax (joined) / 2*tmax + tmin (join phase), and the R1
-  /// bound on p[0] becomes 3*tmax - tmin when 2*tmin <= tmax.
+  /// Section 6.2 fix only: corrected inactivation bounds for p[i]
+  /// (joined and join phase) and the relaxed R1 bound on p[0]; the
+  /// formulas live in proto/timing.hpp.
   bool corrected_bounds = false;
   /// Build the R1 watchdog monitors (Fig. 9). They enlarge the state
   /// space, so only enable them when checking R1.
@@ -69,24 +73,21 @@ struct BuildOptions {
   }
 };
 
-/// The detection bound R1 demands of p[0]: the as-published requirement
-/// is 2*tmax; the corrected requirement (Section 6.2) is 3*tmax - tmin
-/// whenever 2*tmin <= tmax.
+/// The detection bound R1 demands of p[0] (proto::r1_bound, int-typed
+/// for the checker's clocks).
 constexpr int r1_bound(const Timing& t, bool fixed) {
-  if (!fixed) return 2 * t.tmax;
-  return 2 * t.tmin > t.tmax ? 2 * t.tmax : 3 * t.tmax - t.tmin;
+  return static_cast<int>(proto::r1_bound(t.to_proto(), fixed));
 }
 
-/// p[i]'s inactivation deadline once participating: as published
-/// 3*tmax - tmin; corrected (tightened) to 2*tmax.
+/// p[i]'s inactivation deadline once participating
+/// (proto::participant_deadline).
 constexpr int participant_bound(const Timing& t, bool fixed) {
-  return fixed ? 2 * t.tmax : 3 * t.tmax - t.tmin;
+  return static_cast<int>(proto::participant_deadline(t.to_proto(), fixed));
 }
 
-/// Deadline of the join phase (expanding/dynamic): as published
-/// 3*tmax - tmin; corrected to 2*tmax + tmin.
+/// Deadline of the join phase, expanding/dynamic (proto::join_deadline).
 constexpr int join_bound(const Timing& t, bool fixed) {
-  return fixed ? 2 * t.tmax + t.tmin : 3 * t.tmax - t.tmin;
+  return static_cast<int>(proto::join_deadline(t.to_proto(), fixed));
 }
 
 }  // namespace ahb::models

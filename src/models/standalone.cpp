@@ -28,7 +28,8 @@ ta::Network build_standalone_p0(const Timing& timing) {
 
   const Timing tm = timing;
   const auto next_t = [rcvd, t, tm](const StateView& v) {
-    return v.var(rcvd) != 0 ? tm.tmax : v.var(t) / 2;
+    return static_cast<int>(proto::next_wait(v.var(rcvd) != 0, v.var(t),
+                                             tm.to_proto(), Flavor::Binary));
   };
 
   net.add_edge(p0, Edge{.src = alive,
@@ -55,8 +56,9 @@ ta::Network build_standalone_p0(const Timing& timing) {
                             },
                         .effect =
                             [t, rcvd, waiting, tm](StateMut& m) {
-                              const int nt =
-                                  m.var(rcvd) != 0 ? tm.tmax : m.var(t) / 2;
+                              const int nt = static_cast<int>(proto::next_wait(
+                                  m.var(rcvd) != 0, m.var(t), tm.to_proto(),
+                                  Flavor::Binary));
                               m.set(t, nt);
                               m.set(rcvd, 0);
                               m.reset(waiting);
@@ -94,8 +96,8 @@ ta::Network build_standalone_p1(const Timing& timing) {
   const auto reply_chan = net.add_channel("rpl", ChanKind::Handshake);
 
   const auto p1 = net.add_automaton("p1");
-  const auto wfb = net.add_clock("wfb", 3 * timing.tmax - timing.tmin + 1);
-  const int bound = 3 * timing.tmax - timing.tmin;
+  const int bound = participant_bound(timing, /*fixed=*/false);
+  const auto wfb = net.add_clock("wfb", bound + 1);
 
   const auto alive = net.add_location(
       p1, "Alive", LocKind::Normal,

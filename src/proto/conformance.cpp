@@ -1,0 +1,146 @@
+#include "proto/conformance.hpp"
+
+#include "models/heartbeat_model.hpp"
+#include "util/contracts.hpp"
+#include "util/strings.hpp"
+
+namespace ahb::proto {
+
+namespace {
+
+using Kind = hb::ProtocolEvent::Kind;
+
+const char* kind_name(Kind k) {
+  switch (k) {
+    case Kind::CoordinatorBeat: return "CoordinatorBeat";
+    case Kind::CoordinatorReceivedBeat: return "CoordinatorReceivedBeat";
+    case Kind::CoordinatorReceivedLeave: return "CoordinatorReceivedLeave";
+    case Kind::CoordinatorInactivated: return "CoordinatorInactivated";
+    case Kind::CoordinatorCrashed: return "CoordinatorCrashed";
+    case Kind::ParticipantReceivedBeat: return "ParticipantReceivedBeat";
+    case Kind::ParticipantReplied: return "ParticipantReplied";
+    case Kind::ParticipantJoinBeat: return "ParticipantJoinBeat";
+    case Kind::ParticipantLeft: return "ParticipantLeft";
+    case Kind::ParticipantInactivated: return "ParticipantInactivated";
+    case Kind::ParticipantCrashed: return "ParticipantCrashed";
+    case Kind::ParticipantRejoined: return "ParticipantRejoined";
+  }
+  return "?";
+}
+
+// Maps one recorded event to the model edge labels that may realize it.
+// Matching is by substring of Network::label_of output, so every needle
+// must be unambiguous across all label fragments (requires < 10
+// participants: "p1." vs "p10.").
+std::vector<std::string> needles_for(const hb::ProtocolEvent& e) {
+  const int i = e.node;
+  switch (e.kind) {
+    case Kind::CoordinatorBeat:
+      // One broadcast edge per round; binary flavors name it send_beat,
+      // the revised binary's start-up beat is its own edge.
+      return {"p0.send_beat", "p0.broadcast_beat", "p0.initial_beat"};
+    case Kind::CoordinatorReceivedBeat:
+      // Covers both the reply delivery (ch) and the join-beat delivery
+      // (jch): both synchronize on the same p[0] receive edge.
+      return {strprintf("p0.recv_beat_from_p%d", i)};
+    case Kind::CoordinatorReceivedLeave:
+      return {strprintf("p0.recv_leave_from_p%d", i)};
+    case Kind::CoordinatorInactivated:
+      return {"p0.nv_inactivate"};
+    case Kind::CoordinatorCrashed:
+      return {"p0.crash"};
+    case Kind::ParticipantReceivedBeat:
+      // recv_first_beat while still in the join phase, recv_beat after.
+      return {strprintf("p%d.recv_beat", i),
+              strprintf("p%d.recv_first_beat", i)};
+    case Kind::ParticipantReplied:
+      return {strprintf("p%d.send_reply", i)};
+    case Kind::ParticipantJoinBeat:
+      return {strprintf("p%d.join_beat", i)};
+    case Kind::ParticipantLeft:
+      return {strprintf("p%d.send_leave", i)};
+    case Kind::ParticipantInactivated:
+      // Substring also covers nv_inactivate_joining (join-phase NV).
+      return {strprintf("p%d.nv_inactivate", i)};
+    case Kind::ParticipantCrashed:
+      // Substring also covers crash_joining.
+      return {strprintf("p%d.crash", i)};
+    case Kind::ParticipantRejoined:
+      return {strprintf("p%d.rejoin", i)};
+  }
+  return {};
+}
+
+}  // namespace
+
+models::BuildOptions model_options_for(const hb::ClusterConfig& config,
+                                       models::BuildOptions::Rejoin rejoin) {
+  models::BuildOptions options;
+  options.timing = {static_cast<int>(config.protocol.tmin),
+                    static_cast<int>(config.protocol.tmax)};
+  options.participants = config.participants;
+  options.receive_priority = config.receive_priority;
+  options.corrected_bounds = config.protocol.fixed_bounds;
+  options.rejoin = rejoin;
+  return options;
+}
+
+std::vector<mc::GuidedObservation> to_observations(
+    std::span<const hb::ProtocolEvent> events) {
+  std::vector<mc::GuidedObservation> obs;
+  obs.reserve(events.size());
+  for (const auto& e : events) {
+    AHB_EXPECTS(obs.empty() || obs.back().at <= e.at);
+    obs.push_back(mc::GuidedObservation{
+        e.at, needles_for(e),
+        strprintf("%s(node=%d)", kind_name(e.kind), e.node)});
+  }
+  return obs;
+}
+
+bool is_observable_label(const std::string& label) {
+  // Every fragment a recordable event can map to. Channel-side fragments
+  // (accept_*/deliver_*/lose_*/abort_wait/void_join) and p[0]'s internal
+  // timeout edge stay silent; note combined labels like
+  // "ch1.deliver_beat >> p1.recv_beat" classify by their process-side
+  // fragment.
+  static constexpr const char* kObservable[] = {
+      ".send_beat",  ".broadcast_beat", ".initial_beat", ".recv_beat",
+      ".recv_first_beat", ".recv_leave", ".send_reply",  ".join_beat",
+      ".send_leave", ".nv_inactivate",  ".crash",        ".rejoin",
+  };
+  for (const char* needle : kObservable) {
+    if (label.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+ReplayResult replay_through_model(models::Flavor flavor,
+                                  const models::BuildOptions& options,
+                                  std::span<const hb::ProtocolEvent> events,
+                                  const mc::GuidedLimits& limits) {
+  ReplayResult result;
+  result.events = events.size();
+  const auto model = models::HeartbeatModel::build(flavor, options);
+  const auto obs = to_observations(events);
+  const auto guided =
+      mc::guided_replay(model.net(), obs, is_observable_label, limits);
+  result.ok = guided.ok;
+  result.matched = guided.matched;
+  result.expanded = guided.expanded;
+  result.diagnostic = guided.diagnostic;
+  return result;
+}
+
+ReplayResult replay_cluster_trace(const hb::ClusterConfig& config,
+                                  std::span<const hb::ProtocolEvent> events,
+                                  models::BuildOptions::Rejoin rejoin,
+                                  const mc::GuidedLimits& limits) {
+  AHB_EXPECTS(config.participants >= 1 && config.participants < 10);
+  AHB_EXPECTS(config.min_delay == 0 && config.max_delay == 0);
+  return replay_through_model(config.protocol.variant,
+                              model_options_for(config, rejoin), events,
+                              limits);
+}
+
+}  // namespace ahb::proto

@@ -1,0 +1,94 @@
+// Trace conformance between the executable hb engines and the
+// timed-automata models.
+//
+// A TraceRecorder captures the protocol-level event stream of a
+// simulated hb::Cluster run (beats, replies, joins, leaves, crashes,
+// inactivations — each with its simulation time). replay_cluster_trace
+// then asks the membership question: is that timed trace a trace of the
+// ta::Network model built for the same variant and timing? The answer
+// comes from a guided-successor walk (mc/guided.hpp) in which the
+// recorded events are the observable transitions and everything
+// model-internal (channel loss, delivery bookkeeping, timeout edges) is
+// free to interleave.
+//
+// Because both layers derive every timing law from the shared kernel in
+// proto/timing.hpp, a successful replay is evidence the layers agree; a
+// drift in either one shows up as a trace the other cannot reproduce
+// (see the mutation canary in tests/proto_conformance_test.cpp).
+//
+// Recording assumptions: the cluster must run with zero network delay
+// (min_delay = max_delay = 0) so that deliveries are observed at their
+// send instant, and with fewer than 10 participants (event-to-label
+// matching is by substring; "p1." must not be a prefix of another
+// process name).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hb/cluster.hpp"
+#include "mc/guided.hpp"
+#include "models/options.hpp"
+
+namespace ahb::proto {
+
+/// Captures the protocol-event trace of one cluster execution. Install
+/// before Cluster::start(); the recorder must outlive the run.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(hb::Cluster& cluster) {
+    cluster.on_protocol_event(
+        [this](const hb::ProtocolEvent& e) { events_.push_back(e); });
+  }
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  const std::vector<hb::ProtocolEvent>& events() const { return events_; }
+
+ private:
+  std::vector<hb::ProtocolEvent> events_;
+};
+
+/// The model build options that mirror a cluster configuration: same
+/// timing, participant count, scheduling fix and bound fix. `rejoin`
+/// must be Graceful when the run injects rejoins, None otherwise.
+models::BuildOptions model_options_for(
+    const hb::ClusterConfig& config,
+    models::BuildOptions::Rejoin rejoin = models::BuildOptions::Rejoin::None);
+
+/// Translates recorded events into timed observations over the model's
+/// transition labels (exposed for tests/diagnostics).
+std::vector<mc::GuidedObservation> to_observations(
+    std::span<const hb::ProtocolEvent> events);
+
+/// Classifies a model transition label as observable (it corresponds to
+/// a recordable protocol event) or silent (model-internal).
+bool is_observable_label(const std::string& label);
+
+struct ReplayResult {
+  bool ok = false;
+  std::size_t events = 0;   ///< recorded events in the trace
+  std::size_t matched = 0;  ///< furthest event any model run reproduced
+  std::uint64_t expanded = 0;
+  std::string diagnostic;   ///< on failure: the first unmatched event
+};
+
+/// Replays a recorded trace through the model built from `flavor` and
+/// `options`. The mutation canary calls this directly with perturbed
+/// options; normal conformance checks go through replay_cluster_trace.
+ReplayResult replay_through_model(models::Flavor flavor,
+                                  const models::BuildOptions& options,
+                                  std::span<const hb::ProtocolEvent> events,
+                                  const mc::GuidedLimits& limits = {});
+
+/// One-call conformance check: replays `events`, recorded from a cluster
+/// running `config`, through the matching timed-automata model.
+ReplayResult replay_cluster_trace(
+    const hb::ClusterConfig& config, std::span<const hb::ProtocolEvent> events,
+    models::BuildOptions::Rejoin rejoin = models::BuildOptions::Rejoin::None,
+    const mc::GuidedLimits& limits = {});
+
+}  // namespace ahb::proto

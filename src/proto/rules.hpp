@@ -1,0 +1,99 @@
+// Protocol kernel, part 1: the variant taxonomy and the per-variant
+// declarative rule table.
+//
+// `ahb_proto` is the single source of truth for the semantics of the
+// accelerated heartbeat protocols (Gouda & McGuire, ICDCS'98, plus the
+// revised binary variant of McGuire & Gouda 2004). Both executable
+// layers — the sans-I/O engines in `src/hb` and the timed-automata
+// models in `src/models` — resolve every variant-dependent branch and
+// every timing constant through this library, so a protocol change made
+// here propagates to both layers at once and the trace-conformance
+// harness (`proto/conformance.hpp`) can prove they agree.
+//
+// This header is deliberately header-only and constexpr: `hb` and
+// `models` consume it without a link dependency, which keeps the
+// dependency graph acyclic (`ahb_proto`'s compiled part, the
+// conformance recorder/replayer, links *against* those layers).
+#pragma once
+
+namespace ahb::proto {
+
+/// The protocol variants. This enum is shared by both layers:
+/// `hb::Variant` and `models::Flavor` are aliases of it.
+enum class Variant {
+  Binary,         ///< two processes, halving acceleration
+  RevisedBinary,  ///< binary, but p[0] beats immediately at start-up
+  TwoPhase,       ///< on a miss the waiting time drops straight to tmin
+  Static,         ///< fixed set of n participants, broadcast beats
+  Expanding,      ///< participants may join during execution
+  Dynamic,        ///< participants may join and (gracefully) leave
+};
+
+constexpr const char* to_string(Variant v) {
+  switch (v) {
+    case Variant::Binary:
+      return "binary";
+    case Variant::RevisedBinary:
+      return "revised-binary";
+    case Variant::TwoPhase:
+      return "two-phase";
+    case Variant::Static:
+      return "static";
+    case Variant::Expanding:
+      return "expanding";
+    case Variant::Dynamic:
+      return "dynamic";
+  }
+  return "unknown";
+}
+
+/// What a variant does, as data. Each flag answers one question both
+/// layers used to hard-code independently.
+struct VariantRules {
+  /// p[0] keeps per-participant rcvd[i]/tm[i] lists and broadcasts its
+  /// beat (static/expanding/dynamic); the binary flavors track a single
+  /// peer over a handshake channel.
+  bool multi = false;
+  /// Participants start outside the group and join by beating every
+  /// tmin until p[0]'s heartbeat confirms the registration. The first
+  /// join beat goes out at tmin after start-up, not at time zero
+  /// (Fig. 6 of the formal analysis).
+  bool join_phase = false;
+  /// Beats carry a join/leave flag and a participant may depart
+  /// gracefully by replying with a false-flag beat.
+  bool graceful_leave = false;
+  /// p[0] sends its first beat immediately at start-up instead of
+  /// waiting out the first tmax round (revised binary).
+  bool initial_beat = false;
+  /// A missed round drops the waiting time straight to tmin instead of
+  /// halving it; a second consecutive miss at tmin inactivates.
+  bool two_phase = false;
+};
+
+/// The rule table. Pure data: both layers branch on these flags only.
+constexpr VariantRules rules_for(Variant v) {
+  switch (v) {
+    case Variant::Binary:
+      return {};
+    case Variant::RevisedBinary:
+      return {.initial_beat = true};
+    case Variant::TwoPhase:
+      return {.two_phase = true};
+    case Variant::Static:
+      return {.multi = true};
+    case Variant::Expanding:
+      return {.multi = true, .join_phase = true};
+    case Variant::Dynamic:
+      return {.multi = true, .join_phase = true, .graceful_leave = true};
+  }
+  return {};  // unreachable for valid enumerators
+}
+
+/// Convenience predicates over the rule table.
+constexpr bool variant_is_multi(Variant v) { return rules_for(v).multi; }
+constexpr bool variant_joins(Variant v) { return rules_for(v).join_phase; }
+constexpr bool variant_leaves(Variant v) {
+  return rules_for(v).graceful_leave;
+}
+
+}  // namespace ahb::proto

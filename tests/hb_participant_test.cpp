@@ -51,12 +51,14 @@ TEST(Participant, StaleTimerIgnored) {
 TEST(Participant, ExpandingSendsJoinBeatsEveryTmin) {
   Participant p{make_config(3, 10, Variant::Expanding), 4, false};
   auto actions = p.start(0);
-  ASSERT_EQ(actions.messages.size(), 1u);  // immediate first join beat
-  EXPECT_EQ(actions.messages[0].message.sender, 4);
+  // The first join beat goes out one join period after start-up (the
+  // model's Fig. 6 timing), not at time zero.
+  ASSERT_EQ(actions.messages.size(), 0u);
   EXPECT_EQ(p.next_event_time(), 3);
 
   actions = p.on_elapsed(3);
-  ASSERT_EQ(actions.messages.size(), 1u);  // next join beat
+  ASSERT_EQ(actions.messages.size(), 1u);  // first join beat
+  EXPECT_EQ(actions.messages[0].message.sender, 4);
   actions = p.on_elapsed(6);
   ASSERT_EQ(actions.messages.size(), 1u);
   EXPECT_FALSE(p.joined());

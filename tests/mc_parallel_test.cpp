@@ -77,7 +77,7 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(Flavor::Binary, Flavor::Static),
                        ::testing::Values(1, 4, 5, 9, 10)),
     [](const auto& info) {
-      std::string name = to_string(std::get<0>(info.param)) + "_tmin" +
+      std::string name = std::string(to_string(std::get<0>(info.param))) + "_tmin" +
                          std::to_string(std::get<1>(info.param));
       for (char& c : name) {
         if (c == '-') c = '_';

@@ -251,8 +251,8 @@ TEST(Options, BoundHelpers) {
 }
 
 TEST(Options, FlavorNames) {
-  EXPECT_EQ(to_string(Flavor::Binary), "binary");
-  EXPECT_EQ(to_string(Flavor::Dynamic), "dynamic");
+  EXPECT_STREQ(to_string(Flavor::Binary), "binary");
+  EXPECT_STREQ(to_string(Flavor::Dynamic), "dynamic");
   EXPECT_TRUE(is_multi(Flavor::Static));
   EXPECT_FALSE(is_multi(Flavor::TwoPhase));
 }

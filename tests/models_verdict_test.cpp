@@ -18,24 +18,11 @@
 namespace ahb::models {
 namespace {
 
-struct Oracle {
-  bool r1, r2, r3;
-};
-
-Oracle expected_verdicts(Flavor flavor, const Timing& t) {
-  switch (flavor) {
-    case Flavor::Binary:
-    case Flavor::RevisedBinary:
-    case Flavor::Static:
-      return {2 * t.tmin > t.tmax, t.tmin < t.tmax, t.tmin < t.tmax};
-    case Flavor::TwoPhase:
-      return {t.tmin == t.tmax, t.tmin < t.tmax, t.tmin < t.tmax};
-    case Flavor::Expanding:
-    case Flavor::Dynamic:
-      return {2 * t.tmin > t.tmax, 2 * t.tmin < t.tmax, t.tmin < t.tmax};
-  }
-  ADD_FAILURE() << "bad flavor";
-  return {};
+// The closed-form verdict predicates are the shared kernel's
+// (proto::expected_verdicts): the model checker must agree with them at
+// every grid point.
+proto::ExpectedVerdicts expected_verdicts(Flavor flavor, const Timing& t) {
+  return proto::expected_verdicts(flavor, t.to_proto());
 }
 
 class VerdictSweep
@@ -49,7 +36,7 @@ TEST_P(VerdictSweep, MatchesCounterexampleAnalysis) {
   options.participants = 1;
 
   const Verdicts got = verify_requirements(flavor, options);
-  const Oracle want = expected_verdicts(flavor, timing);
+  const auto want = expected_verdicts(flavor, timing);
   EXPECT_EQ(got.r1, want.r1) << "R1 at tmin=" << tmin;
   EXPECT_EQ(got.r2, want.r2) << "R2 at tmin=" << tmin;
   EXPECT_EQ(got.r3, want.r3) << "R3 at tmin=" << tmin;
@@ -62,7 +49,7 @@ INSTANTIATE_TEST_SUITE_P(
                                          Flavor::Expanding, Flavor::Dynamic),
                        ::testing::Values(1, 2, 3, 4, 5, 6)),
     [](const auto& info) {
-      std::string name = to_string(std::get<0>(info.param)) + "_tmin" +
+      std::string name = std::string(to_string(std::get<0>(info.param))) + "_tmin" +
                          std::to_string(std::get<1>(info.param));
       for (char& c : name) {
         if (c == '-') c = '_';
@@ -92,7 +79,7 @@ INSTANTIATE_TEST_SUITE_P(
                                          Flavor::Dynamic),
                        ::testing::Values(1, 2, 3, 4, 5, 6)),
     [](const auto& info) {
-      std::string name = to_string(std::get<0>(info.param)) + "_tmin" +
+      std::string name = std::string(to_string(std::get<0>(info.param))) + "_tmin" +
                          std::to_string(std::get<1>(info.param));
       for (char& c : name) {
         if (c == '-') c = '_';
@@ -110,7 +97,7 @@ TEST_P(OddTmaxSweep, BinaryOracleHoldsForTmax7) {
   BuildOptions options;
   options.timing = timing;
   const Verdicts got = verify_requirements(Flavor::Binary, options);
-  const Oracle want = expected_verdicts(Flavor::Binary, timing);
+  const auto want = expected_verdicts(Flavor::Binary, timing);
   EXPECT_EQ(got.r1, want.r1);
   EXPECT_EQ(got.r2, want.r2);
   EXPECT_EQ(got.r3, want.r3);
@@ -125,7 +112,7 @@ TEST(VerdictMulti, StaticWithTwoParticipantsMatchesOracle) {
     options.timing = Timing{tmin, 4};
     options.participants = 2;
     const Verdicts got = verify_requirements(Flavor::Static, options);
-    const Oracle want = expected_verdicts(Flavor::Static, options.timing);
+    const auto want = expected_verdicts(Flavor::Static, options.timing);
     EXPECT_EQ(got.r1, want.r1) << "tmin=" << tmin;
     EXPECT_EQ(got.r2, want.r2) << "tmin=" << tmin;
     EXPECT_EQ(got.r3, want.r3) << "tmin=" << tmin;
@@ -138,7 +125,7 @@ TEST(VerdictMulti, ExpandingWithTwoParticipantsMatchesOracle) {
     options.timing = Timing{tmin, 4};
     options.participants = 2;
     const Verdicts got = verify_requirements(Flavor::Expanding, options);
-    const Oracle want = expected_verdicts(Flavor::Expanding, options.timing);
+    const auto want = expected_verdicts(Flavor::Expanding, options.timing);
     EXPECT_EQ(got.r1, want.r1) << "tmin=" << tmin;
     EXPECT_EQ(got.r2, want.r2) << "tmin=" << tmin;
     EXPECT_EQ(got.r3, want.r3) << "tmin=" << tmin;
