@@ -13,6 +13,7 @@
 //     coincides with the worst delivery (a race: priority suffices); for
 //     2*tmin > tmax the deadline is genuinely too short (bounds needed)
 //     and the boundary case still races (priority needed as well).
+#include <algorithm>
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -46,6 +47,7 @@ void run_point(Flavor flavor, int tmin, int tmax, const char* focus,
   };
   mc::SearchLimits limits;
   limits.threads = args.threads;
+  limits.compression = args.compression;
   for (const auto& combo : combos) {
     BuildOptions options;
     options.timing = {tmin, tmax};
@@ -64,7 +66,10 @@ void run_point(Flavor flavor, int tmin, int tmax, const char* focus,
               v.r3_stats.transitions,
           v.r1_stats.elapsed.count() + v.r2_stats.elapsed.count() +
               v.r3_stats.elapsed.count(),
-          args.threads);
+          args.threads,
+          std::max({v.r1_stats.store_bytes, v.r2_stats.store_bytes,
+                    v.r3_stats.store_bytes}),
+          args.compression);
     }
   }
   std::printf("\n");

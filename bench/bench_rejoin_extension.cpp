@@ -33,6 +33,7 @@ void check(BuildOptions::Rejoin mode, const char* name,
   mc::Explorer explorer{model.net()};
   mc::SearchLimits limits;
   limits.threads = args.threads;
+  limits.compression = args.compression;
   const auto r2 = explorer.reach(model.r2_violation_any(), limits);
   if (args.json) {
     bench::emit_json_line(
@@ -40,7 +41,7 @@ void check(BuildOptions::Rejoin mode, const char* name,
                   mode == BuildOptions::Rejoin::Naive ? "naive" : "graceful",
                   r2.found ? "violated" : "holds"),
         r2.stats.states, r2.stats.transitions, r2.stats.elapsed.count(),
-        args.threads);
+        args.threads, r2.stats.store_bytes, args.compression);
   }
   std::printf("--- corrected dynamic protocol + %s rejoin (tmin=tmax=4) ---\n",
               name);

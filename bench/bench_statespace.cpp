@@ -2,12 +2,28 @@
 // exploration throughput for the protocol models — the cost of each
 // verification the tables report, plus micro-benchmarks of the
 // explorer's building blocks.
+//
+// With --json the binary bypasses google-benchmark and runs the static
+// protocol's Table-1 parameter sweep (tmax=10, tmin in {1,4,5,9,10}),
+// emitting one JSON line per point plus a total line — the harness the
+// compression acceptance numbers are read from:
+//   bench_statespace --json [--threads=N]
+//                    [--compression=none|pack|collapse] [participants]
+// The n=2 sweep visits exactly 33,809,598 states in every mode at
+// --threads=1; only store_bytes moves. (Parallel runs agree with each
+// other but finish the BFS level at the early-exit points, interning a
+// few more states — see DESIGN.md "Parallel exploration".)
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstring>
+
+#include "bench_util.hpp"
 #include "mc/explorer.hpp"
 #include "mc/store.hpp"
 #include "models/heartbeat_model.hpp"
 #include "util/rng.hpp"
+#include "util/strings.hpp"
 
 namespace {
 
@@ -119,6 +135,83 @@ void BM_StoreIntern(benchmark::State& state) {
 }
 BENCHMARK(BM_StoreIntern)->Unit(benchmark::kMillisecond);
 
+/// The --json sweep: verifies R1-R3 of the static protocol at every
+/// Table-1 timing point and reports states/bytes per point and in total.
+int run_json_sweep(const ahb::bench::BenchArgs& args) {
+  const int participants = args.participants > 0 ? args.participants : 2;
+  const int tmins[] = {1, 4, 5, 9, 10};
+  const int tmax = 10;
+
+  mc::SearchLimits limits;
+  limits.threads = args.threads;
+  limits.compression = args.compression;
+
+  std::uint64_t total_states = 0;
+  std::uint64_t total_transitions = 0;
+  double total_seconds = 0;
+  std::size_t peak_store_bytes = 0;
+  std::string verdict_list;
+  for (const int tmin : tmins) {
+    models::BuildOptions options;
+    options.timing = {tmin, tmax};
+    options.participants = participants;
+    const auto v =
+        models::verify_requirements(models::Flavor::Static, options, limits);
+    const std::uint64_t states =
+        v.r1_stats.states + v.r2_stats.states + v.r3_stats.states;
+    const std::uint64_t transitions = v.r1_stats.transitions +
+                                      v.r2_stats.transitions +
+                                      v.r3_stats.transitions;
+    const double seconds = v.r1_stats.elapsed.count() +
+                           v.r2_stats.elapsed.count() +
+                           v.r3_stats.elapsed.count();
+    const std::size_t store_bytes =
+        std::max({v.r1_stats.store_bytes, v.r2_stats.store_bytes,
+                  v.r3_stats.store_bytes});
+    total_states += states;
+    total_transitions += transitions;
+    total_seconds += seconds;
+    peak_store_bytes = std::max(peak_store_bytes, store_bytes);
+    const std::string verdicts =
+        strprintf("%s%s%s", v.r1 ? "T" : "F", v.r2 ? "T" : "F",
+                  v.r3 ? "T" : "F");
+    if (!verdict_list.empty()) verdict_list += " ";
+    verdict_list += strprintf("tmin%d:%s", tmin, verdicts.c_str());
+    std::printf(
+        "{\"bench\": \"statespace/static_n%d_tmin%d\", \"states\": %llu, "
+        "\"transitions\": %llu, \"seconds\": %.3f, \"threads\": %u, "
+        "\"store_bytes\": %llu, \"compression\": \"%s\", "
+        "\"verdicts\": \"%s\"}\n",
+        participants, tmin, static_cast<unsigned long long>(states),
+        static_cast<unsigned long long>(transitions), seconds, args.threads,
+        static_cast<unsigned long long>(store_bytes),
+        ta::to_string(args.compression), verdicts.c_str());
+  }
+  // store_bytes of the total line is the sweep's peak footprint — the
+  // number that must shrink >= 3x under collapse vs none.
+  std::printf(
+      "{\"bench\": \"statespace/static_n%d_total\", \"states\": %llu, "
+      "\"transitions\": %llu, \"seconds\": %.3f, \"threads\": %u, "
+      "\"store_bytes\": %llu, \"compression\": \"%s\", "
+      "\"verdicts\": \"%s\"}\n",
+      participants, static_cast<unsigned long long>(total_states),
+      static_cast<unsigned long long>(total_transitions), total_seconds,
+      args.threads, static_cast<unsigned long long>(peak_store_bytes),
+      ta::to_string(args.compression), verdict_list.c_str());
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      return run_json_sweep(ahb::bench::parse_bench_args(argc, argv));
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

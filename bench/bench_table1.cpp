@@ -10,6 +10,7 @@
 // The two-phase variant is additionally reported: the source analysis
 // model-checks it but omits it from the table (its inactivation
 // condition is unspecified in the original paper; see DESIGN.md).
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -51,6 +52,7 @@ void run_flavor(Flavor flavor, int participants, bool compare,
 
   ahb::mc::SearchLimits limits;
   limits.threads = args.threads;
+  limits.compression = args.compression;
   std::vector<Verdicts> verdicts;
   std::uint64_t total_states = 0;
   double total_seconds = 0;
@@ -72,11 +74,15 @@ void run_flavor(Flavor flavor, int participants, bool compare,
     total_states += states;
     total_seconds += seconds;
     if (args.json) {
+      const std::size_t store_bytes =
+          std::max({v.r1_stats.store_bytes, v.r2_stats.store_bytes,
+                    v.r3_stats.store_bytes});
       ahb::bench::emit_json_line(
           ahb::strprintf("table1/%s_n%d_tmin%d",
                          ahb::models::to_string(flavor), participants,
                          tmin),
-          states, transitions, seconds, args.threads);
+          states, transitions, seconds, args.threads, store_bytes,
+          args.compression);
     }
   }
 

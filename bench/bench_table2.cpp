@@ -11,6 +11,7 @@
 // counterexample (Figure 13): a joiner whose request arrives just after a
 // timeout of p[0] only hears back after up to 2*tmax + tmin, which exceeds
 // its 3*tmax - tmin deadline exactly when 2*tmin >= tmax.
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -48,6 +49,7 @@ void run_flavor(Flavor flavor, int participants, const BenchArgs& args) {
 
   ahb::mc::SearchLimits limits;
   limits.threads = args.threads;
+  limits.compression = args.compression;
   std::vector<Verdicts> verdicts;
   std::uint64_t total_states = 0;
   double total_seconds = 0;
@@ -69,11 +71,15 @@ void run_flavor(Flavor flavor, int participants, const BenchArgs& args) {
     total_states += states;
     total_seconds += seconds;
     if (args.json) {
+      const std::size_t store_bytes =
+          std::max({v.r1_stats.store_bytes, v.r2_stats.store_bytes,
+                    v.r3_stats.store_bytes});
       ahb::bench::emit_json_line(
           ahb::strprintf("table2/%s_n%d_tmin%d",
                          ahb::models::to_string(flavor), participants,
                          tmin),
-          states, transitions, seconds, args.threads);
+          states, transitions, seconds, args.threads, store_bytes,
+          args.compression);
     }
   }
 

@@ -7,6 +7,7 @@
 // The R1 requirement bound itself is corrected per Section 6.2: p[0] is
 // guaranteed to self-inactivate within 3*tmax - tmin of the last
 // received beat when 2*tmin <= tmax (and within 2*tmax otherwise).
+#include <algorithm>
 #include <cstdio>
 #include <vector>
 
@@ -36,6 +37,7 @@ bool run_flavor(Flavor flavor, int participants, const BenchArgs& args) {
   bool all_hold = true;
   ahb::mc::SearchLimits limits;
   limits.threads = args.threads;
+  limits.compression = args.compression;
   std::vector<ahb::models::Verdicts> verdicts;
   std::uint64_t total_states = 0;
   double total_seconds = 0;
@@ -59,10 +61,14 @@ bool run_flavor(Flavor flavor, int participants, const BenchArgs& args) {
     total_states += states;
     total_seconds += seconds;
     if (args.json) {
+      const std::size_t store_bytes =
+          std::max({v.r1_stats.store_bytes, v.r2_stats.store_bytes,
+                    v.r3_stats.store_bytes});
       ahb::bench::emit_json_line(
           ahb::strprintf("table3/%s_n%d_tmin%d",
                          ahb::models::to_string(flavor), participants, tmin),
-          states, transitions, seconds, args.threads);
+          states, transitions, seconds, args.threads, store_bytes,
+          args.compression);
     }
   }
   for (int row = 0; row < 3; ++row) {

@@ -1,8 +1,10 @@
 // Shared command-line handling for the table/figure reproduction
-// binaries: a --threads=N knob for the parallel explorer and a --json
-// mode that emits one machine-readable line per measured configuration,
+// binaries: a --threads=N knob for the parallel explorer, a
+// --compression=none|pack|collapse knob for the state-store encoding,
+// and a --json mode that emits one machine-readable line per measured
+// configuration,
 //   {"bench": "...", "states": S, "transitions": T, "seconds": X.XXX,
-//    "threads": N}
+//    "threads": N, "store_bytes": B, "compression": "none"}
 // so sweep scripts can diff runs without scraping the human tables.
 #pragma once
 
@@ -12,16 +14,20 @@
 #include <cstring>
 #include <string>
 
+#include "ta/codec.hpp"
+
 namespace ahb::bench {
 
 struct BenchArgs {
   bool json = false;     ///< emit JSON lines instead of / alongside tables
   unsigned threads = 0;  ///< SearchLimits::threads (0 = hardware concurrency)
   int participants = 0;  ///< first positional argument, when given
+  /// SearchLimits::compression; affects store_bytes only, never verdicts.
+  ta::Compression compression = ta::Compression::None;
 };
 
-/// Parses --json, --threads=N and an optional positional participant
-/// count; exits with usage on anything else.
+/// Parses --json, --threads=N, --compression=MODE and an optional
+/// positional participant count; exits with usage on anything else.
 inline BenchArgs parse_bench_args(int argc, char** argv) {
   BenchArgs args;
   for (int i = 1; i < argc; ++i) {
@@ -30,10 +36,24 @@ inline BenchArgs parse_bench_args(int argc, char** argv) {
       args.json = true;
     } else if (std::strncmp(arg, "--threads=", 10) == 0) {
       args.threads = static_cast<unsigned>(std::atoi(arg + 10));
+    } else if (std::strncmp(arg, "--compression=", 14) == 0) {
+      const char* mode = arg + 14;
+      if (std::strcmp(mode, "none") == 0) {
+        args.compression = ta::Compression::None;
+      } else if (std::strcmp(mode, "pack") == 0) {
+        args.compression = ta::Compression::Pack;
+      } else if (std::strcmp(mode, "collapse") == 0) {
+        args.compression = ta::Compression::Collapse;
+      } else {
+        std::fprintf(stderr, "unknown --compression mode \"%s\"\n", mode);
+        std::exit(2);
+      }
     } else if (arg[0] != '-') {
       args.participants = std::atoi(arg);
     } else {
-      std::fprintf(stderr, "usage: %s [--json] [--threads=N] [participants]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--json] [--threads=N] "
+                   "[--compression=none|pack|collapse] [participants]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -42,15 +62,21 @@ inline BenchArgs parse_bench_args(int argc, char** argv) {
 }
 
 /// One JSON result line on stdout. `bench` names the configuration,
-/// e.g. "table1/static_n2_tmin5".
+/// e.g. "table1/static_n2_tmin5". `store_bytes` is the state-store
+/// footprint of the largest search behind the number (the figure the
+/// compression modes exist to shrink).
 inline void emit_json_line(const std::string& bench, std::uint64_t states,
                            std::uint64_t transitions, double seconds,
-                           unsigned threads) {
+                           unsigned threads, std::size_t store_bytes,
+                           ta::Compression compression) {
   std::printf(
       "{\"bench\": \"%s\", \"states\": %llu, \"transitions\": %llu, "
-      "\"seconds\": %.3f, \"threads\": %u}\n",
+      "\"seconds\": %.3f, \"threads\": %u, \"store_bytes\": %llu, "
+      "\"compression\": \"%s\"}\n",
       bench.c_str(), static_cast<unsigned long long>(states),
-      static_cast<unsigned long long>(transitions), seconds, threads);
+      static_cast<unsigned long long>(transitions), seconds, threads,
+      static_cast<unsigned long long>(store_bytes),
+      ta::to_string(compression));
 }
 
 }  // namespace ahb::bench

@@ -57,6 +57,20 @@ BitstateResult reach_bitstate(const ta::Network& net, const Pred& target,
   const std::uint64_t max_depth =
       limits.max_depth != 0 ? limits.max_depth : 1'000'000;
 
+  // With compression requested, hash the codec's bit-packed image instead
+  // of the raw slot vector. Both are injective, so either is a valid
+  // filter key; the packed image mixes every slot's entropy into fewer
+  // bytes, which measurably lowers the double-hash collision rate on
+  // models whose slots are mostly narrow booleans. None keeps the
+  // historical raw-vector hash bit-for-bit.
+  const ta::StateCodec* codec = limits.compression != ta::Compression::None
+                                    ? &net.codec()
+                                    : nullptr;
+  std::vector<std::byte> packed(codec != nullptr ? codec->packed_bytes() : 0);
+  const auto state_hash = [&](const ta::State& s) {
+    return codec != nullptr ? codec->packed_hash(s.slots(), packed) : s.hash();
+  };
+
   BitstateFilter filter{log2_bits};
   std::uint64_t transitions = 0;
   std::uint64_t deepest = 0;
@@ -93,7 +107,7 @@ BitstateResult reach_bitstate(const ta::Network& net, const Pred& target,
   std::vector<Frame> stack;
   {
     ta::State init = net.initial_state();
-    filter.insert(init.hash());
+    filter.insert(state_hash(init));
     if (target(ta::StateView{net, init})) {
       result.found = true;
       stack.push_back(Frame{std::move(init), {}, 0});
@@ -113,7 +127,7 @@ BitstateResult reach_bitstate(const ta::Network& net, const Pred& target,
     ta::Transition& t = top.successors[top.next++];
     ++transitions;
     if (filter.inserted() >= limits.max_states) return finish();
-    if (!filter.insert(t.target.hash())) continue;  // probably visited
+    if (!filter.insert(state_hash(t.target))) continue;  // probably visited
 
     if (target(ta::StateView{net, t.target})) {
       result.found = true;

@@ -11,38 +11,88 @@ namespace {
 // Small per-shard start: with 64 shards even tiny models pay little, and
 // big runs grow each shard geometrically like StateStore does.
 constexpr std::size_t kInitialTableSize = 1u << 8;
+constexpr std::size_t kInitialCompTableSize = 1u << 6;
+
+// Reusable per-thread encode/decode buffers. Sizes differ between store
+// instances, so every use resizes first (a no-op when unchanged).
+thread_local std::vector<std::byte> tl_packed;
+thread_local std::vector<std::byte> tl_entry;
+thread_local std::vector<std::byte> tl_key;
+thread_local std::vector<std::uint32_t> tl_indices;
 }  // namespace
 
+const std::byte* ConcurrentStateStore::Arena::entry(
+    std::uint32_t offset, std::size_t entry_bytes) const {
+  const auto [seg, within] = segment_of(offset);
+  return segments[static_cast<std::size_t>(seg)].get() +
+         static_cast<std::size_t>(within) * entry_bytes;
+}
+
+std::byte* ConcurrentStateStore::Arena::ensure(std::uint32_t offset,
+                                               std::size_t entry_bytes) {
+  const auto [seg, within] = segment_of(offset);
+  auto& segment = segments[static_cast<std::size_t>(seg)];
+  if (!segment) {
+    const std::size_t cap =
+        seg == 0 ? kSeg0Entries : (1u << (kSeg0Bits + seg - 1));
+    segment = std::make_unique<std::byte[]>(cap * entry_bytes);
+    allocated_bytes += cap * entry_bytes;
+  }
+  return segment.get() + static_cast<std::size_t>(within) * entry_bytes;
+}
+
 ConcurrentStateStore::ConcurrentStateStore(std::size_t stride)
-    : stride_(stride) {
+    : stride_(stride), entry_bytes_(stride * sizeof(ta::Slot)) {
   AHB_EXPECTS(stride > 0);
   for (auto& shard : shards_) {
     shard.table.assign(kInitialTableSize, kInvalidIndex);
   }
 }
 
-const ta::Slot* ConcurrentStateStore::slots_of(const Shard& shard,
-                                               std::uint32_t offset) const {
-  const auto [seg, within] = segment_of(offset);
-  return shard.segments[static_cast<std::size_t>(seg)].get() +
-         static_cast<std::size_t>(within) * stride_;
+ConcurrentStateStore::ConcurrentStateStore(const ta::StateCodec& codec,
+                                           ta::Compression mode)
+    : codec_(&codec), mode_(mode), stride_(codec.slot_count()) {
+  AHB_EXPECTS(stride_ > 0);
+  switch (mode_) {
+    case ta::Compression::None:
+      codec_ = nullptr;  // byte-identical to the stride-only constructor
+      entry_bytes_ = stride_ * sizeof(ta::Slot);
+      break;
+    case ta::Compression::Pack:
+      entry_bytes_ = codec.packed_bytes();
+      break;
+    case ta::Compression::Collapse:
+      entry_bytes_ = codec.root_bytes();
+      break;
+  }
+  for (auto& shard : shards_) {
+    shard.table.assign(kInitialTableSize, kInvalidIndex);
+    if (mode_ == ta::Compression::Collapse) {
+      shard.comps.resize(codec.component_count());
+      for (std::size_t c = 0; c < codec.component_count(); ++c) {
+        if (codec.component(c).index_bits == 0) continue;
+        shard.comps[c].table.assign(kInitialCompTableSize, kInvalidIndex);
+      }
+    }
+  }
 }
 
 std::uint32_t ConcurrentStateStore::probe(const Shard& shard,
-                                          std::span<const ta::Slot> slots,
+                                          std::span<const std::byte> entry,
                                           std::uint64_t hash,
                                           bool& found) const {
   const std::size_t mask = shard.table.size() - 1;
   std::size_t i = static_cast<std::size_t>(hash) & mask;
+  const bool check_hash = mode_ == ta::Compression::None;
   while (true) {
-    const std::uint32_t entry = shard.table[i];
-    if (entry == kInvalidIndex) {
+    const std::uint32_t stored = shard.table[i];
+    if (stored == kInvalidIndex) {
       found = false;
       return static_cast<std::uint32_t>(i);
     }
-    if (shard.hashes[entry] == hash &&
-        std::memcmp(slots_of(shard, entry), slots.data(),
-                    stride_ * sizeof(ta::Slot)) == 0) {
+    if ((!check_hash || shard.hashes[stored] == hash) &&
+        std::memcmp(shard.arena.entry(stored, entry_bytes_), entry.data(),
+                    entry_bytes_) == 0) {
       found = true;
       return static_cast<std::uint32_t>(i);
     }
@@ -56,44 +106,124 @@ void ConcurrentStateStore::grow_table(Shard& shard) {
   const std::size_t mask = shard.table.size() - 1;
   for (std::uint32_t entry : old) {
     if (entry == kInvalidIndex) continue;
-    std::size_t i = static_cast<std::size_t>(shard.hashes[entry]) & mask;
+    const std::uint64_t hash =
+        mode_ == ta::Compression::None
+            ? shard.hashes[entry]
+            : hash_bytes({shard.arena.entry(entry, entry_bytes_),
+                          entry_bytes_});
+    std::size_t i = static_cast<std::size_t>(hash) & mask;
     while (shard.table[i] != kInvalidIndex) i = (i + 1) & mask;
     shard.table[i] = entry;
   }
 }
 
+std::uint32_t ConcurrentStateStore::comp_intern(
+    Shard& shard, std::size_t c, std::span<const std::byte> key) {
+  CompShard& comp = shard.comps[c];
+  const std::size_t key_bytes = codec_->component(c).key_bytes;
+  const std::uint64_t hash = hash_bytes(key);
+  const std::size_t mask = comp.table.size() - 1;
+  std::size_t i = static_cast<std::size_t>(hash) & mask;
+  while (true) {
+    const std::uint32_t entry = comp.table[i];
+    if (entry == kInvalidIndex) break;
+    if (std::memcmp(comp.keys.entry(entry, key_bytes), key.data(),
+                    key_bytes) == 0) {
+      return entry;
+    }
+    i = (i + 1) & mask;
+  }
+  AHB_ASSERT(comp.count < kMaxPerShard);
+  const auto index = comp.count;
+  std::memcpy(comp.keys.ensure(index, key_bytes), key.data(), key_bytes);
+  comp.table[i] = index;
+  ++comp.count;
+  if (static_cast<std::size_t>(comp.count) * 10 >= comp.table.size() * 7) {
+    std::vector<std::uint32_t> old = std::move(comp.table);
+    comp.table.assign(old.size() * 2, kInvalidIndex);
+    const std::size_t grown_mask = comp.table.size() - 1;
+    for (std::uint32_t entry : old) {
+      if (entry == kInvalidIndex) continue;
+      std::size_t j = static_cast<std::size_t>(hash_bytes(
+                          {comp.keys.entry(entry, key_bytes), key_bytes})) &
+                      grown_mask;
+      while (comp.table[j] != kInvalidIndex) j = (j + 1) & grown_mask;
+      comp.table[j] = entry;
+    }
+  }
+  return index;
+}
+
+std::uint64_t ConcurrentStateStore::encode_entry_locked(
+    Shard& shard, std::span<const ta::Slot> slots,
+    std::span<const std::byte> packed, std::vector<std::byte>& entry,
+    std::vector<std::uint32_t>& indices, std::vector<std::byte>& key) {
+  if (mode_ == ta::Compression::Pack) {
+    entry.assign(packed.begin(), packed.end());
+    return hash_bytes(packed);
+  }
+  indices.resize(codec_->component_count());
+  for (std::size_t c = 0; c < codec_->component_count(); ++c) {
+    const auto& comp = codec_->component(c);
+    if (comp.index_bits == 0) {
+      indices[c] = 0;
+      continue;
+    }
+    key.resize(comp.key_bytes);
+    codec_->pack_component(c, slots, key.data());
+    indices[c] = comp_intern(shard, c, {key.data(), comp.key_bytes});
+  }
+  entry.resize(entry_bytes_);
+  codec_->pack_root(indices, slots, entry.data());
+  return hash_bytes({entry.data(), entry_bytes_});
+}
+
 std::pair<std::uint32_t, bool> ConcurrentStateStore::intern(
     std::span<const ta::Slot> slots, std::uint32_t parent) {
   AHB_EXPECTS(slots.size() == stride_);
-  const std::uint64_t hash = hash_span(slots);
-  // Top bits pick the shard; probe() uses the low bits, so shard siblings
-  // still spread over the whole table.
+  // Shard selection must be independent of shard-local encoding, so it
+  // always hashes the canonical image: raw slot bytes (None) or the
+  // codec's bit-packed image (Pack/Collapse). Both are injective.
+  std::uint64_t shard_hash;
+  if (mode_ == ta::Compression::None) {
+    shard_hash = hash_span(slots);
+  } else {
+    tl_packed.resize(codec_->packed_bytes());
+    shard_hash = codec_->packed_hash(slots, tl_packed);
+  }
   const auto shard_id =
-      static_cast<std::uint32_t>(hash >> (64 - kShardBits));
+      static_cast<std::uint32_t>(shard_hash >> (64 - kShardBits));
   Shard& shard = shards_[shard_id];
 
   std::uint32_t offset;
   {
     std::lock_guard<std::mutex> lock(shard.mu);
+    std::span<const std::byte> entry;
+    std::uint64_t probe_hash;
+    if (mode_ == ta::Compression::None) {
+      entry = std::as_bytes(slots);
+      probe_hash = shard_hash;
+    } else if (mode_ == ta::Compression::Pack) {
+      entry = std::span<const std::byte>{tl_packed};
+      probe_hash = shard_hash;
+    } else {
+      probe_hash =
+          encode_entry_locked(shard, slots, tl_packed, tl_entry, tl_indices,
+                              tl_key);
+      entry = std::span<const std::byte>{tl_entry.data(), entry_bytes_};
+    }
+
     bool found = false;
-    const std::uint32_t slot = probe(shard, slots, hash, found);
+    const std::uint32_t slot = probe(shard, entry, probe_hash, found);
     if (found) {
       return {(shard_id << kOffsetBits) | shard.table[slot], false};
     }
 
     AHB_ASSERT(shard.count < kMaxPerShard);
     offset = shard.count;
-    const auto [seg, within] = segment_of(offset);
-    auto& segment = shard.segments[static_cast<std::size_t>(seg)];
-    if (!segment) {
-      const std::size_t cap =
-          seg == 0 ? kSeg0States : (1u << (kSeg0Bits + seg - 1));
-      segment = std::make_unique<ta::Slot[]>(cap * stride_);
-      shard.arena_slots += cap * stride_;
-    }
-    std::memcpy(segment.get() + static_cast<std::size_t>(within) * stride_,
-                slots.data(), stride_ * sizeof(ta::Slot));
-    shard.hashes.push_back(hash);
+    std::memcpy(shard.arena.ensure(offset, entry_bytes_), entry.data(),
+                entry_bytes_);
+    if (mode_ == ta::Compression::None) shard.hashes.push_back(shard_hash);
     shard.parents.push_back(parent);
     shard.table[slot] = offset;
     ++shard.count;
@@ -108,13 +238,51 @@ std::pair<std::uint32_t, bool> ConcurrentStateStore::intern(
 
 std::span<const ta::Slot> ConcurrentStateStore::raw(
     std::uint32_t index) const {
+  AHB_EXPECTS(mode_ == ta::Compression::None);
   const std::uint32_t shard_id = index >> kOffsetBits;
   const std::uint32_t offset = index & kMaxPerShard;
-  return {slots_of(shards_[shard_id], offset), stride_};
+  return {reinterpret_cast<const ta::Slot*>(
+              shards_[shard_id].arena.entry(offset, entry_bytes_)),
+          stride_};
 }
 
 ta::State ConcurrentStateStore::get(std::uint32_t index) const {
-  return ta::State{raw(index)};
+  ta::State s(stride_);
+  load(index, s);
+  return s;
+}
+
+void ConcurrentStateStore::load(std::uint32_t index, ta::State& out) const {
+  const std::uint32_t shard_id = index >> kOffsetBits;
+  const std::uint32_t offset = index & kMaxPerShard;
+  const Shard& shard = shards_[shard_id];
+  const std::byte* entry = shard.arena.entry(offset, entry_bytes_);
+  if (out.size() != stride_) out = ta::State(stride_);
+  switch (mode_) {
+    case ta::Compression::None: {
+      out.assign({reinterpret_cast<const ta::Slot*>(entry), stride_});
+      return;
+    }
+    case ta::Compression::Pack: {
+      codec_->unpack(entry, out.slots_mut());
+      return;
+    }
+    case ta::Compression::Collapse: {
+      tl_indices.resize(codec_->component_count());
+      codec_->unpack_root(entry, tl_indices, out.slots_mut());
+      for (std::size_t c = 0; c < codec_->component_count(); ++c) {
+        const auto& comp = codec_->component(c);
+        // Constant components store nothing: all member fields are
+        // zero-width, so the decode never dereferences the key pointer.
+        const std::byte* key =
+            comp.index_bits == 0
+                ? nullptr
+                : shard.comps[c].keys.entry(tl_indices[c], comp.key_bytes);
+        codec_->unpack_component(c, key, out.slots_mut());
+      }
+      return;
+    }
+  }
 }
 
 std::uint32_t ConcurrentStateStore::parent_of(std::uint32_t index) const {
@@ -126,10 +294,14 @@ std::uint32_t ConcurrentStateStore::parent_of(std::uint32_t index) const {
 std::size_t ConcurrentStateStore::memory_bytes() const {
   std::size_t bytes = 0;
   for (const auto& shard : shards_) {
-    bytes += shard.arena_slots * sizeof(ta::Slot) +
+    bytes += shard.arena.allocated_bytes +
              shard.hashes.capacity() * sizeof(std::uint64_t) +
              shard.parents.capacity() * sizeof(std::uint32_t) +
              shard.table.capacity() * sizeof(std::uint32_t);
+    for (const auto& comp : shard.comps) {
+      bytes += comp.keys.allocated_bytes +
+               comp.table.capacity() * sizeof(std::uint32_t);
+    }
   }
   return bytes;
 }

@@ -37,7 +37,7 @@ SearchResult Explorer::run(const StopFn& stop, const SearchLimits& limits) {
 SearchResult Explorer::run_sequential(const StopFn& stop,
                                       const SearchLimits& limits) {
   const auto start_time = std::chrono::steady_clock::now();
-  Core core{StateStore{net_->slot_count()}, {}, 0, 0};
+  Core core{StateStore{net_->codec(), limits.compression}, {}, 0, 0};
 
   SearchResult result;
   const auto finish = [&](bool complete) {
@@ -78,7 +78,7 @@ SearchResult Explorer::run_sequential(const StopFn& stop,
     ++core.depth;
     std::deque<std::uint32_t> next_frontier;
     for (const std::uint32_t index : frontier) {
-      state_buf.assign(core.store.raw(index));
+      core.store.load(index, state_buf);
       Outcome outcome = Outcome::kRunning;
       std::uint32_t found_index = 0;
       net_->for_each_successor(
@@ -118,7 +118,7 @@ SearchResult Explorer::run_parallel(const StopFn& stop,
                                     const SearchLimits& limits,
                                     unsigned threads) {
   const auto start_time = std::chrono::steady_clock::now();
-  ConcurrentStateStore store{net_->slot_count()};
+  ConcurrentStateStore store{net_->codec(), limits.compression};
   std::uint64_t depth = 0;
   std::uint64_t transitions = 0;
 
@@ -183,8 +183,8 @@ SearchResult Explorer::run_parallel(const StopFn& stop,
       for (std::size_t i = begin; i < end; ++i) {
         const std::uint32_t index = frontier[i];
         // Frontier states were published before the previous layer
-        // barrier, so the lock-free raw() read is ordered.
-        w.state_buf.assign(store.raw(index));
+        // barrier, so the lock-free decode is ordered.
+        store.load(index, w.state_buf);
         net_->for_each_successor(
             w.state_buf, w.scratch, [&](const ta::SuccessorView& v) {
               ++w.transitions;
@@ -329,11 +329,12 @@ std::vector<TraceStep> Explorer::rebuild_trace(
   trace.reserve(path.size());
   trace.push_back(TraceStep{"", core.store.get(path.front())});
   for (std::size_t i = 1; i < path.size(); ++i) {
+    // Decode both endpoints: compressed stores have no raw() spans.
     const ta::State parent_state = core.store.get(path[i - 1]);
-    trace.push_back(
-        TraceStep{net_->action_between(parent_state, core.store.raw(path[i]),
-                                       scratch),
-                  core.store.get(path[i])});
+    ta::State step_state = core.store.get(path[i]);
+    std::string action =
+        net_->action_between(parent_state, step_state.slots(), scratch);
+    trace.push_back(TraceStep{std::move(action), std::move(step_state)});
   }
   return trace;
 }
@@ -356,9 +357,10 @@ std::vector<TraceStep> Explorer::rebuild_trace(
   trace.push_back(TraceStep{"", store.get(path.front())});
   for (std::size_t i = 1; i < path.size(); ++i) {
     const ta::State parent_state = store.get(path[i - 1]);
-    trace.push_back(TraceStep{
-        net_->action_between(parent_state, store.raw(path[i]), scratch),
-        store.get(path[i])});
+    ta::State step_state = store.get(path[i]);
+    std::string action =
+        net_->action_between(parent_state, step_state.slots(), scratch);
+    trace.push_back(TraceStep{std::move(action), std::move(step_state)});
   }
   return trace;
 }

@@ -35,6 +35,12 @@ struct SearchLimits {
   /// DESIGN.md "Parallel exploration" for what is (and is not)
   /// deterministic about the statistics.
   unsigned threads = 0;
+  /// Store encoding: None is byte-identical to the historical stores,
+  /// Pack bit-packs each state, Collapse additionally interns each
+  /// automaton's local sub-vector (SPIN COLLAPSE). State identity is
+  /// preserved, so verdicts, state counts, depths and counterexample
+  /// lengths are the same in every mode; only store_bytes changes.
+  ta::Compression compression = ta::Compression::None;
 };
 
 struct SearchStats {

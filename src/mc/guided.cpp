@@ -3,6 +3,7 @@
 #include <deque>
 #include <unordered_set>
 
+#include "mc/store.hpp"
 #include "util/contracts.hpp"
 #include "util/hash.hpp"
 #include "util/strings.hpp"
@@ -18,13 +19,26 @@ struct Node {
   std::size_t next_obs = 0;
 };
 
-std::uint64_t node_key_hash(const ta::State& s, std::int64_t time,
-                            std::size_t next_obs) {
-  std::uint64_t h = s.hash();
-  h = hash_combine(h, static_cast<std::uint64_t>(time));
-  h = hash_combine(h, static_cast<std::uint64_t>(next_obs));
-  return h;
-}
+/// Exact memo key: the state is interned in a collapse-compressed
+/// StateStore, so the 32-bit index substitutes for the full slot vector
+/// and equality on NodeKey is equality on (state, time, obs index) —
+/// no hash-collision pruning.
+struct NodeKey {
+  std::uint32_t state_index = 0;
+  std::int64_t time = 0;
+  std::uint32_t next_obs = 0;
+
+  bool operator==(const NodeKey&) const = default;
+};
+
+struct NodeKeyHash {
+  std::size_t operator()(const NodeKey& k) const noexcept {
+    std::uint64_t h = hash_combine(k.state_index,
+                                   static_cast<std::uint64_t>(k.time));
+    h = hash_combine(h, k.next_obs);
+    return static_cast<std::size_t>(h);
+  }
+};
 
 bool matches(const GuidedObservation& o, const std::string& label) {
   for (const auto& needle : o.any_of) {
@@ -53,11 +67,14 @@ GuidedResult guided_replay(
 
   // Depth-first search over (state, time, observation index), memoized:
   // a node reached twice explores the identical subtree, so revisits are
-  // pruned on a hash of the triple. (Hash collisions would prune a
-  // distinct node — with 64-bit hashes over these small state vectors
-  // that is the bitstate trade-off, acceptable for a checker that only
-  // ever answers "found a witness run" positively.)
-  std::unordered_set<std::uint64_t> seen;
+  // pruned. The memo key is exact — states are interned through the
+  // network's collapse codec, so two triples compare equal iff they are
+  // the same node. (Earlier revisions pruned on a bare 64-bit hash of
+  // the triple; a collision there silently drops a distinct node, which
+  // for a membership checker can turn a true "this trace is a trace of
+  // the model" into a spurious rejection.)
+  StateStore memo_store{net.codec(), ta::Compression::Collapse};
+  std::unordered_set<NodeKey, NodeKeyHash> seen;
   std::deque<Node> stack;
   stack.push_back(Node{net.initial_state(), 0, 0});
 
@@ -76,8 +93,9 @@ GuidedResult guided_replay(
       result.ok = true;
       return result;
     }
-    if (!seen.insert(node_key_hash(node.state, node.time, node.next_obs))
-             .second) {
+    const NodeKey key{memo_store.intern(node.state).first, node.time,
+                      static_cast<std::uint32_t>(node.next_obs)};
+    if (!seen.insert(key).second) {
       continue;
     }
     if (++result.expanded > limits.max_nodes) {

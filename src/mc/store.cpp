@@ -9,12 +9,41 @@ namespace ahb::mc {
 
 namespace {
 constexpr std::size_t kInitialTableSize = 1u << 12;
-}
+// Component tables start small: even large sweeps see only hundreds of
+// distinct local sub-vectors per automaton.
+constexpr std::size_t kInitialCompTableSize = 1u << 6;
+}  // namespace
 
 StateStore::StateStore(std::size_t stride) : stride_(stride) {
   AHB_EXPECTS(stride > 0);
   table_.assign(kInitialTableSize, kInvalidIndex);
 }
+
+StateStore::StateStore(const ta::StateCodec& codec, ta::Compression mode)
+    : codec_(&codec), mode_(mode), stride_(codec.slot_count()) {
+  AHB_EXPECTS(stride_ > 0);
+  table_.assign(kInitialTableSize, kInvalidIndex);
+  if (mode_ == ta::Compression::None) {
+    codec_ = nullptr;  // byte-identical to the stride-only constructor
+    return;
+  }
+  entry_bytes_ = mode_ == ta::Compression::Pack ? codec.packed_bytes()
+                                                : codec.root_bytes();
+  entry_scratch_.resize(std::max(codec.packed_bytes(), codec.root_bytes()));
+  if (mode_ == ta::Compression::Collapse) {
+    comps_.resize(codec.component_count());
+    index_scratch_.resize(codec.component_count());
+    std::size_t max_key = 0;
+    for (std::size_t c = 0; c < codec.component_count(); ++c) {
+      if (codec.component(c).index_bits == 0) continue;
+      comps_[c].table.assign(kInitialCompTableSize, kInvalidIndex);
+      max_key = std::max(max_key, codec.component(c).key_bytes);
+    }
+    key_scratch_.resize(max_key);
+  }
+}
+
+// ---- None-mode probing (raw slots + stored hashes) ----
 
 std::uint32_t StateStore::probe(std::span<const ta::Slot> slots,
                                 std::uint64_t hash, bool& found) const {
@@ -37,17 +66,132 @@ std::uint32_t StateStore::probe(std::span<const ta::Slot> slots,
   }
 }
 
+// ---- compressed-mode probing (short encoded entries, no stored
+// hashes: the memcmp is cheap and dropping the hash array is a large
+// part of the footprint win) ----
+
+std::uint32_t StateStore::probe_bytes(std::span<const std::byte> key,
+                                      std::uint64_t hash, bool& found) const {
+  const std::size_t mask = table_.size() - 1;
+  std::size_t i = static_cast<std::size_t>(hash) & mask;
+  while (true) {
+    const std::uint32_t entry = table_[i];
+    if (entry == kInvalidIndex) {
+      found = false;
+      return static_cast<std::uint32_t>(i);
+    }
+    if (std::memcmp(entry_of(entry), key.data(), entry_bytes_) == 0) {
+      found = true;
+      return static_cast<std::uint32_t>(i);
+    }
+    i = (i + 1) & mask;
+  }
+}
+
 void StateStore::grow_table() {
   std::vector<std::uint32_t> old = std::move(table_);
   table_.assign(old.size() * 2, kInvalidIndex);
   const std::size_t mask = table_.size() - 1;
   for (std::uint32_t entry : old) {
     if (entry == kInvalidIndex) continue;
-    std::size_t i = static_cast<std::size_t>(hashes_[entry]) & mask;
+    const std::uint64_t hash =
+        mode_ == ta::Compression::None
+            ? hashes_[entry]
+            : hash_bytes({entry_of(entry), entry_bytes_});
+    std::size_t i = static_cast<std::size_t>(hash) & mask;
     while (table_[i] != kInvalidIndex) i = (i + 1) & mask;
     table_[i] = entry;
   }
 }
+
+// ---- component tables (Collapse) ----
+
+std::uint32_t StateStore::comp_intern(std::size_t c,
+                                      std::span<const std::byte> key) {
+  CompTable& comp = comps_[c];
+  const std::size_t key_bytes = codec_->component(c).key_bytes;
+  const std::uint64_t hash = hash_bytes(key);
+  const std::size_t mask = comp.table.size() - 1;
+  std::size_t i = static_cast<std::size_t>(hash) & mask;
+  while (true) {
+    const std::uint32_t entry = comp.table[i];
+    if (entry == kInvalidIndex) break;
+    if (std::memcmp(comp.keys.data() + entry * key_bytes, key.data(),
+                    key_bytes) == 0) {
+      return entry;
+    }
+    i = (i + 1) & mask;
+  }
+  const auto index = comp.count;
+  comp.keys.insert(comp.keys.end(), key.begin(), key.end());
+  comp.table[i] = index;
+  ++comp.count;
+  if (static_cast<std::size_t>(comp.count) * 10 >= comp.table.size() * 7) {
+    std::vector<std::uint32_t> old = std::move(comp.table);
+    comp.table.assign(old.size() * 2, kInvalidIndex);
+    const std::size_t grown_mask = comp.table.size() - 1;
+    for (std::uint32_t entry : old) {
+      if (entry == kInvalidIndex) continue;
+      std::size_t j = static_cast<std::size_t>(hash_bytes(
+                          {comp.keys.data() + entry * key_bytes, key_bytes})) &
+                      grown_mask;
+      while (comp.table[j] != kInvalidIndex) j = (j + 1) & grown_mask;
+      comp.table[j] = entry;
+    }
+  }
+  return index;
+}
+
+std::uint32_t StateStore::comp_find(std::size_t c,
+                                    std::span<const std::byte> key) const {
+  const CompTable& comp = comps_[c];
+  const std::size_t key_bytes = codec_->component(c).key_bytes;
+  const std::size_t mask = comp.table.size() - 1;
+  std::size_t i =
+      static_cast<std::size_t>(hash_bytes(key)) & mask;
+  while (true) {
+    const std::uint32_t entry = comp.table[i];
+    if (entry == kInvalidIndex) return kInvalidIndex;
+    if (std::memcmp(comp.keys.data() + entry * key_bytes, key.data(),
+                    key_bytes) == 0) {
+      return entry;
+    }
+    i = (i + 1) & mask;
+  }
+}
+
+bool StateStore::encode_entry(std::span<const ta::Slot> slots,
+                              bool insert_components,
+                              std::uint64_t& hash) const {
+  if (mode_ == ta::Compression::Pack) {
+    codec_->pack(slots, entry_scratch_.data());
+    hash = hash_bytes({entry_scratch_.data(), entry_bytes_});
+    return true;
+  }
+  for (std::size_t c = 0; c < codec_->component_count(); ++c) {
+    if (codec_->component(c).index_bits == 0) {
+      index_scratch_[c] = 0;
+      continue;
+    }
+    codec_->pack_component(c, slots, key_scratch_.data());
+    const std::span<const std::byte> key{key_scratch_.data(),
+                                         codec_->component(c).key_bytes};
+    if (insert_components) {
+      // comp_intern mutates the component tables; intern() is the only
+      // caller that reaches here, find() passes insert_components=false.
+      index_scratch_[c] = const_cast<StateStore*>(this)->comp_intern(c, key);
+    } else {
+      const std::uint32_t idx = comp_find(c, key);
+      if (idx == kInvalidIndex) return false;
+      index_scratch_[c] = idx;
+    }
+  }
+  codec_->pack_root(index_scratch_, slots, entry_scratch_.data());
+  hash = hash_bytes({entry_scratch_.data(), entry_bytes_});
+  return true;
+}
+
+// ---- public API ----
 
 std::pair<std::uint32_t, bool> StateStore::intern(const ta::State& s) {
   return intern(s.slots());
@@ -56,47 +200,105 @@ std::pair<std::uint32_t, bool> StateStore::intern(const ta::State& s) {
 std::pair<std::uint32_t, bool> StateStore::intern(
     std::span<const ta::Slot> slots) {
   AHB_EXPECTS(slots.size() == stride_);
-  const std::uint64_t hash = hash_span(slots);
+  if (mode_ == ta::Compression::None) {
+    const std::uint64_t hash = hash_span(slots);
+    bool found = false;
+    std::uint32_t slot = probe(slots, hash, found);
+    if (found) return {table_[slot], false};
+
+    const auto index = static_cast<std::uint32_t>(count_);
+    arena_.insert(arena_.end(), slots.begin(), slots.end());
+    hashes_.push_back(hash);
+    table_[slot] = index;
+    ++count_;
+    if (count_ * 10 >= table_.size() * 7) grow_table();
+    return {index, true};
+  }
+
+  std::uint64_t hash = 0;
+  encode_entry(slots, /*insert_components=*/true, hash);
   bool found = false;
-  std::uint32_t slot = probe(slots, hash, found);
+  const std::uint32_t slot = probe_bytes(
+      {entry_scratch_.data(), entry_bytes_}, hash, found);
   if (found) return {table_[slot], false};
 
   const auto index = static_cast<std::uint32_t>(count_);
-  arena_.insert(arena_.end(), slots.begin(), slots.end());
-  hashes_.push_back(hash);
+  bytes_.insert(bytes_.end(), entry_scratch_.begin(),
+                entry_scratch_.begin() + static_cast<std::ptrdiff_t>(
+                                             entry_bytes_));
   table_[slot] = index;
   ++count_;
-
-  if (count_ * 10 >= table_.size() * 7) {
-    grow_table();
-  }
+  if (count_ * 10 >= table_.size() * 7) grow_table();
   return {index, true};
 }
 
 std::uint32_t StateStore::find(const ta::State& s) const {
   AHB_EXPECTS(s.size() == stride_);
   bool found = false;
-  const std::uint32_t slot = probe(s.slots(), s.hash(), found);
+  if (mode_ == ta::Compression::None) {
+    const std::uint32_t slot = probe(s.slots(), s.hash(), found);
+    return found ? table_[slot] : kInvalidIndex;
+  }
+  std::uint64_t hash = 0;
+  if (!encode_entry(s.slots(), /*insert_components=*/false, hash)) {
+    return kInvalidIndex;
+  }
+  const std::uint32_t slot =
+      probe_bytes({entry_scratch_.data(), entry_bytes_}, hash, found);
   return found ? table_[slot] : kInvalidIndex;
 }
 
 ta::State StateStore::get(std::uint32_t index) const {
-  AHB_EXPECTS(index < count_);
   ta::State s(stride_);
-  const ta::Slot* stored = arena_.data() + index * stride_;
-  for (std::size_t i = 0; i < stride_; ++i) s[i] = stored[i];
+  load(index, s);
   return s;
 }
 
+void StateStore::load(std::uint32_t index, ta::State& out) const {
+  AHB_EXPECTS(index < count_);
+  if (out.size() != stride_) out = ta::State(stride_);
+  switch (mode_) {
+    case ta::Compression::None: {
+      out.assign({arena_.data() + index * stride_, stride_});
+      return;
+    }
+    case ta::Compression::Pack: {
+      codec_->unpack(entry_of(index), out.slots_mut());
+      return;
+    }
+    case ta::Compression::Collapse: {
+      codec_->unpack_root(entry_of(index), index_scratch_, out.slots_mut());
+      for (std::size_t c = 0; c < codec_->component_count(); ++c) {
+        const auto& comp = codec_->component(c);
+        // Constant components store nothing: all member fields are
+        // zero-width, so the decode never dereferences the key pointer.
+        const std::byte* key =
+            comp.index_bits == 0
+                ? nullptr
+                : comps_[c].keys.data() + index_scratch_[c] * comp.key_bytes;
+        codec_->unpack_component(c, key, out.slots_mut());
+      }
+      return;
+    }
+  }
+}
+
 std::span<const ta::Slot> StateStore::raw(std::uint32_t index) const {
+  AHB_EXPECTS(mode_ == ta::Compression::None);
   AHB_EXPECTS(index < count_);
   return {arena_.data() + index * stride_, stride_};
 }
 
 std::size_t StateStore::memory_bytes() const {
-  return arena_.capacity() * sizeof(ta::Slot) +
-         hashes_.capacity() * sizeof(std::uint64_t) +
-         table_.capacity() * sizeof(std::uint32_t);
+  std::size_t bytes = arena_.capacity() * sizeof(ta::Slot) +
+                      hashes_.capacity() * sizeof(std::uint64_t) +
+                      bytes_.capacity() +
+                      table_.capacity() * sizeof(std::uint32_t);
+  for (const auto& comp : comps_) {
+    bytes += comp.keys.capacity() +
+             comp.table.capacity() * sizeof(std::uint32_t);
+  }
+  return bytes;
 }
 
 }  // namespace ahb::mc

@@ -1,16 +1,33 @@
 // Compact interned storage for explored states.
 //
 // States are fixed-stride slot vectors, so the store keeps one contiguous
-// arena (index * stride) plus an open-addressing hash table mapping state
-// bytes to indices. This keeps per-state overhead to stride*sizeof(Slot)
-// + 12 bytes, which matters: proving a requirement *holds* means
-// exhausting the reachable state space.
+// arena (index * entry size) plus an open-addressing hash table mapping
+// state bytes to indices. This matters: proving a requirement *holds*
+// means exhausting the reachable state space.
+//
+// Three encodings (ta::Compression), fixed at construction:
+//  - None: raw Slot vectors + a per-entry 64-bit hash, byte-identical to
+//    the historical store (raw() spans stay available).
+//  - Pack: each state bit-packed by the network's StateCodec; entries
+//    shrink from stride*16 bits to the sum of the actual slot widths.
+//  - Collapse: each automaton's local sub-vector is interned once in a
+//    per-component table and the arena keeps only the tuple of component
+//    indices plus the packed residue (clocks, shared variables).
+// Compressed modes drop the per-entry hash array as well — probes
+// memcmp the (short) encoded entries and table growth rehashes them —
+// which is where much of the footprint reduction comes from.
+//
+// Identity is preserved in every mode: two slot vectors intern to the
+// same index iff they are equal, so state counts, verdicts and trace
+// lengths are invariant under compression.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "ta/codec.hpp"
 #include "ta/state.hpp"
 
 namespace ahb::mc {
@@ -19,7 +36,13 @@ class StateStore {
  public:
   static constexpr std::uint32_t kInvalidIndex = 0xffffffffu;
 
+  /// Uncompressed store over raw slot vectors (Compression::None).
   explicit StateStore(std::size_t stride);
+
+  /// Codec-backed store; `codec` must outlive the store (it lives in the
+  /// frozen Network). Compression::None behaves exactly like the
+  /// stride-only constructor.
+  StateStore(const ta::StateCodec& codec, ta::Compression mode);
 
   /// Interns `s`; returns its index and whether it was newly inserted.
   std::pair<std::uint32_t, bool> intern(const ta::State& s);
@@ -28,30 +51,74 @@ class StateStore {
   /// SuccessorView target) without constructing a State.
   std::pair<std::uint32_t, bool> intern(std::span<const ta::Slot> slots);
 
-  /// Index of `s` if present, kInvalidIndex otherwise.
+  /// Index of `s` if present, kInvalidIndex otherwise. Never inserts
+  /// (in Collapse mode a state whose components are unknown is absent).
   std::uint32_t find(const ta::State& s) const;
 
   /// Reconstructs a State value from an index.
   ta::State get(std::uint32_t index) const;
 
+  /// Decodes an interned state into `out` (resized if needed). The
+  /// compression-agnostic way to read states back; hot loops reuse
+  /// `out`'s buffer.
+  void load(std::uint32_t index, ta::State& out) const;
+
+  /// Borrowed slot span of an interned state. Only available in
+  /// Compression::None, where states are stored unencoded.
   std::span<const ta::Slot> raw(std::uint32_t index) const;
 
   std::size_t size() const { return count_; }
   std::size_t stride() const { return stride_; }
+  ta::Compression compression() const { return mode_; }
 
-  /// Approximate heap footprint in bytes (arena + table + hashes).
+  /// Approximate heap footprint in bytes (arena + table + hashes +
+  /// component tables).
   std::size_t memory_bytes() const;
 
  private:
+  /// Per-component intern table (Collapse mode): packed member keys of
+  /// key_bytes each, deduplicated through open addressing.
+  struct CompTable {
+    std::vector<std::byte> keys;
+    std::vector<std::uint32_t> table;
+    std::uint32_t count = 0;
+  };
+
   void grow_table();
   std::uint32_t probe(std::span<const ta::Slot> slots, std::uint64_t hash,
                       bool& found) const;
+  std::uint32_t probe_bytes(std::span<const std::byte> key,
+                            std::uint64_t hash, bool& found) const;
+  std::uint32_t comp_intern(std::size_t c, std::span<const std::byte> key);
+  std::uint32_t comp_find(std::size_t c, std::span<const std::byte> key) const;
 
+  /// Encodes `slots` into entry_scratch_ per mode_, interning components
+  /// (Collapse). With `insert_components` false, unknown components make
+  /// it return false instead. Also yields the table hash of the entry.
+  bool encode_entry(std::span<const ta::Slot> slots, bool insert_components,
+                    std::uint64_t& hash) const;
+
+  const std::byte* entry_of(std::uint32_t index) const {
+    return bytes_.data() + static_cast<std::size_t>(index) * entry_bytes_;
+  }
+
+  const ta::StateCodec* codec_ = nullptr;
+  ta::Compression mode_ = ta::Compression::None;
   std::size_t stride_;
-  std::vector<ta::Slot> arena_;
-  std::vector<std::uint64_t> hashes_;  // per interned state
+  std::size_t entry_bytes_ = 0;  ///< bytes per state in `bytes_`
+
+  std::vector<ta::Slot> arena_;        // None: raw slots, index * stride
+  std::vector<std::uint64_t> hashes_;  // None: per interned state
+  std::vector<std::byte> bytes_;       // Pack/Collapse: encoded entries
+  std::vector<CompTable> comps_;       // Collapse: per-component tables
   std::vector<std::uint32_t> table_;   // open addressing, power-of-two size
   std::size_t count_ = 0;
+
+  // Reusable encode buffers; mutable so find() (which must not insert)
+  // can share the encode path. The store is single-threaded by contract.
+  mutable std::vector<std::byte> entry_scratch_;
+  mutable std::vector<std::byte> key_scratch_;
+  mutable std::vector<std::uint32_t> index_scratch_;
 };
 
 }  // namespace ahb::mc

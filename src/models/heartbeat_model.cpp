@@ -70,7 +70,8 @@ class Builder {
 
   void build() {
     const int n = is_multi(flavor_) ? options_.participants : 1;
-    h_.lost = net_.add_var("lost", 0);
+    // Shared flag (no owning automaton): lives in the collapse root.
+    h_.lost = net_.add_var("lost", 0, 0, 1);
 
     // Channel declarations first: edges reference them from every side.
     if (is_multi(flavor_)) {
@@ -122,17 +123,21 @@ class Builder {
   void build_p0(int n) {
     auto& h = h_;
     h.p0 = net_.add_automaton("p0");
-    h.active0 = net_.add_var("active0", 1);
-    h.t = net_.add_var("t", timing_.tmax);
+    // All of p[0]'s bookkeeping is declared as owned by p0, so the
+    // collapse codec folds it into p0's component; waiting times range
+    // over [0, tmax] (kInactivateWait == 0 included).
+    h.active0 = net_.add_var("active0", 1, 0, 1, h.p0);
+    h.t = net_.add_var("t", timing_.tmax, 0, timing_.tmax, h.p0);
     h.waiting = net_.add_clock("waiting", timing_.tmax + 1);
     for (int i = 0; i < n; ++i) {
       auto& p = h.parts[static_cast<std::size_t>(i)];
-      p.rcvd0 = net_.add_var(strprintf("rcvd%d", i + 1), 1);
+      p.rcvd0 = net_.add_var(strprintf("rcvd%d", i + 1), 1, 0, 1, h.p0);
       if (is_multi(flavor_)) {
-        p.tm = net_.add_var(strprintf("tm%d", i + 1), timing_.tmax);
+        p.tm = net_.add_var(strprintf("tm%d", i + 1), timing_.tmax, 0,
+                            timing_.tmax, h.p0);
       }
       if (has_join_phase()) {
-        p.jnd = net_.add_var(strprintf("jnd%d", i + 1), 0);
+        p.jnd = net_.add_var(strprintf("jnd%d", i + 1), 0, 0, 1, h.p0);
       }
     }
 
@@ -170,14 +175,23 @@ class Builder {
       auto& p = h.parts[static_cast<std::size_t>(i)];
       const VarId rcvd0 = p.rcvd0;
       const VarId jnd = p.jnd;
+      const VarId tm = p.tm;
       const bool join = has_join_phase();
+      const int tmax = timing_.tmax;
       net_.add_edge(h.p0,
                     Edge{.src = h.l_alive,
                          .dst = h.l_alive,
                          .chan = deliver_p0_true_[static_cast<std::size_t>(i)],
                          .dir = SyncDir::Recv,
                          .effect =
-                             [rcvd0, jnd, join](StateMut& m) {
+                             [rcvd0, jnd, tm, join, tmax](StateMut& m) {
+                               // Registration of a (re)joining process
+                               // starts its waiting time from tmax again,
+                               // exactly like the hb coordinator does —
+                               // without this, a process that left with a
+                               // decayed tm[i] and later rejoined would
+                               // inherit the stale value.
+                               if (join && m.var(jnd) == 0) m.set(tm, tmax);
                                m.set(rcvd0, 1);
                                if (join) m.set(jnd, 1);
                              },
@@ -319,7 +333,7 @@ class Builder {
     auto& p = h_.parts[static_cast<std::size_t>(i)];
     const auto idx = static_cast<std::size_t>(i);
     p.proc = net_.add_automaton(strprintf("p%d", i + 1));
-    p.active = net_.add_var(strprintf("active%d", i + 1), 1);
+    p.active = net_.add_var(strprintf("active%d", i + 1), 1, 0, 1, p.proc);
 
     const int joined_bound = participant_bound(timing_, options_.use_corrected_bounds());
     const int joining_bound = join_bound(timing_, options_.use_corrected_bounds());
@@ -330,7 +344,7 @@ class Builder {
     const VarId active = p.active;
     const Handles* hp = &h_;
     if (leaves()) {
-      p.left = net_.add_var(strprintf("left%d", i + 1), 0);
+      p.left = net_.add_var(strprintf("left%d", i + 1), 0, 0, 1, p.proc);
     }
 
     // Locations.

@@ -15,8 +15,8 @@ ta::Network build_standalone_p0(const Timing& timing) {
   const auto recv_chan = net.add_channel("rcv", ChanKind::Broadcast);
 
   const auto p0 = net.add_automaton("p0");
-  const auto t = net.add_var("t", timing.tmax);
-  const auto rcvd = net.add_var("rcvd", 1);
+  const auto t = net.add_var("t", timing.tmax, 0, timing.tmax, p0);
+  const auto rcvd = net.add_var("rcvd", 1, 0, 1, p0);
   const auto waiting = net.add_clock("waiting", timing.tmax + 1);
 
   const auto alive = net.add_location(

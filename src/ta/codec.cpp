@@ -1,0 +1,250 @@
+#include "ta/codec.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "util/contracts.hpp"
+#include "util/hash.hpp"
+
+namespace ahb::ta {
+
+// The bit windows below memcpy through std::uint64_t and rely on byte 0
+// being the least significant one.
+static_assert(std::endian::native == std::endian::little,
+              "StateCodec bit windows assume a little-endian target");
+
+namespace {
+
+/// Widest bit-field the codec emits: component indices are capped here,
+/// and unannotated variables (full Slot range) need 16 < 32 bits.
+constexpr unsigned kMaxFieldBits = 32;
+
+/// ORs `width` bits of `value` into `buf` at bit offset `bit`. The
+/// destination bits must be zero (buffers are zero-filled before
+/// packing). width <= 32, so the shifted value fits a 64-bit window.
+inline void put_bits(std::byte* buf, std::size_t bit, unsigned width,
+                     std::uint64_t value) {
+  if (width == 0) return;
+  const std::size_t byte = bit >> 3;
+  const unsigned shift = static_cast<unsigned>(bit & 7);
+  const unsigned nbytes = (shift + width + 7) / 8;
+  std::uint64_t window = 0;
+  std::memcpy(&window, buf + byte, nbytes);
+  window |= value << shift;
+  std::memcpy(buf + byte, &window, nbytes);
+}
+
+inline std::uint64_t get_bits(const std::byte* buf, std::size_t bit,
+                              unsigned width) {
+  if (width == 0) return 0;
+  const std::size_t byte = bit >> 3;
+  const unsigned shift = static_cast<unsigned>(bit & 7);
+  const unsigned nbytes = (shift + width + 7) / 8;
+  std::uint64_t window = 0;
+  std::memcpy(&window, buf + byte, nbytes);
+  return (window >> shift) & ((std::uint64_t{1} << width) - 1);
+}
+
+/// Bits needed to encode the range [min, max] as value-min.
+inline std::uint8_t range_width(Slot min, Slot max) {
+  const auto span = static_cast<std::uint32_t>(static_cast<std::int32_t>(max) -
+                                               static_cast<std::int32_t>(min));
+  return static_cast<std::uint8_t>(std::bit_width(span));
+}
+
+}  // namespace
+
+const char* to_string(Compression mode) {
+  switch (mode) {
+    case Compression::None:
+      return "none";
+    case Compression::Pack:
+      return "pack";
+    case Compression::Collapse:
+      return "collapse";
+  }
+  return "?";
+}
+
+// ---- Builder ----
+
+void StateCodec::Builder::add_location_slot(int location_count) {
+  AHB_EXPECTS(!vars_started_);  // locations come first in the layout
+  AHB_EXPECTS(location_count >= 1);
+  decls_.push_back(SlotDecl{0, static_cast<Slot>(location_count - 1),
+                            static_cast<int>(location_slots_)});
+  ++location_slots_;
+}
+
+void StateCodec::Builder::add_var_slot(int min, int max, int owner) {
+  AHB_EXPECTS(min <= max);
+  AHB_EXPECTS(owner < static_cast<int>(location_slots_));
+  vars_started_ = true;
+  decls_.push_back(SlotDecl{static_cast<Slot>(min), static_cast<Slot>(max),
+                            owner < 0 ? -1 : owner});
+}
+
+void StateCodec::Builder::add_clock_slot(int cap) {
+  AHB_EXPECTS(cap > 0);
+  decls_.push_back(SlotDecl{0, static_cast<Slot>(cap), -1});
+}
+
+StateCodec StateCodec::Builder::build() && {
+  StateCodec codec;
+  codec.fields_.reserve(decls_.size());
+  codec.components_.resize(location_slots_);
+  for (std::size_t slot = 0; slot < decls_.size(); ++slot) {
+    const auto& d = decls_[slot];
+    codec.fields_.push_back(Field{d.min, range_width(d.min, d.max)});
+    codec.packed_bits_ += codec.fields_.back().width;
+    if (d.owner >= 0) {
+      codec.components_[static_cast<std::size_t>(d.owner)].slots.push_back(
+          static_cast<std::uint32_t>(slot));
+    } else if (slot >= location_slots_) {
+      codec.residue_slots_.push_back(static_cast<std::uint32_t>(slot));
+    }
+  }
+  codec.packed_bytes_ = (codec.packed_bits_ + 7) / 8;
+
+  for (auto& comp : codec.components_) {
+    std::size_t key_bits = 0;
+    // Saturating product of the member range sizes: the true number of
+    // distinct member tuples when it fits, else the 2^32 cap (the store
+    // index space bounds real counts well below that).
+    std::uint64_t product = 1;
+    for (const auto slot : comp.slots) {
+      key_bits += codec.fields_[slot].width;
+      if (product <= (std::uint64_t{1} << kMaxFieldBits)) {
+        const auto& d = decls_[slot];
+        product *= static_cast<std::uint64_t>(d.max - d.min) + 1;
+      }
+    }
+    comp.key_bytes = (key_bits + 7) / 8;
+    if (product > 1) {
+      product = std::min(product, std::uint64_t{1} << kMaxFieldBits);
+      comp.index_bits = static_cast<std::uint8_t>(
+          std::min<unsigned>(std::bit_width(product - 1), kMaxFieldBits));
+    }
+    codec.root_bits_ += comp.index_bits;
+  }
+  for (const auto slot : codec.residue_slots_) {
+    codec.root_bits_ += codec.fields_[slot].width;
+  }
+  codec.root_bytes_ = (codec.root_bits_ + 7) / 8;
+  return codec;
+}
+
+// ---- full-state packing ----
+
+void StateCodec::pack(std::span<const Slot> slots, std::byte* out) const {
+  AHB_EXPECTS(slots.size() == fields_.size());
+  std::memset(out, 0, packed_bytes_);
+  std::size_t bit = 0;
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    const Field& f = fields_[i];
+    AHB_ASSERT(slots[i] >= f.base);
+    const auto value =
+        static_cast<std::uint64_t>(static_cast<std::int32_t>(slots[i]) -
+                                   static_cast<std::int32_t>(f.base));
+    AHB_ASSERT(f.width == kMaxFieldBits ||
+               value < (std::uint64_t{1} << f.width));
+    put_bits(out, bit, f.width, value);
+    bit += f.width;
+  }
+}
+
+void StateCodec::unpack(const std::byte* in, std::span<Slot> out) const {
+  AHB_EXPECTS(out.size() == fields_.size());
+  std::size_t bit = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const Field& f = fields_[i];
+    out[i] = static_cast<Slot>(static_cast<std::int32_t>(f.base) +
+                               static_cast<std::int32_t>(
+                                   get_bits(in, bit, f.width)));
+    bit += f.width;
+  }
+}
+
+std::uint64_t StateCodec::packed_hash(std::span<const Slot> slots,
+                                      std::span<std::byte> scratch) const {
+  AHB_EXPECTS(scratch.size() >= packed_bytes_);
+  pack(slots, scratch.data());
+  return hash_bytes(scratch.subspan(0, packed_bytes_));
+}
+
+// ---- components ----
+
+void StateCodec::pack_component(std::size_t c, std::span<const Slot> state,
+                                std::byte* out) const {
+  const Component& comp = components_[c];
+  std::memset(out, 0, comp.key_bytes);
+  std::size_t bit = 0;
+  for (const auto slot : comp.slots) {
+    const Field& f = fields_[slot];
+    AHB_ASSERT(state[slot] >= f.base);
+    put_bits(out, bit, f.width,
+             static_cast<std::uint64_t>(
+                 static_cast<std::int32_t>(state[slot]) -
+                 static_cast<std::int32_t>(f.base)));
+    bit += f.width;
+  }
+}
+
+void StateCodec::unpack_component(std::size_t c, const std::byte* in,
+                                  std::span<Slot> state) const {
+  const Component& comp = components_[c];
+  std::size_t bit = 0;
+  for (const auto slot : comp.slots) {
+    const Field& f = fields_[slot];
+    state[slot] = static_cast<Slot>(static_cast<std::int32_t>(f.base) +
+                                    static_cast<std::int32_t>(
+                                        get_bits(in, bit, f.width)));
+    bit += f.width;
+  }
+}
+
+// ---- collapse root ----
+
+void StateCodec::pack_root(std::span<const std::uint32_t> indices,
+                           std::span<const Slot> state, std::byte* out) const {
+  AHB_EXPECTS(indices.size() == components_.size());
+  std::memset(out, 0, root_bytes_);
+  std::size_t bit = 0;
+  for (std::size_t c = 0; c < components_.size(); ++c) {
+    const auto width = components_[c].index_bits;
+    AHB_ASSERT(width == kMaxFieldBits ||
+               indices[c] < (std::uint64_t{1} << width));
+    put_bits(out, bit, width, indices[c]);
+    bit += width;
+  }
+  for (const auto slot : residue_slots_) {
+    const Field& f = fields_[slot];
+    AHB_ASSERT(state[slot] >= f.base);
+    put_bits(out, bit, f.width,
+             static_cast<std::uint64_t>(
+                 static_cast<std::int32_t>(state[slot]) -
+                 static_cast<std::int32_t>(f.base)));
+    bit += f.width;
+  }
+}
+
+void StateCodec::unpack_root(const std::byte* in,
+                             std::span<std::uint32_t> indices,
+                             std::span<Slot> state) const {
+  AHB_EXPECTS(indices.size() == components_.size());
+  std::size_t bit = 0;
+  for (std::size_t c = 0; c < components_.size(); ++c) {
+    const auto width = components_[c].index_bits;
+    indices[c] = static_cast<std::uint32_t>(get_bits(in, bit, width));
+    bit += width;
+  }
+  for (const auto slot : residue_slots_) {
+    const Field& f = fields_[slot];
+    state[slot] = static_cast<Slot>(static_cast<std::int32_t>(f.base) +
+                                    static_cast<std::int32_t>(
+                                        get_bits(in, bit, f.width)));
+    bit += f.width;
+  }
+}
+
+}  // namespace ahb::ta

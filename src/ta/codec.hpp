@@ -1,0 +1,139 @@
+// Compressed state encodings for the explorer's stores (SPIN-style).
+//
+// A frozen Network knows the exact value range of every slot: location
+// slots range over [0, #locations-1], clocks saturate at their cap, and
+// variables carry a declared range (defaulting to the full Slot range
+// when unannotated). The StateCodec derives two encodings from that
+// metadata:
+//
+//  - Pack: every slot bit-packed to its actual width (booleans 1 bit,
+//    clocks ceil(log2(cap+1)) bits) instead of 16. Injective, fixed
+//    stride, order-preserving per slot.
+//  - Collapse (after SPIN's COLLAPSE mode): each automaton's local
+//    sub-vector — its location slot plus the variables declared as owned
+//    by it — is interned once in a small per-component table; the global
+//    store keeps only the tuple of component indices plus the bit-packed
+//    residue (clocks and unowned variables). Component index fields are
+//    sized by the product of the member ranges, capped at 32 bits: for
+//    small automata the index is no wider than the packed members, and
+//    for large ones (many owned variables) the 32-bit cap is where
+//    collapse beats plain packing.
+//
+// Both encodings are deterministic functions of the frozen layout, so
+// state identity — and therefore reachable-state counts, verdicts and
+// counterexample lengths — is invariant under compression.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ta/ids.hpp"
+
+namespace ahb::ta {
+
+/// Store encoding selected via mc::SearchLimits::compression.
+enum class Compression : std::uint8_t { None, Pack, Collapse };
+
+const char* to_string(Compression mode);
+
+class StateCodec {
+ public:
+  /// Bit-field of one slot. width == 0 means the slot is constant
+  /// (single-valued range): it occupies no bits and decodes to `base`.
+  struct Field {
+    Slot base = 0;           ///< minimum representable value
+    std::uint8_t width = 0;  ///< bits used; values encode as value-base
+  };
+
+  /// One COLLAPSE component: an automaton's location slot plus its
+  /// owned variables, interned as a packed key of `key_bytes` bytes.
+  struct Component {
+    std::vector<std::uint32_t> slots;  ///< member slot indices, ascending
+    std::size_t key_bytes = 0;         ///< packed size of the member slots
+    std::uint8_t index_bits = 0;       ///< root index field width (0 =>
+                                       ///< single-valued, nothing stored)
+  };
+
+  /// Incrementally describes the frozen slot layout, in slot order
+  /// (locations, then variables, then clocks). Used by Network::freeze.
+  class Builder {
+   public:
+    void add_location_slot(int location_count);
+    /// owner < 0 leaves the variable in the root residue (shared).
+    void add_var_slot(int min, int max, int owner);
+    void add_clock_slot(int cap);
+    StateCodec build() &&;
+
+   private:
+    struct SlotDecl {
+      Slot min = 0;
+      Slot max = 0;
+      int owner = -1;  ///< owning automaton for location/owned-var slots
+    };
+    std::vector<SlotDecl> decls_;
+    std::size_t location_slots_ = 0;
+    bool vars_started_ = false;
+  };
+
+  StateCodec() = default;
+
+  std::size_t slot_count() const { return fields_.size(); }
+  const Field& field(std::size_t slot) const { return fields_[slot]; }
+
+  // ---- full-state bit-packing (Pack mode; also the canonical hash
+  // image for sharding/filters in every compressed mode) ----
+
+  std::size_t packed_bytes() const { return packed_bytes_; }
+
+  /// Packs `slots` into `out[0..packed_bytes)`. Zero-fills trailing
+  /// slack bits, so packed images are memcmp- and hash-comparable.
+  /// Aborts if any slot is outside its declared range.
+  void pack(std::span<const Slot> slots, std::byte* out) const;
+  void unpack(const std::byte* in, std::span<Slot> out) const;
+
+  /// hash_bytes of the packed image; `scratch` must hold at least
+  /// packed_bytes() bytes. Injectivity of pack() makes this an exact
+  /// stand-in for hashing the raw slot vector.
+  std::uint64_t packed_hash(std::span<const Slot> slots,
+                            std::span<std::byte> scratch) const;
+
+  // ---- COLLAPSE partition (Collapse mode) ----
+
+  std::size_t component_count() const { return components_.size(); }
+  const Component& component(std::size_t c) const { return components_[c]; }
+
+  void pack_component(std::size_t c, std::span<const Slot> state,
+                      std::byte* out) const;
+  void unpack_component(std::size_t c, const std::byte* in,
+                        std::span<Slot> state) const;
+
+  /// Collapse root: one index field per non-constant component, then the
+  /// bit-packed residue slots (clocks and unowned variables).
+  std::size_t root_bytes() const { return root_bytes_; }
+  const std::vector<std::uint32_t>& residue_slots() const {
+    return residue_slots_;
+  }
+
+  /// `indices[c]` is ignored for components with index_bits == 0.
+  void pack_root(std::span<const std::uint32_t> indices,
+                 std::span<const Slot> state, std::byte* out) const;
+  /// Fills `indices` (0 for constant components) and the residue slots
+  /// of `state`; component member slots are left untouched.
+  void unpack_root(const std::byte* in, std::span<std::uint32_t> indices,
+                   std::span<Slot> state) const;
+
+ private:
+  friend class Builder;
+
+  std::vector<Field> fields_;
+  std::vector<Component> components_;
+  std::vector<std::uint32_t> residue_slots_;
+  std::size_t packed_bits_ = 0;
+  std::size_t packed_bytes_ = 0;
+  std::size_t root_bits_ = 0;
+  std::size_t root_bytes_ = 0;
+};
+
+}  // namespace ahb::ta

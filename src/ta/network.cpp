@@ -35,7 +35,21 @@ void Network::set_initial(AutomatonId a, int loc_index) {
 
 VarId Network::add_var(std::string name, int init) {
   AHB_EXPECTS(!frozen_);
-  vars_.push_back(VarDecl{std::move(name), static_cast<Slot>(init)});
+  vars_.push_back(VarDecl{.name = std::move(name),
+                          .init = static_cast<Slot>(init)});
+  return VarId{static_cast<int>(vars_.size()) - 1};
+}
+
+VarId Network::add_var(std::string name, int init, int min, int max,
+                       AutomatonId owner) {
+  AHB_EXPECTS(!frozen_);
+  AHB_EXPECTS(min <= init && init <= max);
+  AHB_EXPECTS(owner.value < static_cast<int>(automata_.size()));
+  vars_.push_back(VarDecl{.name = std::move(name),
+                          .init = static_cast<Slot>(init),
+                          .min = static_cast<Slot>(min),
+                          .max = static_cast<Slot>(max),
+                          .owner = owner.value < 0 ? -1 : owner.value});
   return VarId{static_cast<int>(vars_.size()) - 1};
 }
 
@@ -75,6 +89,17 @@ void Network::freeze() {
     AHB_EXPECTS(!a.locations.empty());
   }
   slot_count_ = automata_.size() + vars_.size() + clocks_.size();
+  StateCodec::Builder builder;
+  for (const auto& a : automata_) {
+    builder.add_location_slot(static_cast<int>(a.locations.size()));
+  }
+  for (const auto& v : vars_) {
+    builder.add_var_slot(v.min, v.max, v.owner);
+  }
+  for (const auto& c : clocks_) {
+    builder.add_clock_slot(c.cap);
+  }
+  codec_ = std::move(builder).build();
   frozen_ = true;
   // The initial state must satisfy every invariant, otherwise the model
   // is ill-formed and exploration would start from an impossible state.

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <span>
@@ -23,6 +24,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "ta/codec.hpp"
 #include "ta/ids.hpp"
 #include "ta/state.hpp"
 
@@ -166,6 +168,17 @@ class Network {
   void set_initial(AutomatonId a, int loc_index);
 
   VarId add_var(std::string name, int init);
+
+  /// Declares the variable's reachable range [min, max] — used by the
+  /// state codec to bit-pack the slot — and optionally the automaton
+  /// whose COLLAPSE component the variable belongs to (an invalid id
+  /// leaves it shared, i.e. stored in the collapse root). The range is
+  /// a contract: the codec aborts on out-of-range values, so declare a
+  /// superset when in doubt. The two-argument overload keeps the full
+  /// Slot range and no owner.
+  VarId add_var(std::string name, int init, int min, int max,
+                AutomatonId owner = AutomatonId{});
+
   ClockId add_clock(std::string name, int cap);
   ChanId add_channel(std::string name, ChanKind kind);
 
@@ -241,6 +254,9 @@ class Network {
   std::size_t clock_count() const { return clocks_.size(); }
   std::size_t slot_count() const { return slot_count_; }
 
+  /// Compressed-state codec derived from the layout at freeze() time.
+  const StateCodec& codec() const { return codec_; }
+
   const std::string& automaton_name(AutomatonId a) const;
   const std::string& location_name(AutomatonId a, int loc_index) const;
   const std::string& var_name(VarId v) const;
@@ -278,6 +294,9 @@ class Network {
   struct VarDecl {
     std::string name;
     Slot init = 0;
+    Slot min = std::numeric_limits<Slot>::min();
+    Slot max = std::numeric_limits<Slot>::max();
+    int owner = -1;  ///< owning automaton for COLLAPSE, -1 = shared
   };
 
   struct ClockDecl {
@@ -330,6 +349,7 @@ class Network {
   std::vector<VarDecl> vars_;
   std::vector<ClockDecl> clocks_;
   std::vector<ChanDecl> chans_;
+  StateCodec codec_;
   std::size_t slot_count_ = 0;
   bool frozen_ = false;
 };

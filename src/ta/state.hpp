@@ -32,6 +32,7 @@ class State {
 
   std::size_t size() const { return slots_.size(); }
   std::span<const Slot> slots() const { return slots_; }
+  std::span<Slot> slots_mut() { return slots_; }
 
   std::uint64_t hash() const {
     return hash_span(std::span<const Slot>{slots_});

@@ -123,6 +123,47 @@ TEST(Conformance, DynamicLeaveAndGracefulRejoinReplays) {
   }
 }
 
+TEST(Conformance, DynamicLossRejoinOverlapReplays) {
+  // The ROADMAP divergence scenario: p[1]'s waiting time tm[1] decays at
+  // p[0] under loss (its replies are dropped), p[1] then leaves with the
+  // decayed tm[1] on the books, gracefully rejoins, and runs into a
+  // second loss window right after re-registration. The model now
+  // restarts the rejoiner's tm from tmax on the join edge, exactly like
+  // the hb coordinator; this scenario covers that path end to end. (The
+  // reset itself is trace-invisible — the join beat sets rcvd, which
+  // masks tm at the next round close — so the regression detector for
+  // it is the state-count pin in rejoin_test.cpp, and this test pins
+  // that decayed rounds, leave, rejoin and overlapping loss replay.)
+  const auto config = conformance_config(hb::Variant::Dynamic, 4, 10);
+  hb::Cluster cluster{config};
+  TraceRecorder recorder{cluster};
+  cluster.leave_at(1, 38);   // leaves with the next beat, at t=40
+  cluster.rejoin_at(1, 46);  // graceful: > tmin after the t=40 leave
+  cluster.start();
+  cluster.run_until(25);    // healthy joined rounds close at 10, 20, 30
+  cluster.fail_link(1, 0);  // p[1]'s t=30 reply vanishes: tm[1] decays
+  cluster.run_until(35);    //   (the decayed t=40..45 round is recorded)
+  cluster.restore_link(1, 0);  // up again so the leave beat gets through
+  cluster.run_until(51);       // leave at 40, rejoin registers at t=50
+  cluster.fail_link(1, 0);     // loss overlapping the re-registration:
+  cluster.run_until(75);       //   p[1] starves p[0], which inactivates
+  cluster.restore_link(1, 0);
+  cluster.run_until(120);
+  ASSERT_FALSE(recorder.events().empty());
+  const auto saw = [&](hb::ProtocolEvent::Kind kind) {
+    for (const auto& e : recorder.events()) {
+      if (e.kind == kind) return true;
+    }
+    return false;
+  };
+  ASSERT_TRUE(saw(hb::ProtocolEvent::Kind::ParticipantLeft));
+  ASSERT_TRUE(saw(hb::ProtocolEvent::Kind::ParticipantRejoined));
+  const auto r = proto::replay_cluster_trace(
+      config, recorder.events(), models::BuildOptions::Rejoin::Graceful);
+  EXPECT_TRUE(r.ok) << "matched " << r.matched << "/" << r.events << ": "
+                    << r.diagnostic;
+}
+
 TEST(Conformance, RandomLossAndCrashTracesReplay) {
   // Seeded property test: under random loss and crash times, every trace
   // the engines can produce must still be a trace of the model. Loss is

@@ -94,6 +94,22 @@ TEST(RejoinModel, GracefulRejoinWaitsOutTheLeaveBeat) {
   EXPECT_TRUE(verdicts.r2);
 }
 
+TEST(RejoinModel, RejoinRegistrationRestartsWaitingTimeFromTmax) {
+  // The hb coordinator restarts a re-registered member's waiting time
+  // from tmax; the model mirrors that on its join edge. The value is
+  // behaviourally dead — the first round close after registration always
+  // sees rcvd set (the join beat sets it), and next_wait(received=true)
+  // resets tm regardless — so no trace can detect the reset. The state
+  // space can: without it, departed-and-rejoined runs drag decayed tm
+  // values through otherwise-identical states (111,285 reachable states
+  // instead of 102,765 at this point).
+  const auto model =
+      HeartbeatModel::build(Flavor::Dynamic, rejoin_options(2, 10, false));
+  mc::Explorer ex{model.net()};
+  const auto stats = ex.explore_all();
+  EXPECT_EQ(stats.states, 102765u);
+}
+
 TEST(RejoinModel, UnfixedVerdictsMatchDynamicOracle) {
   // Rejoin adds behaviour but must not change the published verdicts:
   // R1 <=> 2*tmin > tmax, R2 <=> 2*tmin < tmax, R3 <=> tmin < tmax.
