@@ -1,0 +1,178 @@
+// Chaos campaign harness: sweeps seeded fault schedules across all
+// variants, checks the R1–R3 runtime monitors on every run, and
+// delta-debugs any violating schedule to a minimal replayable artifact.
+//
+//   bench_chaos_campaign [--json] [--runs=N] [--threads=N]
+//                        [--participants=N] [--out-of-spec] [--no-shrink]
+//                        [--artifacts=DIR] [--replay=FILE]
+//
+// The default (in-spec) campaign keeps every fault inside the channel
+// assumptions, so any reported violation is a real protocol bug and the
+// process exits nonzero. --out-of-spec runs the negative control:
+// delay/drift injection beyond the spec, where the monitors are
+// *expected* to fire (exit is nonzero if they stay silent). --replay
+// re-executes one serialized schedule and reports its violations.
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "chaos/campaign.hpp"
+
+namespace {
+
+using namespace ahb;
+
+struct Args {
+  bool json = false;
+  bool out_of_spec = false;
+  bool shrink = true;
+  int runs = 30;
+  int participants = 2;
+  unsigned threads = 1;
+  std::string artifacts_dir;
+  std::string replay_file;
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--json") == 0) {
+      args.json = true;
+    } else if (std::strcmp(arg, "--out-of-spec") == 0) {
+      args.out_of_spec = true;
+    } else if (std::strcmp(arg, "--no-shrink") == 0) {
+      args.shrink = false;
+    } else if (std::strncmp(arg, "--runs=", 7) == 0) {
+      args.runs = std::atoi(arg + 7);
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      args.threads = static_cast<unsigned>(std::atoi(arg + 10));
+    } else if (std::strncmp(arg, "--participants=", 15) == 0) {
+      args.participants = std::atoi(arg + 15);
+    } else if (std::strncmp(arg, "--artifacts=", 12) == 0) {
+      args.artifacts_dir = arg + 12;
+    } else if (std::strncmp(arg, "--replay=", 9) == 0) {
+      args.replay_file = arg + 9;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--json] [--runs=N] [--threads=N] "
+                   "[--participants=N] [--out-of-spec] [--no-shrink] "
+                   "[--artifacts=DIR] [--replay=FILE]\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+int replay(const Args& args) {
+  std::ifstream in(args.replay_file);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", args.replay_file.c_str());
+    return 2;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  const auto spec = chaos::parse_run(text.str());
+  if (!spec) {
+    std::fprintf(stderr, "malformed schedule in %s\n",
+                 args.replay_file.c_str());
+    return 2;
+  }
+  const chaos::RunResult result = chaos::run_chaos(*spec);
+  for (const auto& violation : result.violations) {
+    std::printf("violation R%d node %d at %" PRId64 " (deadline %" PRId64
+                "): %s\n",
+                violation.requirement, violation.node, violation.at,
+                violation.deadline, violation.detail.c_str());
+  }
+  std::printf("%s replay: %zu violation(s), %s schedule\n",
+              args.replay_file.c_str(), result.violations.size(),
+              result.out_of_spec ? "out-of-spec" : "in-spec");
+  return 0;
+}
+
+void write_artifacts(const Args& args, const chaos::CampaignResult& result) {
+  std::error_code ec;
+  std::filesystem::create_directories(args.artifacts_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot create %s: %s\n", args.artifacts_dir.c_str(),
+                 ec.message().c_str());
+    return;
+  }
+  int index = 0;
+  for (const auto& violating : result.violating) {
+    char path[512];
+    std::snprintf(path, sizeof path, "%s/chaos_violation_%03d.jsonl",
+                  args.artifacts_dir.c_str(), index++);
+    std::ofstream out(path);
+    out << violating.artifact;
+    if (!out) {
+      std::fprintf(stderr, "failed to write %s\n", path);
+      continue;
+    }
+    std::printf("wrote %s (%zu action(s))\n", path,
+                violating.shrunk.schedule.actions.size());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  if (!args.replay_file.empty()) return replay(args);
+
+  chaos::CampaignOptions options;
+  options.runs_per_config = args.runs;
+  options.participants = args.participants;
+  options.out_of_spec = args.out_of_spec;
+  options.threads = args.threads;
+  options.shrink = args.shrink;
+
+  const chaos::CampaignResult result = chaos::run_campaign(options);
+  const char* profile = args.out_of_spec ? "out-of-spec" : "in-spec";
+
+  if (args.json) {
+    std::printf(
+        "{\"bench\": \"chaos/%s\", \"runs\": %" PRIu64
+        ", \"violating_runs\": %" PRIu64 ", \"sent\": %" PRIu64
+        ", \"delivered\": %" PRIu64 ", \"lost\": %" PRIu64
+        ", \"blocked\": %" PRIu64 ", \"duplicated\": %" PRIu64
+        ", \"reordered\": %" PRIu64 ", \"out_of_spec_delay\": %" PRIu64
+        ", \"threads\": %u, \"fingerprint\": \"%016" PRIx64 "\"}\n",
+        profile, result.runs, result.violating_runs, result.totals.sent,
+        result.totals.delivered, result.totals.lost, result.totals.blocked,
+        result.totals.duplicated, result.totals.reordered,
+        result.totals.out_of_spec_delay, args.threads, result.fingerprint);
+  } else {
+    std::printf("chaos campaign (%s): %" PRIu64 " runs, %" PRIu64
+                " violating, fingerprint %016" PRIx64 "\n",
+                profile, result.runs, result.violating_runs,
+                result.fingerprint);
+  }
+
+  for (const auto& violating : result.violating) {
+    const auto& first = violating.violations.front();
+    std::printf("violating run: variant=%s tmin=%" PRId64 " tmax=%" PRId64
+                " seed=%" PRIu64 " -> R%d node %d at %" PRId64
+                " (%zu -> %zu action(s) after shrink)\n",
+                proto::to_string(violating.spec.variant), violating.spec.tmin,
+                violating.spec.tmax, violating.spec.seed, first.requirement,
+                first.node, first.at, violating.spec.schedule.actions.size(),
+                violating.shrunk.schedule.actions.size());
+    if (args.artifacts_dir.empty()) {
+      std::fputs(violating.artifact.c_str(), stdout);
+    }
+  }
+  if (!args.artifacts_dir.empty()) write_artifacts(args, result);
+
+  // In-spec violations are bugs; an out-of-spec campaign that never
+  // trips the monitors means the negative control is broken.
+  if (!args.out_of_spec) return result.violating_runs == 0 ? 0 : 1;
+  return result.violating_runs > 0 ? 0 : 1;
+}

@@ -20,6 +20,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "hb/cluster.hpp"
 #include "hb/plain.hpp"
 #include "sim/network.hpp"
@@ -36,10 +37,12 @@ constexpr int kRuns = 200;
 
 struct Row {
   std::string name;
+  std::string slug;           ///< JSON bench-line identifier
   double msgs_per_tmax = 0;   ///< overhead while healthy
   double survival = 0;        ///< fraction of runs with no false deactivation
   double detect_mean = 0;     ///< delay after an injected crash
   hb::Time detect_max = 0;
+  sim::NetworkStats net;      ///< channel counters summed over every run
 };
 
 /// Plain fixed-period heartbeat pair: node 1 beats, node 0 detects.
@@ -47,7 +50,18 @@ struct PlainOutcome {
   bool falsely_suspected = false;
   hb::Time suspect_delay = 0;  ///< delay after the crash, if crashed
   std::uint64_t sent = 0;
+  sim::NetworkStats net;
 };
+
+void add_stats(sim::NetworkStats& total, const sim::NetworkStats& one) {
+  total.sent += one.sent;
+  total.delivered += one.delivered;
+  total.lost += one.lost;
+  total.blocked += one.blocked;
+  total.duplicated += one.duplicated;
+  total.reordered += one.reordered;
+  total.out_of_spec_delay += one.out_of_spec_delay;
+}
 
 PlainOutcome run_plain(hb::Time period, int k, double loss,
                        std::uint64_t seed, sim::Time crash_at) {
@@ -106,12 +120,15 @@ PlainOutcome run_plain(hb::Time period, int k, double loss,
       out.suspect_delay = detector.suspected_at() - crash_at;
     }
   }
+  out.net = net.stats();
   return out;
 }
 
-Row bench_plain(const char* name, hb::Time period, int k, double loss) {
+Row bench_plain(const char* name, const char* slug, hb::Time period, int k,
+                double loss) {
   Row row;
   row.name = name;
+  row.slug = slug;
   int survived = 0;
   double detect_total = 0;
   int detected = 0;
@@ -122,10 +139,12 @@ Row bench_plain(const char* name, hb::Time period, int k, double loss) {
                                    static_cast<std::uint64_t>(seed), -1);
     if (!healthy.falsely_suspected) ++survived;
     healthy_msgs += healthy.sent;
+    add_stats(row.net, healthy.net);
     // Detection run (crash mid-way), loss-free to isolate the delay.
     const auto crashed = run_plain(period, k, 0.0,
                                    static_cast<std::uint64_t>(seed),
                                    1000 + (seed * 13) % (3 * kTmax));
+    add_stats(row.net, crashed.net);
     if (crashed.suspect_delay > 0) {
       ++detected;
       detect_total += static_cast<double>(crashed.suspect_delay);
@@ -139,9 +158,11 @@ Row bench_plain(const char* name, hb::Time period, int k, double loss) {
   return row;
 }
 
-Row bench_accelerated(const char* name, bool fixed_bounds, double loss) {
+Row bench_accelerated(const char* name, const char* slug, bool fixed_bounds,
+                      double loss) {
   Row row;
   row.name = name;
+  row.slug = slug;
   int survived = 0;
   double detect_total = 0;
   int detected = 0;
@@ -164,6 +185,7 @@ Row bench_accelerated(const char* name, bool fixed_bounds, double loss) {
       if (ok) ++survived;
       // Count only the coordinator+participant sends (the overhead).
       healthy_msgs += cluster.node_stats(0).sent + cluster.node_stats(1).sent;
+      add_stats(row.net, cluster.network_stats());
     }
     {
       hb::ClusterConfig config;
@@ -185,6 +207,7 @@ Row bench_accelerated(const char* name, bool fixed_bounds, double loss) {
         detect_total += static_cast<double>(delay);
         row.detect_max = std::max(row.detect_max, delay);
       }
+      add_stats(row.net, cluster.network_stats());
     }
   }
   row.survival = static_cast<double>(survived) / kRuns;
@@ -200,9 +223,43 @@ void print_row(const Row& r) {
               static_cast<long long>(r.detect_max));
 }
 
+/// One JSON line per (protocol, loss) cell, with the channel counters
+/// alongside the headline figures.
+void emit_row(const Row& r, double loss) {
+  std::printf(
+      "{\"bench\": \"overhead_reliability/%s_loss%g\", "
+      "\"msgs_per_tmax\": %.3f, \"survival\": %.3f, \"detect_mean\": %.1f, "
+      "\"detect_max\": %lld, %s}\n",
+      r.slug.c_str(), loss, r.msgs_per_tmax, r.survival, r.detect_mean,
+      static_cast<long long>(r.detect_max),
+      bench::network_stats_fields(r.net).c_str());
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  if (args.json) {
+    for (const double loss : {0.01, 0.02, 0.05, 0.10}) {
+      emit_row(bench_accelerated("accelerated (paper bounds)", "accel_paper",
+                                 false, loss),
+               loss);
+      emit_row(bench_accelerated("accelerated (fixed bounds)", "accel_fixed",
+                                 true, loss),
+               loss);
+      emit_row(
+          bench_plain("plain period=tmax, k=1", "plain_k1", kTmax, 1, loss),
+          loss);
+      emit_row(
+          bench_plain("plain period=tmax, k=3", "plain_k3", kTmax, 3, loss),
+          loss);
+      emit_row(bench_plain("plain period=tmax/4, k=4", "plain_fast_k4",
+                           kTmax / 4, 4, loss),
+               loss);
+    }
+    return 0;
+  }
+
   std::printf("== Overhead vs reliability vs detection delay ==\n");
   std::printf("(tmin=%lld, tmax=%lld, horizon=%lld, %d runs per cell;\n"
               " overhead = messages per tmax while healthy;\n"
@@ -214,11 +271,16 @@ int main() {
     std::printf("\n-- loss probability %.0f%% --\n", loss * 100);
     std::printf("  %-34s %10s %10s %12s %9s\n", "protocol", "msgs/tmax",
                 "survival", "detect-mean", "max");
-    print_row(bench_accelerated("accelerated (paper bounds)", false, loss));
-    print_row(bench_accelerated("accelerated (fixed bounds)", true, loss));
-    print_row(bench_plain("plain period=tmax, k=1", kTmax, 1, loss));
-    print_row(bench_plain("plain period=tmax, k=3", kTmax, 3, loss));
-    print_row(bench_plain("plain period=tmax/4, k=4", kTmax / 4, 4, loss));
+    print_row(bench_accelerated("accelerated (paper bounds)", "accel_paper",
+                                false, loss));
+    print_row(bench_accelerated("accelerated (fixed bounds)", "accel_fixed",
+                                true, loss));
+    print_row(
+        bench_plain("plain period=tmax, k=1", "plain_k1", kTmax, 1, loss));
+    print_row(
+        bench_plain("plain period=tmax, k=3", "plain_k3", kTmax, 3, loss));
+    print_row(bench_plain("plain period=tmax/4, k=4", "plain_fast_k4",
+                          kTmax / 4, 4, loss));
   }
 
   std::printf(

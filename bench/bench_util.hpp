@@ -14,6 +14,7 @@
 #include <cstring>
 #include <string>
 
+#include "sim/network.hpp"
 #include "ta/codec.hpp"
 
 namespace ahb::bench {
@@ -77,6 +78,27 @@ inline void emit_json_line(const std::string& bench, std::uint64_t states,
       static_cast<unsigned long long>(transitions), seconds, threads,
       static_cast<unsigned long long>(store_bytes),
       ta::to_string(compression));
+}
+
+/// JSON key/value fragment (no braces) with every channel counter, for
+/// bench lines whose workload runs over the simulated network — keeps
+/// the counter names identical across binaries so sweep scripts can sum
+/// them without per-bench schemas.
+inline std::string network_stats_fields(const sim::NetworkStats& stats) {
+  char buf[320];
+  std::snprintf(
+      buf, sizeof buf,
+      "\"sent\": %llu, \"delivered\": %llu, \"lost\": %llu, "
+      "\"blocked\": %llu, \"duplicated\": %llu, \"reordered\": %llu, "
+      "\"out_of_spec_delay\": %llu",
+      static_cast<unsigned long long>(stats.sent),
+      static_cast<unsigned long long>(stats.delivered),
+      static_cast<unsigned long long>(stats.lost),
+      static_cast<unsigned long long>(stats.blocked),
+      static_cast<unsigned long long>(stats.duplicated),
+      static_cast<unsigned long long>(stats.reordered),
+      static_cast<unsigned long long>(stats.out_of_spec_delay));
+  return buf;
 }
 
 }  // namespace ahb::bench

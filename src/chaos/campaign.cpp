@@ -1,0 +1,353 @@
+#include "chaos/campaign.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <string_view>
+#include <thread>
+
+#include "proto/timing.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace ahb::chaos {
+
+namespace {
+
+constexpr Variant kAllVariants[] = {
+    Variant::Binary,   Variant::RevisedBinary, Variant::TwoPhase,
+    Variant::Static,   Variant::Expanding,     Variant::Dynamic,
+};
+
+/// Timing shapes covering the interesting regimes: deep halving ladder,
+/// shallow ladder, and tmin == tmax (where the join race and the
+/// two-phase double-miss live).
+constexpr proto::Timing kDefaultTimings[] = {{1, 16}, {2, 4}, {3, 3}};
+
+Time settle_margin(const proto::Timing& timing, Variant variant,
+                   bool fixed_bounds) {
+  return proto::r1_detection_slack(timing, variant) +
+         proto::r3_detection_slack(timing, variant, fixed_bounds) +
+         2 * timing.tmax;
+}
+
+Time rnd_time(Rng& rng, Time lo, Time hi) {
+  if (hi <= lo) return lo;
+  return lo + static_cast<Time>(rng.below(static_cast<std::uint64_t>(hi - lo) + 1));
+}
+
+/// All traffic flows over the coordinator star, so faults target a
+/// directed link between node 0 and a random participant.
+void pick_link(Rng& rng, int participants, int& from, int& to) {
+  const int peer = 1 + static_cast<int>(rng.below(
+                           static_cast<std::uint64_t>(participants)));
+  if (rng.below(2) == 0) {
+    from = 0;
+    to = peer;
+  } else {
+    from = peer;
+    to = 0;
+  }
+}
+
+std::uint64_t fnv1a(std::string_view text) {
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (const unsigned char c : text) {
+    hash ^= c;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+void add_stats(sim::NetworkStats& total, const sim::NetworkStats& one) {
+  total.sent += one.sent;
+  total.delivered += one.delivered;
+  total.lost += one.lost;
+  total.blocked += one.blocked;
+  total.duplicated += one.duplicated;
+  total.reordered += one.reordered;
+  total.out_of_spec_delay += one.out_of_spec_delay;
+}
+
+FaultAction out_of_spec_action(Rng& rng, const RunSpec& spec, Time lo,
+                               Time hi) {
+  FaultAction action;
+  action.at = rnd_time(rng, lo, hi);
+  if (rng.below(2) == 0) {
+    // One-way delays whose round trip exceeds tmin.
+    action.kind = FaultKind::SetDelay;
+    pick_link(rng, spec.participants, action.a, action.b);
+    action.d1 = 0;
+    action.d2 = spec.tmin / 2 + 1 +
+                static_cast<Time>(rng.below(
+                    static_cast<std::uint64_t>(spec.tmin) + 1));
+  } else {
+    action.kind = FaultKind::SetDrift;
+    action.a = static_cast<int>(rng.below(
+        static_cast<std::uint64_t>(spec.participants) + 1));
+    constexpr std::int64_t kRates[][2] = {{1, 2}, {2, 1}, {2, 3}, {3, 2}};
+    const auto& rate = kRates[rng.below(4)];
+    action.d1 = rate[0];
+    action.d2 = rate[1];
+  }
+  return action;
+}
+
+}  // namespace
+
+Time campaign_horizon(const proto::Timing& timing, Variant variant,
+                      bool fixed_bounds) {
+  return 8 * timing.tmax + settle_margin(timing, variant, fixed_bounds);
+}
+
+FaultSchedule generate_schedule(const RunSpec& spec, bool out_of_spec_profile) {
+  // The generator stream is independent of the simulation stream (which
+  // Rng(spec.seed) drives inside the cluster) but fully determined by
+  // the run header, so a schedule never needs to be stored to be
+  // reproduced.
+  std::uint64_t mix = spec.seed;
+  mix = mix * 0x9e3779b97f4a7c15ULL +
+        (static_cast<std::uint64_t>(spec.variant) + 1);
+  mix ^= static_cast<std::uint64_t>(spec.tmin) << 40;
+  mix ^= static_cast<std::uint64_t>(spec.tmax) << 20;
+  if (out_of_spec_profile) mix ^= 0x5bd1e995U;
+  Rng rng(mix);
+
+  const Time settle =
+      settle_margin(spec.timing(), spec.variant, spec.fixed_bounds);
+  const Time active_end = std::max<Time>(spec.horizon - settle, 1);
+  const bool leaves = proto::variant_leaves(spec.variant);
+
+  FaultSchedule schedule;
+  const int count = 1 + static_cast<int>(rng.below(4));
+  for (int k = 0; k < count; ++k) {
+    FaultAction action;
+    action.at = rnd_time(rng, 1, active_end);
+    const std::uint64_t roll = rng.below(100);
+    if (roll < 20) {
+      action.kind = FaultKind::SetLoss;
+      pick_link(rng, spec.participants, action.a, action.b);
+      action.p = rng.uniform01();
+    } else if (roll < 35) {
+      action.kind = FaultKind::SetBurst;
+      pick_link(rng, spec.participants, action.a, action.b);
+      action.p = 0.05 + 0.4 * rng.uniform01();   // p_enter
+      action.q = 0.1 + 0.6 * rng.uniform01();    // p_exit
+      action.r = 0.5 + 0.5 * rng.uniform01();    // burst loss
+    } else if (roll < 45) {
+      action.kind = FaultKind::SetDuplication;
+      pick_link(rng, spec.participants, action.a, action.b);
+      action.p = rng.uniform01();
+    } else if (roll < 55) {
+      action.kind = FaultKind::LinkDown;
+      pick_link(rng, spec.participants, action.a, action.b);
+      FaultAction up = action;
+      up.kind = FaultKind::LinkUp;
+      up.at = std::min<Time>(action.at + 1 + rnd_time(rng, 0, 3 * spec.tmax),
+                             active_end);
+      schedule.actions.push_back(up);
+    } else if (roll < 65) {
+      action.kind = FaultKind::Partition;
+      action.a = 1;
+      action.b = 1 + static_cast<int>(rng.below(
+                         static_cast<std::uint64_t>(spec.participants)));
+      FaultAction heal = action;
+      heal.kind = FaultKind::Heal;
+      heal.at = std::min<Time>(action.at + 1 + rnd_time(rng, 0, 3 * spec.tmax),
+                               active_end);
+      schedule.actions.push_back(heal);
+    } else if (roll < 80) {
+      action.kind = FaultKind::CrashParticipant;
+      action.a = 1 + static_cast<int>(rng.below(
+                         static_cast<std::uint64_t>(spec.participants)));
+    } else if (roll < 88) {
+      action.kind = FaultKind::CrashCoordinator;
+    } else if (roll < 94 && leaves) {
+      action.kind = FaultKind::Leave;
+      action.a = 1 + static_cast<int>(rng.below(
+                         static_cast<std::uint64_t>(spec.participants)));
+      if (rng.below(2) == 0) {
+        FaultAction rejoin = action;
+        rejoin.kind = FaultKind::Rejoin;
+        rejoin.at = std::min<Time>(
+            action.at + 2 * spec.tmin + 1 + rnd_time(rng, 0, 3 * spec.tmax),
+            active_end);
+        schedule.actions.push_back(rejoin);
+      }
+    } else if (roll < 94) {
+      // Non-leaving variant: spend the leave slot on another crash.
+      action.kind = FaultKind::CrashParticipant;
+      action.a = 1 + static_cast<int>(rng.below(
+                         static_cast<std::uint64_t>(spec.participants)));
+    } else {
+      // In-spec delay: one-way bound stays within tmin/2.
+      action.kind = FaultKind::SetDelay;
+      pick_link(rng, spec.participants, action.a, action.b);
+      action.d1 = 0;
+      action.d2 = static_cast<Time>(rng.below(
+          static_cast<std::uint64_t>(spec.tmin / 2) + 1));
+    }
+    schedule.actions.push_back(action);
+  }
+
+  if (out_of_spec_profile && !schedule.out_of_spec(spec.timing())) {
+    schedule.actions.push_back(out_of_spec_action(rng, spec, 1, active_end));
+  }
+
+  std::stable_sort(schedule.actions.begin(), schedule.actions.end(),
+                   [](const FaultAction& x, const FaultAction& y) {
+                     return x.at < y.at;
+                   });
+  return schedule;
+}
+
+RunSpec shrink_run(const RunSpec& spec, const MonitorBounds* bounds) {
+  const RunResult full = run_chaos(spec, bounds);
+  if (full.violations.empty()) return spec;
+  const int requirement = full.violations.front().requirement;
+  const int node = full.violations.front().node;
+  const auto reproduces = [&](const std::vector<FaultAction>& actions) {
+    RunSpec candidate = spec;
+    candidate.schedule.actions = actions;
+    const RunResult result = run_chaos(candidate, bounds);
+    return std::any_of(result.violations.begin(), result.violations.end(),
+                       [&](const Violation& v) {
+                         return v.requirement == requirement && v.node == node;
+                       });
+  };
+
+  std::vector<FaultAction> actions = spec.schedule.actions;
+  if (reproduces({})) {
+    actions.clear();
+  } else {
+    // Zeller's ddmin over the action list: try dropping ever-finer
+    // chunks; the result is 1-minimal (no single action can go).
+    std::size_t granularity = 2;
+    while (actions.size() >= 2) {
+      const std::size_t chunk =
+          (actions.size() + granularity - 1) / granularity;
+      bool reduced = false;
+      for (std::size_t start = 0; start < actions.size() && !reduced;
+           start += chunk) {
+        std::vector<FaultAction> complement;
+        complement.reserve(actions.size());
+        for (std::size_t i = 0; i < actions.size(); ++i) {
+          if (i < start || i >= start + chunk) complement.push_back(actions[i]);
+        }
+        if (!complement.empty() && reproduces(complement)) {
+          actions = std::move(complement);
+          granularity = std::max<std::size_t>(granularity - 1, 2);
+          reduced = true;
+        }
+      }
+      if (!reduced) {
+        if (granularity >= actions.size()) break;
+        granularity = std::min(actions.size(), granularity * 2);
+      }
+    }
+  }
+
+  RunSpec out = spec;
+  out.schedule.actions = std::move(actions);
+  return out;
+}
+
+CampaignResult run_campaign(const CampaignOptions& options) {
+  AHB_EXPECTS(options.participants >= 1);
+  AHB_EXPECTS(options.runs_per_config >= 1);
+
+  const std::vector<Variant> variants =
+      options.variants.empty()
+          ? std::vector<Variant>(std::begin(kAllVariants),
+                                 std::end(kAllVariants))
+          : options.variants;
+  const std::vector<proto::Timing> timings =
+      options.timings.empty()
+          ? std::vector<proto::Timing>(std::begin(kDefaultTimings),
+                                       std::end(kDefaultTimings))
+          : options.timings;
+
+  std::vector<RunSpec> specs;
+  for (const Variant variant : variants) {
+    for (const proto::Timing& timing : timings) {
+      for (int run = 0; run < options.runs_per_config; ++run) {
+        RunSpec spec;
+        spec.variant = variant;
+        spec.tmin = timing.tmin;
+        spec.tmax = timing.tmax;
+        spec.fixed_bounds = options.fixed_bounds;
+        spec.receive_priority = options.receive_priority;
+        spec.participants =
+            proto::variant_is_multi(variant) ? options.participants : 1;
+        spec.seed = options.base_seed + static_cast<std::uint64_t>(run);
+        spec.horizon =
+            campaign_horizon(timing, variant, options.fixed_bounds);
+        spec.schedule = generate_schedule(spec, options.out_of_spec);
+        specs.push_back(std::move(spec));
+      }
+    }
+  }
+
+  const auto bounds_for = [&options](const RunSpec& spec) {
+    MonitorBounds bounds = MonitorBounds::defaults(spec.timing(), spec.variant,
+                                                   spec.fixed_bounds);
+    bounds.r1_slack += options.extra_r1_slack;
+    bounds.r2_window += options.extra_r2_window;
+    bounds.r3_slack += options.extra_r3_slack;
+    return bounds;
+  };
+
+  struct Slot {
+    RunResult result;
+    std::uint64_t hash = 0;
+  };
+  std::vector<Slot> slots(specs.size());
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&] {
+    for (std::size_t i = next.fetch_add(1); i < specs.size();
+         i = next.fetch_add(1)) {
+      const MonitorBounds bounds = bounds_for(specs[i]);
+      slots[i].result = run_chaos(specs[i], &bounds, options.fingerprint);
+      if (options.fingerprint) {
+        slots[i].hash =
+            fnv1a(serialize_run(specs[i]) + slots[i].result.trace);
+        slots[i].result.trace.clear();
+      }
+    }
+  };
+
+  const unsigned thread_count = std::max(1u, options.threads);
+  if (thread_count == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(thread_count);
+    for (unsigned t = 0; t < thread_count; ++t) workers.emplace_back(worker);
+    for (auto& w : workers) w.join();
+  }
+
+  // Aggregation is sequential and in run order, so the result is
+  // invariant under the worker-thread count.
+  CampaignResult result;
+  std::uint64_t fingerprint = 1469598103934665603ULL;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    ++result.runs;
+    add_stats(result.totals, slots[i].result.net_stats);
+    fingerprint = (fingerprint ^ slots[i].hash) * 1099511628211ULL;
+    if (slots[i].result.violations.empty()) continue;
+    ++result.violating_runs;
+    ViolatingRun violating;
+    violating.spec = specs[i];
+    violating.violations = slots[i].result.violations;
+    violating.shrunk = specs[i];
+    if (options.shrink) {
+      const MonitorBounds bounds = bounds_for(specs[i]);
+      violating.shrunk = shrink_run(specs[i], &bounds);
+    }
+    violating.artifact = serialize_run(violating.shrunk);
+    result.violating.push_back(std::move(violating));
+  }
+  result.fingerprint = fingerprint;
+  return result;
+}
+
+}  // namespace ahb::chaos

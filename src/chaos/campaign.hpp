@@ -1,0 +1,85 @@
+// Chaos campaigns: seeded sweeps of fault schedules across variants ×
+// timings × seeds, with delta-debugging of any violating schedule down
+// to a minimal replayable artifact.
+//
+// A campaign is deterministic end to end: schedules are generated from
+// the run seed alone, runs are executed from their RunSpec alone, and
+// the per-run results land in preallocated slots — so the aggregate
+// result (including the execution fingerprint) is identical for any
+// worker-thread count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chaos/runner.hpp"
+
+namespace ahb::chaos {
+
+struct CampaignOptions {
+  /// Variants to sweep; empty = all six.
+  std::vector<Variant> variants;
+  /// Timings to sweep; empty = a default mix of tmin/tmax shapes.
+  std::vector<proto::Timing> timings;
+  /// Participants for the multi variants (binary flavors always run 1).
+  int participants = 2;
+  /// Seeded runs per (variant, timing) cell.
+  int runs_per_config = 30;
+  std::uint64_t base_seed = 1;
+  /// In-spec profile: loss/bursts/partitions/duplication/crashes/leaves
+  /// only. Out-of-spec adds delay injection beyond tmin/2 and clock
+  /// drift, and guarantees at least one such action per schedule (the
+  /// negative control).
+  bool out_of_spec = false;
+  bool fixed_bounds = true;
+  bool receive_priority = true;
+  unsigned threads = 1;
+  /// Delta-debug every violating schedule to a 1-minimal one.
+  bool shrink = true;
+  /// Record per-run traces and fold them into `fingerprint`.
+  bool fingerprint = true;
+  /// Mutation-canary knobs: added on top of the proto/timing.hpp
+  /// defaults. Loosening a bound must silence the negative control —
+  /// the test that proves the monitor bites.
+  Time extra_r1_slack = 0;
+  Time extra_r2_window = 0;
+  Time extra_r3_slack = 0;
+};
+
+struct ViolatingRun {
+  RunSpec spec;                       ///< the full generated run
+  std::vector<Violation> violations;  ///< as reported on the full run
+  RunSpec shrunk;                     ///< 1-minimal reproducer (== spec if
+                                      ///< shrinking was disabled)
+  std::string artifact;               ///< serialize_run(shrunk)
+};
+
+struct CampaignResult {
+  std::uint64_t runs = 0;
+  std::uint64_t violating_runs = 0;
+  sim::NetworkStats totals;  ///< summed over every run
+  std::vector<ViolatingRun> violating;
+  /// FNV-1a over every run's serialized spec + protocol trace, folded
+  /// in run order; byte-equal across repeats and thread counts.
+  std::uint64_t fingerprint = 0;
+};
+
+/// Deterministic schedule generation for `spec` (whose seed, variant,
+/// timing and horizon select the faults). Exposed for tests.
+FaultSchedule generate_schedule(const RunSpec& spec, bool out_of_spec_profile);
+
+/// The horizon a generated run needs: an active fault window followed
+/// by a settle margin long enough that every monitor deadline armed in
+/// the window lies before the horizon (no undetermined obligations).
+Time campaign_horizon(const proto::Timing& timing, Variant variant,
+                      bool fixed_bounds);
+
+/// Delta-debugs `spec`'s schedule to a 1-minimal action list that still
+/// reproduces a violation with the same requirement and node as the
+/// first violation of the full run. `bounds` must match the bounds the
+/// violation was found under.
+RunSpec shrink_run(const RunSpec& spec, const MonitorBounds* bounds = nullptr);
+
+CampaignResult run_campaign(const CampaignOptions& options);
+
+}  // namespace ahb::chaos

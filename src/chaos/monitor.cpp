@@ -1,0 +1,206 @@
+#include "chaos/monitor.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <limits>
+
+#include "proto/timing.hpp"
+#include "util/contracts.hpp"
+
+namespace ahb::chaos {
+
+namespace {
+
+// Far enough in the past that `at - last_explanation_ > window` holds
+// for every reachable time without overflowing the subtraction.
+constexpr Time kLongAgo = std::numeric_limits<Time>::min() / 4;
+
+std::string describe(const char* what, Time deadline) {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "%s (deadline %" PRId64 ")", what, deadline);
+  return buf;
+}
+
+}  // namespace
+
+MonitorBounds MonitorBounds::defaults(const proto::Timing& timing,
+                                      proto::Variant variant,
+                                      bool fixed_bounds) {
+  return MonitorBounds{
+      proto::r1_detection_slack(timing, variant),
+      proto::r2_explanation_window(timing, variant, fixed_bounds),
+      proto::r3_detection_slack(timing, variant, fixed_bounds),
+  };
+}
+
+std::string Violation::key() const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "R%d/node%d@%" PRId64, requirement, node,
+                deadline);
+  return buf;
+}
+
+RequirementMonitor::RequirementMonitor(const Config& config,
+                                       const MonitorBounds& bounds)
+    : config_(config), bounds_(bounds), last_explanation_(kLongAgo) {
+  AHB_EXPECTS(config.participants >= 1);
+  AHB_EXPECTS(config.timing.valid());
+  const auto n = static_cast<std::size_t>(config.participants);
+  stopped_at_.assign(n + 1, hb::kNever);  // index by node id, [0] unused
+  r3_deadline_.assign(n + 1, hb::kNever);
+  // Non-join variants register every participant a priori; join-phase
+  // variants register on the first delivered join beat.
+  registered_.assign(n + 1, !proto::variant_joins(config.variant));
+  registered_[0] = false;
+}
+
+void RequirementMonitor::attach(hb::Cluster& cluster) {
+  cluster.on_protocol_event(
+      [this](const hb::ProtocolEvent& event) { on_protocol_event(event); });
+  cluster.network().on_channel_event(
+      [this](const sim::ChannelEvent& event) { on_channel_event(event); });
+}
+
+void RequirementMonitor::on_channel_event(const sim::ChannelEvent& event) {
+  switch (event.kind) {
+    case sim::ChannelEvent::Kind::Lost:
+    case sim::ChannelEvent::Kind::Blocked:
+      // A message the channel destroyed can explain any inactivation
+      // that follows within the window (R2's notion of "a fault
+      // happened nearby").
+      check_deadlines(event.at);
+      last_explanation_ = event.at;
+      break;
+    default:
+      break;
+  }
+}
+
+void RequirementMonitor::on_protocol_event(const hb::ProtocolEvent& event) {
+  // Missed deadlines are detected by the first event after them, so the
+  // check precedes the event's own effect: a discharge arriving *past*
+  // its deadline is a (late-detection) violation, not a discharge.
+  check_deadlines(event.at);
+
+  const Time at = event.at;
+  const int node = event.node;
+  using Kind = hb::ProtocolEvent::Kind;
+  switch (event.kind) {
+    case Kind::CoordinatorReceivedBeat:
+      registered_[static_cast<std::size_t>(node)] = true;
+      update_r1(at);
+      break;
+    case Kind::CoordinatorReceivedLeave:
+      registered_[static_cast<std::size_t>(node)] = false;
+      update_r1(at);
+      break;
+    case Kind::CoordinatorInactivated:
+      if (at - last_explanation_ > bounds_.r2_window) {
+        violations_.push_back(Violation{
+            2, 0, at, at,
+            "coordinator NV-inactivated with no fault in the window"});
+      }
+      r1_deadline_ = hb::kNever;  // obligation discharged
+      coordinator_stopped_at_ = at;
+      for (int i = 1; i <= config_.participants; ++i) {
+        if (stopped_at_[static_cast<std::size_t>(i)] == hb::kNever) {
+          r3_deadline_[static_cast<std::size_t>(i)] = at + bounds_.r3_slack;
+        }
+      }
+      last_explanation_ = at;
+      break;
+    case Kind::CoordinatorCrashed:
+      r1_deadline_ = hb::kNever;  // a crashed node owes no detection
+      coordinator_stopped_at_ = at;
+      for (int i = 1; i <= config_.participants; ++i) {
+        if (stopped_at_[static_cast<std::size_t>(i)] == hb::kNever) {
+          r3_deadline_[static_cast<std::size_t>(i)] = at + bounds_.r3_slack;
+        }
+      }
+      last_explanation_ = at;
+      break;
+    case Kind::ParticipantInactivated:
+      if (at - last_explanation_ > bounds_.r2_window) {
+        char buf[96];
+        std::snprintf(buf, sizeof buf,
+                      "participant %d NV-inactivated with no fault in the "
+                      "window",
+                      node);
+        violations_.push_back(Violation{2, node, at, at, buf});
+      }
+      stop_participant(node, at);
+      break;
+    case Kind::ParticipantCrashed:
+    case Kind::ParticipantLeft:
+      stop_participant(node, at);
+      break;
+    case Kind::ParticipantRejoined:
+      stopped_at_[static_cast<std::size_t>(node)] = hb::kNever;
+      // A reincarnation starts a fresh join phase; if the coordinator
+      // is already gone it must give up within the join slack.
+      r3_deadline_[static_cast<std::size_t>(node)] =
+          coordinator_live() ? hb::kNever : at + bounds_.r3_slack;
+      update_r1(at);
+      break;
+    default:
+      break;
+  }
+}
+
+void RequirementMonitor::stop_participant(int id, Time at) {
+  stopped_at_[static_cast<std::size_t>(id)] = at;
+  r3_deadline_[static_cast<std::size_t>(id)] = hb::kNever;
+  last_explanation_ = at;
+  update_r1(at);
+}
+
+void RequirementMonitor::update_r1(Time now) {
+  // The obligation: the coordinator is live, at least one member is
+  // still registered on its side, and every participant has stopped —
+  // nobody is left to reply or join, so the acceleration ladder must
+  // run dry within the slack. Any live participant (even an
+  // unregistered joiner, whose next join beat would re-register it)
+  // legitimately keeps the coordinator alive; a leave delivered after
+  // the last stop can empty the registered set and void the obligation.
+  bool any_registered = false;
+  bool all_stopped = true;
+  for (int i = 1; i <= config_.participants; ++i) {
+    any_registered = any_registered || registered_[static_cast<std::size_t>(i)];
+    all_stopped =
+        all_stopped && stopped_at_[static_cast<std::size_t>(i)] != hb::kNever;
+  }
+  const bool obliged = coordinator_live() && any_registered && all_stopped;
+  if (!obliged) {
+    r1_deadline_ = hb::kNever;
+  } else if (r1_deadline_ == hb::kNever && !r1_fired_) {
+    r1_deadline_ = now + bounds_.r1_slack;
+  }
+}
+
+void RequirementMonitor::check_deadlines(Time now) {
+  if (r1_deadline_ != hb::kNever && now > r1_deadline_) {
+    violations_.push_back(Violation{
+        1, 0, now, r1_deadline_,
+        describe("coordinator failed to detect total silence", r1_deadline_)});
+    r1_deadline_ = hb::kNever;
+    r1_fired_ = true;
+  }
+  for (int i = 1; i <= config_.participants; ++i) {
+    Time& deadline = r3_deadline_[static_cast<std::size_t>(i)];
+    if (deadline != hb::kNever && now > deadline) {
+      char buf[96];
+      std::snprintf(buf, sizeof buf,
+                    "participant %d failed to detect the coordinator stop", i);
+      violations_.push_back(Violation{3, i, now, deadline, describe(buf, deadline)});
+      deadline = hb::kNever;
+    }
+  }
+}
+
+void RequirementMonitor::finish(Time horizon) {
+  // The run ends at `horizon`: a deadline at or after it is
+  // undetermined, one strictly before it was missed.
+  check_deadlines(horizon);
+}
+
+}  // namespace ahb::chaos

@@ -1,0 +1,188 @@
+#include "chaos/runner.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "util/contracts.hpp"
+
+namespace ahb::chaos {
+
+namespace {
+
+const char* kind_name(hb::ProtocolEvent::Kind kind) {
+  using Kind = hb::ProtocolEvent::Kind;
+  switch (kind) {
+    case Kind::CoordinatorBeat: return "beat";
+    case Kind::CoordinatorReceivedBeat: return "c-recv-beat";
+    case Kind::CoordinatorReceivedLeave: return "c-recv-leave";
+    case Kind::CoordinatorInactivated: return "c-inactive";
+    case Kind::CoordinatorCrashed: return "c-crash";
+    case Kind::ParticipantReceivedBeat: return "p-recv-beat";
+    case Kind::ParticipantReplied: return "reply";
+    case Kind::ParticipantJoinBeat: return "join-beat";
+    case Kind::ParticipantLeft: return "leave";
+    case Kind::ParticipantInactivated: return "p-inactive";
+    case Kind::ParticipantCrashed: return "p-crash";
+    case Kind::ParticipantRejoined: return "rejoin";
+  }
+  return "?";
+}
+
+bool valid_node(const RunSpec& spec, int id) {
+  return id >= 0 && id <= spec.participants;
+}
+
+bool valid_participant(const RunSpec& spec, int id) {
+  return id >= 1 && id <= spec.participants;
+}
+
+void apply_link_change(hb::Cluster& cluster, const FaultAction& action) {
+  auto& net = cluster.network();
+  auto params = net.link_params(action.a, action.b);
+  switch (action.kind) {
+    case FaultKind::SetLoss:
+      params.loss_probability = std::clamp(action.p, 0.0, 1.0);
+      break;
+    case FaultKind::SetBurst:
+      params.burst.p_enter = std::clamp(action.p, 0.0, 1.0);
+      params.burst.p_exit = std::clamp(action.q, 0.0, 1.0);
+      params.burst.loss = std::clamp(action.r, 0.0, 1.0);
+      break;
+    case FaultKind::SetDelay:
+      params.min_delay = std::max<Time>(action.d1, 0);
+      params.max_delay = std::max(params.min_delay, action.d2);
+      break;
+    case FaultKind::SetDuplication:
+      params.duplicate_probability = std::clamp(action.p, 0.0, 1.0);
+      break;
+    default:
+      return;
+  }
+  net.set_link(action.a, action.b, params);
+}
+
+/// Schedules one action. Malformed operands (node ids outside the
+/// cluster, non-positive drift rates) make the action a no-op rather
+/// than an abort: shrunk and hand-edited schedules must stay safe to
+/// replay.
+void schedule_action(hb::Cluster& cluster, const RunSpec& spec,
+                     const FaultAction& action) {
+  auto& sim = cluster.simulator();
+  switch (action.kind) {
+    case FaultKind::SetLoss:
+    case FaultKind::SetBurst:
+    case FaultKind::SetDelay:
+    case FaultKind::SetDuplication:
+      if (!valid_node(spec, action.a) || !valid_node(spec, action.b)) return;
+      sim.at(action.at,
+             [&cluster, action] { apply_link_change(cluster, action); });
+      break;
+    case FaultKind::LinkDown:
+    case FaultKind::LinkUp:
+      if (!valid_node(spec, action.a) || !valid_node(spec, action.b)) return;
+      sim.at(action.at, [&cluster, action] {
+        cluster.network().set_link_up(action.a, action.b,
+                                      action.kind == FaultKind::LinkUp);
+      });
+      break;
+    case FaultKind::Partition:
+    case FaultKind::Heal: {
+      const int lo = std::max(action.a, 1);
+      const int hi = std::min(action.b, spec.participants);
+      if (lo > hi) return;
+      sim.at(action.at, [&cluster, action, lo, hi] {
+        const bool up = action.kind == FaultKind::Heal;
+        for (int i = lo; i <= hi; ++i) {
+          cluster.network().set_link_up(0, i, up);
+          cluster.network().set_link_up(i, 0, up);
+        }
+      });
+      break;
+    }
+    case FaultKind::CrashParticipant:
+      if (!valid_participant(spec, action.a)) return;
+      cluster.crash_participant_at(action.a, action.at);
+      break;
+    case FaultKind::CrashCoordinator:
+      cluster.crash_coordinator_at(action.at);
+      break;
+    case FaultKind::Leave:
+      if (!valid_participant(spec, action.a)) return;
+      cluster.leave_at(action.a, action.at);
+      break;
+    case FaultKind::Rejoin:
+      if (!valid_participant(spec, action.a)) return;
+      cluster.rejoin_at(action.a, action.at);
+      break;
+    case FaultKind::SetDrift:
+      if (!valid_node(spec, action.a) || action.d1 <= 0 || action.d2 <= 0) {
+        return;
+      }
+      sim.at(action.at, [&cluster, action] {
+        cluster.set_drift(action.a, action.d1, action.d2);
+      });
+      break;
+  }
+}
+
+}  // namespace
+
+RunResult run_chaos(const RunSpec& spec, const MonitorBounds* bounds,
+                    bool record_trace) {
+  AHB_EXPECTS(spec.participants >= 1);
+  AHB_EXPECTS(spec.timing().valid());
+  AHB_EXPECTS(spec.horizon > 0);
+
+  hb::ClusterConfig config;
+  config.protocol = hb::Config{spec.tmin, spec.tmax, spec.variant,
+                               spec.fixed_bounds};
+  config.participants = spec.participants;
+  config.seed = spec.seed;
+  config.receive_priority = spec.receive_priority;
+  hb::Cluster cluster(config);
+
+  RequirementMonitor::Config monitor_config{spec.variant, spec.timing(),
+                                            spec.fixed_bounds,
+                                            spec.participants};
+  RequirementMonitor monitor(
+      monitor_config,
+      bounds != nullptr
+          ? *bounds
+          : MonitorBounds::defaults(spec.timing(), spec.variant,
+                                    spec.fixed_bounds));
+
+  RunResult result;
+  result.out_of_spec = spec.schedule.out_of_spec(spec.timing());
+
+  cluster.on_protocol_event([&](const hb::ProtocolEvent& event) {
+    monitor.on_protocol_event(event);
+    if (record_trace) {
+      char line[96];
+      std::snprintf(line, sizeof line, "%" PRId64 " %s %d %" PRIu64 "\n",
+                    event.at, kind_name(event.kind), event.node,
+                    event.msg_id);
+      result.trace += line;
+    }
+  });
+  cluster.network().on_channel_event(
+      [&](const sim::ChannelEvent& event) { monitor.on_channel_event(event); });
+
+  // Fault actions are scheduled before start() in schedule order, so
+  // same-instant actions fire FIFO exactly as listed — replay order is
+  // part of the schedule's meaning.
+  for (const auto& action : spec.schedule.actions) {
+    schedule_action(cluster, spec, action);
+  }
+
+  cluster.start();
+  cluster.run_until(spec.horizon);
+  monitor.finish(spec.horizon);
+
+  result.violations = monitor.violations();
+  result.net_stats = cluster.network_stats();
+  result.all_inactive = cluster.all_inactive();
+  return result;
+}
+
+}  // namespace ahb::chaos

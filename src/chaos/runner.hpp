@@ -1,0 +1,36 @@
+// Executes one chaos run: builds a Cluster from a RunSpec, applies the
+// fault schedule at its prescribed instants, monitors R1–R3, and
+// returns the verdicts plus the observables that make runs comparable
+// (the serialized protocol-event trace and the network counters).
+// Everything is derived from the spec alone, so two executions of the
+// same spec are byte-identical — the property the campaign determinism
+// tests and the shrinker's replay check both rest on.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chaos/fault_schedule.hpp"
+#include "chaos/monitor.hpp"
+
+namespace ahb::chaos {
+
+struct RunResult {
+  std::vector<Violation> violations;
+  sim::NetworkStats net_stats;
+  /// The schedule stepped outside the channel/clock assumptions, so
+  /// violations are expected rather than bugs.
+  bool out_of_spec = false;
+  bool all_inactive = false;
+  /// One line per protocol event ("at kind node msg_id"), recorded only
+  /// when requested — the byte-comparable execution fingerprint.
+  std::string trace;
+};
+
+/// Runs `spec` to its horizon. `bounds` overrides the monitor deadlines
+/// (nullptr = the proto/timing.hpp defaults — the only sound setting;
+/// overriding exists for the mutation-canary tests).
+RunResult run_chaos(const RunSpec& spec, const MonitorBounds* bounds = nullptr,
+                    bool record_trace = false);
+
+}  // namespace ahb::chaos

@@ -16,6 +16,11 @@ Cluster::Cluster(const ClusterConfig& config)
   AHB_EXPECTS(config.protocol.valid());
   AHB_EXPECTS(config.participants >= 1);
 
+  // The channel assumption bounds the round trip by tmin, so a one-way
+  // delay beyond tmin/2 is out of spec (NetworkStats::out_of_spec_delay
+  // counts such samples when the chaos layer injects them).
+  net_.set_spec_max_delay(config.protocol.tmin / 2);
+
   std::vector<int> initial_members;
   if (!variant_joins(config.protocol.variant)) {
     for (int i = 1; i <= config.participants; ++i) {
@@ -32,30 +37,32 @@ Cluster::Cluster(const ClusterConfig& config)
                  sim::Simulator::kInvalidEvent);
   node_stats_.assign(static_cast<std::size_t>(config.participants) + 1,
                      NodeStats{});
+  clocks_.assign(static_cast<std::size_t>(config.participants) + 1,
+                 NodeClock{});
 
-  net_.attach(0, [this](int from, const Message& msg) {
+  net_.attach(0, [this](int from, const Message& msg, std::uint64_t id) {
     ++node_stats_[0].received;
     // A delivery to a crashed/inactive coordinator is absorbed silently
     // (the model aborts the channel wait instead of delivering).
     if (coordinator_->status() == Status::Active) {
       emit(msg.flag ? ProtocolEvent::Kind::CoordinatorReceivedBeat
                     : ProtocolEvent::Kind::CoordinatorReceivedLeave,
-           from);
+           from, id);
     }
-    dispatch(0, coordinator_->on_message(sim_.now(), msg));
+    dispatch(0, coordinator_->on_message(local_now(0), msg));
     arm_timer(0);
   });
   for (int i = 1; i <= config.participants; ++i) {
-    net_.attach(i, [this, i](int from, const Message& msg) {
+    net_.attach(i, [this, i](int from, const Message& msg, std::uint64_t id) {
       (void)from;
       ++node_stats_[static_cast<std::size_t>(i)].received;
       if (msg.flag &&
           parts_[static_cast<std::size_t>(i) - 1]->status() ==
               Status::Active) {
-        emit(ProtocolEvent::Kind::ParticipantReceivedBeat, i);
+        emit(ProtocolEvent::Kind::ParticipantReceivedBeat, i, id);
       }
       dispatch(i, parts_[static_cast<std::size_t>(i) - 1]->on_message(
-                      sim_.now(), msg));
+                      local_now(i), msg));
       arm_timer(i);
     });
   }
@@ -64,10 +71,10 @@ Cluster::Cluster(const ClusterConfig& config)
 void Cluster::start() {
   AHB_EXPECTS(!started_);
   started_ = true;
-  dispatch(0, coordinator_->start(sim_.now()));
+  dispatch(0, coordinator_->start(local_now(0)));
   arm_timer(0);
   for (int i = 1; i <= participant_count(); ++i) {
-    dispatch(i, parts_[static_cast<std::size_t>(i) - 1]->start(sim_.now()));
+    dispatch(i, parts_[static_cast<std::size_t>(i) - 1]->start(local_now(i)));
     arm_timer(i);
   }
 }
@@ -77,7 +84,7 @@ void Cluster::run_until(sim::Time horizon) { sim_.run_until(horizon); }
 void Cluster::crash_coordinator_at(sim::Time when) {
   sim_.at(when, [this] {
     const bool was_active = coordinator_->status() == Status::Active;
-    coordinator_->crash(sim_.now());
+    coordinator_->crash(local_now(0));
     if (was_active) emit(ProtocolEvent::Kind::CoordinatorCrashed, 0);
   });
 }
@@ -86,22 +93,36 @@ void Cluster::crash_participant_at(int id, sim::Time when) {
   AHB_EXPECTS(id >= 1 && id <= participant_count());
   sim_.at(when, [this, id] {
     const bool was_active = participant(id).status() == Status::Active;
-    participant(id).crash(sim_.now());
+    participant(id).crash(local_now(id));
     if (was_active) emit(ProtocolEvent::Kind::ParticipantCrashed, id);
   });
 }
 
 void Cluster::leave_at(int id, sim::Time when) {
   AHB_EXPECTS(id >= 1 && id <= participant_count());
-  sim_.at(when, [this, id] { participant(id).request_leave(); });
+  sim_.at(when, [this, id] {
+    if (!proto::variant_leaves(config_.protocol.variant)) return;
+    if (participant(id).status() != Status::Active) return;
+    participant(id).request_leave();
+  });
 }
 
 void Cluster::rejoin_at(int id, sim::Time when) {
   AHB_EXPECTS(id >= 1 && id <= participant_count());
   sim_.at(when, [this, id] {
     if (participant(id).status() != Status::Left) return;
+    // The reincarnation hazard: rejoining before the leave beat's delay
+    // bound has drained risks a stale leave de-registering the new
+    // incarnation. Scheduled rejoins that arrive too early (the leave
+    // happens at the reply to the next beat, so its instant is not
+    // known when the rejoin is scheduled) are dropped rather than
+    // asserted on — chaos schedules hit this race by design.
+    if (local_now(id) < proto::earliest_rejoin(participant(id).left_at(),
+                                               config_.protocol.timing())) {
+      return;
+    }
     emit(ProtocolEvent::Kind::ParticipantRejoined, id);
-    dispatch(id, participant(id).rejoin(sim_.now()));
+    dispatch(id, participant(id).rejoin(local_now(id)));
     arm_timer(id);
   });
 }
@@ -121,6 +142,19 @@ const NodeStats& Cluster::node_stats(int id) const {
   return node_stats_[static_cast<std::size_t>(id)];
 }
 
+void Cluster::set_drift(int id, std::int64_t num, std::int64_t den) {
+  AHB_EXPECTS(id >= 0 && id <= participant_count());
+  AHB_EXPECTS(num > 0 && den > 0);
+  auto& clock = clocks_[static_cast<std::size_t>(id)];
+  const sim::Time now = sim_.now();
+  clock.base_local = clock.local(now);
+  clock.base_global = now;
+  clock.num = num;
+  clock.den = den;
+  // Timers were armed under the old rate; re-arm at the new one.
+  if (started_) arm_timer(id);
+}
+
 bool Cluster::all_inactive() const {
   if (coordinator_->status() == Status::Active) return false;
   for (const auto& p : parts_) {
@@ -134,20 +168,24 @@ void Cluster::dispatch(int node_id, const Actions& actions) {
   // one protocol event per round (the model's single broadcast edge) —
   // including member-less rounds, where the broadcast has no receivers.
   bool coordinator_beat = node_id == 0 && actions.round_completed;
+  std::uint64_t beat_id = 0;
   for (const auto& out : actions.messages) {
     ++node_stats_[static_cast<std::size_t>(node_id)].sent;
+    const std::uint64_t id = net_.send(node_id, out.to, out.message);
     if (node_id == 0) {
       coordinator_beat = coordinator_beat || out.message.flag;
+      if (beat_id == 0 && out.message.flag) beat_id = id;
     } else if (!out.message.flag) {
-      emit(ProtocolEvent::Kind::ParticipantLeft, node_id);
+      emit(ProtocolEvent::Kind::ParticipantLeft, node_id, id);
     } else if (parts_[static_cast<std::size_t>(node_id) - 1]->joined()) {
-      emit(ProtocolEvent::Kind::ParticipantReplied, node_id);
+      emit(ProtocolEvent::Kind::ParticipantReplied, node_id, id);
     } else {
-      emit(ProtocolEvent::Kind::ParticipantJoinBeat, node_id);
+      emit(ProtocolEvent::Kind::ParticipantJoinBeat, node_id, id);
     }
-    net_.send(node_id, out.to, out.message);
   }
-  if (coordinator_beat) emit(ProtocolEvent::Kind::CoordinatorBeat, 0);
+  if (coordinator_beat) {
+    emit(ProtocolEvent::Kind::CoordinatorBeat, 0, beat_id);
+  }
   if (actions.inactivated) {
     emit(node_id == 0 ? ProtocolEvent::Kind::CoordinatorInactivated
                       : ProtocolEvent::Kind::ParticipantInactivated,
@@ -156,8 +194,8 @@ void Cluster::dispatch(int node_id, const Actions& actions) {
   }
 }
 
-void Cluster::emit(ProtocolEvent::Kind kind, int node) {
-  if (event_cb_) event_cb_(ProtocolEvent{kind, sim_.now(), node});
+void Cluster::emit(ProtocolEvent::Kind kind, int node, std::uint64_t msg_id) {
+  if (event_cb_) event_cb_(ProtocolEvent{kind, sim_.now(), node, msg_id});
 }
 
 sim::Time Cluster::node_next_event(int node_id) const {
@@ -177,7 +215,12 @@ void Cluster::arm_timer(int node_id) {
   auto& timer = timers_[static_cast<std::size_t>(node_id)];
   sim_.cancel(timer);
   timer = sim::Simulator::kInvalidEvent;
-  const sim::Time when = node_next_event(node_id);
+  // Engine deadlines live on the node's (possibly drifting) local
+  // clock; the host timer fires at the global instant that reaches
+  // them.
+  const sim::Time when =
+      clocks_[static_cast<std::size_t>(node_id)].global_for(
+          node_next_event(node_id));
   if (when == kNever) return;
   // Timers run at lower priority than deliveries when receive_priority
   // is on, so a beat arriving exactly at a deadline is processed first.
@@ -186,7 +229,7 @@ void Cluster::arm_timer(int node_id) {
       [this, node_id] {
         timers_[static_cast<std::size_t>(node_id)] =
             sim::Simulator::kInvalidEvent;
-        dispatch(node_id, node_elapsed(node_id, sim_.now()));
+        dispatch(node_id, node_elapsed(node_id, local_now(node_id)));
         arm_timer(node_id);
       },
       config_.receive_priority ? 1 : 0);

@@ -62,6 +62,13 @@ struct ProtocolEvent {
   Kind kind{};
   sim::Time at = 0;
   int node = 0;  ///< participant id; sender id for CoordinatorReceived*
+  /// Network message id for send/delivery events (0 = not tied to one
+  /// message). Sends and deliveries of the same message share the id,
+  /// so the two become separately identifiable trace events. A
+  /// CoordinatorBeat fans out as one message per member but is one
+  /// protocol event; it carries the id of the first beat of the round
+  /// (ids of the fan-out are consecutive).
+  std::uint64_t msg_id = 0;
 };
 
 class Cluster {
@@ -85,6 +92,22 @@ class Cluster {
   /// dropped) or bring it back up. Node 0 is the coordinator.
   void fail_link(int from, int to) { net_.set_link_up(from, to, false); }
   void restore_link(int from, int to) { net_.set_link_up(from, to, true); }
+
+  /// Clock drift: node `id`'s local clock advances `num/den` local time
+  /// units per global (simulation) unit from now on. The engines see
+  /// local time in every on_message/on_elapsed call and their timers
+  /// are armed at the global instant whose local image reaches the
+  /// engine deadline — so a slow clock stretches real waiting times and
+  /// a fast one shrinks them, exactly like a drifting hardware timer.
+  /// Identity (1/1) is the default and leaves behaviour untouched.
+  void set_drift(int id, std::int64_t num, std::int64_t den);
+
+  /// Direct access to the transport, for fault injection beyond the
+  /// convenience wrappers above (loss/burst/duplication/delay changes,
+  /// channel-event observation). Node 0 is the coordinator.
+  sim::Network<Message>& network() { return net_; }
+
+  const ClusterConfig& config() const { return config_; }
 
   /// Observer called on every non-voluntary inactivation, with the node
   /// id (0 = coordinator) and the time.
@@ -113,11 +136,35 @@ class Cluster {
   bool all_inactive() const;
 
  private:
+  /// Piecewise-linear node clock: local = base_local + (global -
+  /// base_global) * num / den. Rebased whenever the rate changes so the
+  /// local clock is continuous and monotone.
+  struct NodeClock {
+    std::int64_t num = 1;
+    std::int64_t den = 1;
+    sim::Time base_global = 0;
+    sim::Time base_local = 0;
+
+    sim::Time local(sim::Time global) const {
+      return base_local + (global - base_global) * num / den;
+    }
+    /// Earliest global instant whose local image is >= `local_when`.
+    sim::Time global_for(sim::Time local_when) const {
+      if (local_when == kNever) return kNever;
+      const sim::Time span = local_when - base_local;
+      if (span <= 0) return base_global;
+      return base_global + (span * den + num - 1) / num;  // ceil
+    }
+  };
+
   void dispatch(int node_id, const Actions& actions);
-  void emit(ProtocolEvent::Kind kind, int node);
+  void emit(ProtocolEvent::Kind kind, int node, std::uint64_t msg_id = 0);
   void arm_timer(int node_id);
   Actions node_elapsed(int node_id, sim::Time now);
   sim::Time node_next_event(int node_id) const;
+  sim::Time local_now(int node_id) const {
+    return clocks_[static_cast<std::size_t>(node_id)].local(sim_.now());
+  }
 
   ClusterConfig config_;
   sim::Simulator sim_;
@@ -126,6 +173,7 @@ class Cluster {
   std::vector<std::unique_ptr<Participant>> parts_;
   std::vector<sim::Simulator::EventId> timers_;  // index: node id
   std::vector<NodeStats> node_stats_;
+  std::vector<NodeClock> clocks_;  // index: node id
   std::function<void(int, sim::Time)> inactivation_cb_;
   std::function<void(const ProtocolEvent&)> event_cb_;
   bool started_ = false;

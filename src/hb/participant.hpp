@@ -45,6 +45,8 @@ class Participant {
   Status status() const { return status_; }
   Time next_event_time() const;
   Time inactivated_at() const { return inactivated_at_; }
+  /// When the leave beat was sent (kNever unless status() == Left).
+  Time left_at() const { return left_at_; }
   bool joined() const { return joined_; }
   int id() const { return id_; }
   const Config& config() const { return config_; }

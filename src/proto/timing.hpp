@@ -113,6 +113,63 @@ constexpr Time earliest_rejoin(Time left_at, const Timing& t) {
 }
 
 // ---------------------------------------------------------------------------
+// Runtime-monitor slack laws (chaos layer)
+// ---------------------------------------------------------------------------
+//
+// The R1–R3 verdict predicates below answer whether a requirement holds
+// at *every* execution of a timing; the runtime monitors of src/chaos
+// instead need per-execution deadlines that are *sound* for any fault
+// sequence inside the channel assumptions yet still violable by
+// out-of-spec faults. These laws give that slack in closed form.
+
+/// Total waiting time of the acceleration ladder: the sum of round
+/// waits from a fresh tmax down to the inactivation decision — the
+/// worst-case time a process keeps beating after its last received
+/// beat. Halving variants at (1,16): 16+8+4+2+1 = 31; two-phase:
+/// tmax + tmin (or just tmax when tmin == tmax).
+constexpr Time acceleration_ladder_sum(const Timing& t, Variant v) {
+  Time sum = 0;
+  for (Time w = t.tmax; !wait_inactivates(w, t); w = accelerate(w, t, v)) {
+    sum += w;
+  }
+  return sum;
+}
+
+/// R1 monitor slack: once the last participant the coordinator could
+/// still hear from has stopped (crashed, left, or inactivated) at
+/// global time S, the coordinator must NV-inactivate by S +
+/// r1_detection_slack. Budget: tmin for the stopped peer's in-flight
+/// replies to drain, up to tmax until the round those replies land in
+/// closes, then the full acceleration ladder of silent rounds.
+constexpr Time r1_detection_slack(const Timing& t, Variant v) {
+  return t.tmin + t.tmax + acceleration_ladder_sum(t, v);
+}
+
+/// R3 monitor slack: once the coordinator stops (or last beat a
+/// participant) at global time S, every registered participant must
+/// NV-inactivate by S + r3_detection_slack. Budget: tmin for in-flight
+/// beats to drain, then the engine's own inactivation deadline —
+/// participant_deadline once joined, join_deadline while joining (the
+/// monitor takes the max since it does not track the join handshake).
+constexpr Time r3_detection_slack(const Timing& t, Variant v, bool fixed) {
+  const Time joined = participant_deadline(t, fixed);
+  const Time joining =
+      rules_for(v).join_phase ? join_deadline(t, fixed) : joined;
+  return t.tmin + (joined > joining ? joined : joining);
+}
+
+/// R2 explanation window: an NV-inactivation is premature (a genuine
+/// R2 violation) unless some fault — a channel loss/block, a crash, a
+/// leave, or another process's earlier NV-inactivation — occurred
+/// within this window before it. The window covers the longest
+/// fault-to-inactivation latency in either direction (coordinator
+/// detecting a participant, or vice versa), so cascades are explained
+/// hop by hop.
+constexpr Time r2_explanation_window(const Timing& t, Variant v, bool fixed) {
+  return r1_detection_slack(t, v) + r3_detection_slack(t, v, fixed);
+}
+
+// ---------------------------------------------------------------------------
 // Closed-form R1/R2/R3 verdict predicates
 // ---------------------------------------------------------------------------
 

@@ -5,6 +5,20 @@
 // distinct messages is not guaranteed. Per-link loss probability and
 // delay range are configurable, and faults (link down, node crash) can
 // be injected at runtime.
+//
+// Beyond the baseline i.i.d. loss model the network supports the richer
+// fault models the chaos layer (src/chaos) drives: Gilbert–Elliott
+// bursty loss (a two-state Markov chain per directed link), message
+// duplication, and out-of-spec delay injection. Every send is stamped
+// with a monotonically increasing message id which is handed to the
+// receiver, so sends and deliveries are separately identifiable events;
+// an optional channel-event observer sees every send/delivery/loss with
+// that id (the raw material for runtime requirement monitors).
+//
+// Determinism: features draw from the simulator RNG only when enabled
+// (burst state only advances when p_enter > 0, duplication only rolls
+// when duplicate_probability > 0), so default-configured runs consume
+// the exact same random stream as before these models existed.
 #pragma once
 
 #include <algorithm>
@@ -21,19 +35,51 @@ namespace ahb::sim {
 struct NetworkStats {
   std::uint64_t sent = 0;
   std::uint64_t delivered = 0;
-  std::uint64_t lost = 0;      ///< dropped by random loss
+  std::uint64_t lost = 0;      ///< dropped by random loss (incl. burst loss)
   std::uint64_t blocked = 0;   ///< dropped because the link was down
+  std::uint64_t duplicated = 0;         ///< extra copies created
+  std::uint64_t reordered = 0;          ///< deliveries that overtook a later id
+  std::uint64_t out_of_spec_delay = 0;  ///< sampled delays above the spec bound
+};
+
+/// Gilbert–Elliott two-state loss model of a directed link: each send
+/// first advances the good/bad Markov state, then applies the bad-state
+/// loss probability while in a burst (the i.i.d. `loss_probability`
+/// still applies in the good state). Disabled while p_enter == 0.
+struct BurstParams {
+  double p_enter = 0.0;        ///< good -> bad transition probability per send
+  double p_exit = 1.0;         ///< bad -> good transition probability per send
+  double loss = 1.0;           ///< loss probability while in the bad state
+};
+
+/// One observable channel-level event, stamped with the message id its
+/// send was assigned. `delay` is meaningful for Delivered only.
+struct ChannelEvent {
+  enum class Kind { Sent, Delivered, Lost, Blocked, Duplicated };
+  Kind kind{};
+  int from = 0;
+  int to = 0;
+  std::uint64_t id = 0;
+  Time at = 0;
+  Time delay = 0;
 };
 
 template <typename MessageT>
 class Network {
  public:
-  using Handler = std::function<void(int from, const MessageT&)>;
+  /// Message handler with the sender and the send-assigned message id
+  /// (a duplicated delivery repeats the original id).
+  using Handler = std::function<void(int from, const MessageT&, std::uint64_t id)>;
+  /// Id-less handler kept for hosts that do not track message identity.
+  using SimpleHandler = std::function<void(int from, const MessageT&)>;
+  using Observer = std::function<void(const ChannelEvent&)>;
 
   struct LinkParams {
     double loss_probability = 0.0;
     Time min_delay = 0;
     Time max_delay = 1;  ///< inclusive; one-way delay bound
+    BurstParams burst;
+    double duplicate_probability = 0.0;
   };
 
   explicit Network(Simulator& sim, LinkParams defaults = {})
@@ -44,11 +90,25 @@ class Network {
     AHB_EXPECTS(handler != nullptr);
     handlers_[id] = std::move(handler);
   }
+  void attach(int id, SimpleHandler handler) {
+    AHB_EXPECTS(handler != nullptr);
+    attach(id, Handler{[h = std::move(handler)](
+                           int from, const MessageT& m, std::uint64_t) {
+      h(from, m);
+    }});
+  }
 
   /// Overrides parameters for the directed link from -> to.
   void set_link(int from, int to, LinkParams params) {
     links_[{from, to}] = params;
   }
+
+  /// Parameters a send on from -> to would use right now.
+  LinkParams link_params(int from, int to) const { return link(from, to); }
+
+  /// Default parameters of links without an override; mutable at
+  /// runtime (affects messages sent from now on, never in-flight ones).
+  LinkParams& default_params() { return defaults_; }
 
   /// Takes the directed link down (messages silently dropped) or up.
   void set_link_up(int from, int to, bool up) {
@@ -63,32 +123,46 @@ class Network {
   /// dropped from now on.
   void isolate(int id) { isolated_.push_back(id); }
 
-  void send(int from, int to, MessageT message) {
+  /// One-way delay bound of the channel specification; sampled delays
+  /// above it count into NetworkStats::out_of_spec_delay (chaos runs
+  /// use the counter to prove a run exercised out-of-spec injection).
+  /// Negative disables the classification.
+  void set_spec_max_delay(Time bound) { spec_max_delay_ = bound; }
+
+  /// Observer over every channel-level event (see ChannelEvent).
+  void on_channel_event(Observer observer) { observer_ = std::move(observer); }
+
+  /// Sends and returns the message id assigned to this send.
+  std::uint64_t send(int from, int to, MessageT message) {
+    const std::uint64_t id = next_id_++;
     ++stats_.sent;
+    notify(ChannelEvent::Kind::Sent, from, to, id, 0);
     if (is_isolated(from) || is_isolated(to) || down_.contains({from, to})) {
       ++stats_.blocked;
-      return;
+      notify(ChannelEvent::Kind::Blocked, from, to, id, 0);
+      return id;
     }
     const LinkParams params = link(from, to);
-    if (sim_->rng().chance(params.loss_probability)) {
-      ++stats_.lost;
-      return;
+    double loss_probability = params.loss_probability;
+    if (params.burst.p_enter > 0) {
+      bool& bursting = burst_state_[{from, to}];
+      bursting = bursting ? !sim_->rng().chance(params.burst.p_exit)
+                          : sim_->rng().chance(params.burst.p_enter);
+      if (bursting) loss_probability = std::max(loss_probability, params.burst.loss);
     }
-    const Time delay =
-        params.min_delay +
-        static_cast<Time>(sim_->rng().below(
-            static_cast<std::uint64_t>(params.max_delay - params.min_delay) +
-            1));
-    sim_->after(delay, [this, from, to, msg = std::move(message)]() {
-      if (is_isolated(to)) {
-        ++stats_.blocked;
-        return;
-      }
-      const auto it = handlers_.find(to);
-      if (it == handlers_.end()) return;  // crashed nodes receive silently
-      ++stats_.delivered;
-      it->second(from, msg);
-    });
+    if (sim_->rng().chance(loss_probability)) {
+      ++stats_.lost;
+      notify(ChannelEvent::Kind::Lost, from, to, id, 0);
+      return id;
+    }
+    schedule_delivery(from, to, id, message, sample_delay(params));
+    if (params.duplicate_probability > 0 &&
+        sim_->rng().chance(params.duplicate_probability)) {
+      ++stats_.duplicated;
+      notify(ChannelEvent::Kind::Duplicated, from, to, id, 0);
+      schedule_delivery(from, to, id, message, sample_delay(params));
+    }
+    return id;
   }
 
   const NetworkStats& stats() const { return stats_; }
@@ -99,6 +173,47 @@ class Network {
     int to;
     friend auto operator<=>(const LinkKey&, const LinkKey&) = default;
   };
+
+  Time sample_delay(const LinkParams& params) {
+    const Time delay =
+        params.min_delay +
+        static_cast<Time>(sim_->rng().below(
+            static_cast<std::uint64_t>(params.max_delay - params.min_delay) +
+            1));
+    if (spec_max_delay_ >= 0 && delay > spec_max_delay_) {
+      ++stats_.out_of_spec_delay;
+    }
+    return delay;
+  }
+
+  void schedule_delivery(int from, int to, std::uint64_t id,
+                         const MessageT& message, Time delay) {
+    sim_->after(delay, [this, from, to, id, delay, msg = message]() {
+      if (is_isolated(to)) {
+        ++stats_.blocked;
+        notify(ChannelEvent::Kind::Blocked, from, to, id, delay);
+        return;
+      }
+      const auto it = handlers_.find(to);
+      if (it == handlers_.end()) return;  // crashed nodes receive silently
+      ++stats_.delivered;
+      std::uint64_t& newest = newest_delivered_[{from, to}];
+      if (id < newest) {
+        ++stats_.reordered;
+      } else {
+        newest = id;
+      }
+      notify(ChannelEvent::Kind::Delivered, from, to, id, delay);
+      it->second(from, msg, id);
+    });
+  }
+
+  void notify(ChannelEvent::Kind kind, int from, int to, std::uint64_t id,
+              Time delay) {
+    if (observer_) {
+      observer_(ChannelEvent{kind, from, to, id, sim_->now(), delay});
+    }
+  }
 
   LinkParams link(int from, int to) const {
     const auto it = links_.find({from, to});
@@ -116,6 +231,11 @@ class Network {
   std::set<LinkKey> down_;
   std::map<int, Handler> handlers_;
   std::vector<int> isolated_;
+  std::map<LinkKey, bool> burst_state_;
+  std::map<LinkKey, std::uint64_t> newest_delivered_;
+  std::uint64_t next_id_ = 1;
+  Time spec_max_delay_ = -1;
+  Observer observer_;
   NetworkStats stats_;
 };
 
