@@ -128,19 +128,23 @@ void schedule_action(hb::Cluster& cluster, const RunSpec& spec,
 
 }  // namespace
 
-RunResult run_chaos(const RunSpec& spec, const MonitorBounds* bounds,
-                    bool record_trace) {
-  AHB_EXPECTS(spec.participants >= 1);
-  AHB_EXPECTS(spec.timing().valid());
-  AHB_EXPECTS(spec.horizon > 0);
-
+hb::ClusterConfig cluster_config_for(const RunSpec& spec) {
   hb::ClusterConfig config;
   config.protocol = hb::Config{spec.tmin, spec.tmax, spec.variant,
                                spec.fixed_bounds};
   config.participants = spec.participants;
   config.seed = spec.seed;
   config.receive_priority = spec.receive_priority;
-  hb::Cluster cluster(config);
+  return config;
+}
+
+RunResult run_chaos(const RunSpec& spec, const MonitorBounds* bounds,
+                    bool record_trace, bool record_events) {
+  AHB_EXPECTS(spec.participants >= 1);
+  AHB_EXPECTS(spec.timing().valid());
+  AHB_EXPECTS(spec.horizon > 0);
+
+  hb::Cluster cluster(cluster_config_for(spec));
 
   RequirementMonitor::Config monitor_config{spec.variant, spec.timing(),
                                             spec.fixed_bounds,
@@ -157,6 +161,7 @@ RunResult run_chaos(const RunSpec& spec, const MonitorBounds* bounds,
 
   cluster.on_protocol_event([&](const hb::ProtocolEvent& event) {
     monitor.on_protocol_event(event);
+    if (record_events) result.events.push_back(event);
     if (record_trace) {
       char line[96];
       std::snprintf(line, sizeof line, "%" PRId64 " %s %d %" PRIu64 "\n",

@@ -25,12 +25,22 @@ struct RunResult {
   /// One line per protocol event ("at kind node msg_id"), recorded only
   /// when requested — the byte-comparable execution fingerprint.
   std::string trace;
+  /// The raw protocol-event trace (recorded only when requested) — the
+  /// input replay_cluster_trace needs to feed a chaos run through the
+  /// conformance layer.
+  std::vector<hb::ProtocolEvent> events;
 };
 
 /// Runs `spec` to its horizon. `bounds` overrides the monitor deadlines
 /// (nullptr = the proto/timing.hpp defaults — the only sound setting;
-/// overriding exists for the mutation-canary tests).
+/// overriding exists for the mutation-canary tests). `record_trace`
+/// fills RunResult::trace, `record_events` fills RunResult::events.
 RunResult run_chaos(const RunSpec& spec, const MonitorBounds* bounds = nullptr,
-                    bool record_trace = false);
+                    bool record_trace = false, bool record_events = false);
+
+/// The cluster configuration a chaos run executes under (exposed so the
+/// conformance layer can replay a recorded chaos trace through the model
+/// built for exactly this configuration).
+hb::ClusterConfig cluster_config_for(const RunSpec& spec);
 
 }  // namespace ahb::chaos

@@ -169,22 +169,26 @@ void Cluster::dispatch(int node_id, const Actions& actions) {
   // including member-less rounds, where the broadcast has no receivers.
   bool coordinator_beat = node_id == 0 && actions.round_completed;
   std::uint64_t beat_id = 0;
+  std::uint32_t beat_fanout = 0;
   for (const auto& out : actions.messages) {
     ++node_stats_[static_cast<std::size_t>(node_id)].sent;
     const std::uint64_t id = net_.send(node_id, out.to, out.message);
     if (node_id == 0) {
       coordinator_beat = coordinator_beat || out.message.flag;
-      if (beat_id == 0 && out.message.flag) beat_id = id;
+      if (out.message.flag) {
+        if (beat_id == 0) beat_id = id;
+        ++beat_fanout;
+      }
     } else if (!out.message.flag) {
-      emit(ProtocolEvent::Kind::ParticipantLeft, node_id, id);
+      emit(ProtocolEvent::Kind::ParticipantLeft, node_id, id, 1);
     } else if (parts_[static_cast<std::size_t>(node_id) - 1]->joined()) {
-      emit(ProtocolEvent::Kind::ParticipantReplied, node_id, id);
+      emit(ProtocolEvent::Kind::ParticipantReplied, node_id, id, 1);
     } else {
-      emit(ProtocolEvent::Kind::ParticipantJoinBeat, node_id, id);
+      emit(ProtocolEvent::Kind::ParticipantJoinBeat, node_id, id, 1);
     }
   }
   if (coordinator_beat) {
-    emit(ProtocolEvent::Kind::CoordinatorBeat, 0, beat_id);
+    emit(ProtocolEvent::Kind::CoordinatorBeat, 0, beat_id, beat_fanout);
   }
   if (actions.inactivated) {
     emit(node_id == 0 ? ProtocolEvent::Kind::CoordinatorInactivated
@@ -194,8 +198,11 @@ void Cluster::dispatch(int node_id, const Actions& actions) {
   }
 }
 
-void Cluster::emit(ProtocolEvent::Kind kind, int node, std::uint64_t msg_id) {
-  if (event_cb_) event_cb_(ProtocolEvent{kind, sim_.now(), node, msg_id});
+void Cluster::emit(ProtocolEvent::Kind kind, int node, std::uint64_t msg_id,
+                   std::uint32_t fanout) {
+  if (event_cb_) {
+    event_cb_(ProtocolEvent{kind, sim_.now(), node, msg_id, fanout});
+  }
 }
 
 sim::Time Cluster::node_next_event(int node_id) const {

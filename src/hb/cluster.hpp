@@ -69,6 +69,10 @@ struct ProtocolEvent {
   /// protocol event; it carries the id of the first beat of the round
   /// (ids of the fan-out are consecutive).
   std::uint64_t msg_id = 0;
+  /// Number of network messages the event fanned out as: the member
+  /// count for a CoordinatorBeat (ids [msg_id, msg_id + fanout)), 1 for
+  /// participant sends, 0 for events not tied to a send.
+  std::uint32_t fanout = 0;
 };
 
 class Cluster {
@@ -158,7 +162,8 @@ class Cluster {
   };
 
   void dispatch(int node_id, const Actions& actions);
-  void emit(ProtocolEvent::Kind kind, int node, std::uint64_t msg_id = 0);
+  void emit(ProtocolEvent::Kind kind, int node, std::uint64_t msg_id = 0,
+            std::uint32_t fanout = 0);
   void arm_timer(int node_id);
   Actions node_elapsed(int node_id, sim::Time now);
   sim::Time node_next_event(int node_id) const;

@@ -1,9 +1,15 @@
 #include "mc/guided.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
 #include <deque>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
 #include <unordered_set>
 
-#include "mc/store.hpp"
+#include "mc/concurrent_store.hpp"
 #include "util/contracts.hpp"
 #include "util/hash.hpp"
 #include "util/strings.hpp"
@@ -12,17 +18,11 @@ namespace ahb::mc {
 
 namespace {
 
-/// A search node: model state, elapsed ticks, observations consumed.
-struct Node {
-  ta::State state;
-  std::int64_t time = 0;
-  std::size_t next_obs = 0;
-};
-
 /// Exact memo key: the state is interned in a collapse-compressed
-/// StateStore, so the 32-bit index substitutes for the full slot vector
-/// and equality on NodeKey is equality on (state, time, obs index) —
-/// no hash-collision pruning.
+/// ConcurrentStateStore, so the 32-bit index substitutes for the full
+/// slot vector and equality on NodeKey is equality on (state, time,
+/// obs index) — no hash-collision pruning. The work queue holds these
+/// keys directly; workers decode the state back out of the store.
 struct NodeKey {
   std::uint32_t state_index = 0;
   std::int64_t time = 0;
@@ -47,6 +47,270 @@ bool matches(const GuidedObservation& o, const std::string& label) {
   return false;
 }
 
+bool forbidden_while_pending(const GuidedObservation& o,
+                             const std::string& label) {
+  for (const auto& needle : o.forbidden_silent) {
+    if (label.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+int count_occurrences(const std::string& s, const std::string& needle) {
+  int n = 0;
+  for (auto pos = s.find(needle); pos != std::string::npos;
+       pos = s.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+/// The seen-set companion of the state store: (state, time, obs) triples
+/// already scheduled, sharded to keep lock hold times short.
+class SeenSet {
+ public:
+  bool insert(const NodeKey& key) {
+    const std::size_t shard = NodeKeyHash{}(key) & (kShards - 1);
+    std::lock_guard<std::mutex> lock(shards_[shard].mutex);
+    return shards_[shard].keys.insert(key).second;
+  }
+
+ private:
+  static constexpr std::size_t kShards = 64;
+  struct Shard {
+    std::mutex mutex;
+    std::unordered_set<NodeKey, NodeKeyHash> keys;
+  };
+  Shard shards_[kShards];
+};
+
+/// Everything the worker threads share. The queue mutex doubles as the
+/// publication point for store indices: a key is pushed only after its
+/// state was interned, so a popping worker can always decode it.
+struct SearchShared {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<NodeKey> queue;
+  int busy = 0;
+  /// Atomic because expansion loops poll it without the queue mutex;
+  /// all writes happen under the mutex before a notify.
+  std::atomic<bool> done{false};
+  bool success = false;
+  bool limit_hit = false;
+
+  std::atomic<std::uint64_t> expanded{0};
+
+  // Deterministic failure diagnostics: lexicographic max over all seen
+  // nodes of (observations matched, time reached). On failure the full
+  // reachable node set is explored, so the maximum is thread-invariant.
+  std::mutex progress_mutex;
+  std::size_t matched = 0;
+  std::int64_t best_time = 0;
+};
+
+/// Validates the id bookkeeping of the observation stream and collects
+/// the ids that are never delivered. Returns false (with a diagnostic)
+/// if a Deliver observation consumes an id that is not in flight.
+bool track_in_flight(std::span<const GuidedObservation> obs,
+                     GuidedResult& result) {
+  std::unordered_map<std::uint64_t, std::uint32_t> in_flight;
+  for (std::size_t i = 0; i < obs.size(); ++i) {
+    const auto& o = obs[i];
+    if (o.msg_id == 0) continue;
+    if (o.type == GuidedObservation::Type::Send) {
+      for (std::uint32_t f = 0; f < o.fanout; ++f) {
+        ++in_flight[o.msg_id + f];
+      }
+    } else if (o.type == GuidedObservation::Type::Deliver) {
+      auto it = in_flight.find(o.msg_id);
+      if (it == in_flight.end() || it->second == 0) {
+        result.diagnostic = strprintf(
+            "observation %zu (\"%s\" at t=%lld) delivers message id %llu "
+            "which is not in flight (unsent or already delivered)",
+            i + 1, o.describe.c_str(), static_cast<long long>(o.at),
+            static_cast<unsigned long long>(o.msg_id));
+        return false;
+      }
+      if (--it->second == 0) in_flight.erase(it);
+    }
+  }
+  for (const auto& [id, count] : in_flight) {
+    for (std::uint32_t c = 0; c < count; ++c) result.lost_ids.push_back(id);
+  }
+  std::sort(result.lost_ids.begin(), result.lost_ids.end());
+  return true;
+}
+
+class GuidedSearch {
+ public:
+  GuidedSearch(const ta::Network& net, std::span<const GuidedObservation> obs,
+               const std::function<bool(const std::string&)>& is_observable,
+               const GuidedLimits& limits)
+      : net_(net),
+        obs_(obs),
+        is_observable_(is_observable),
+        limits_(limits),
+        memo_store_(net.codec(), ta::Compression::Collapse) {}
+
+  void run(GuidedResult& result) {
+    enqueue_initial();
+
+    const unsigned threads = std::max(1u, limits_.threads);
+    std::vector<std::thread> pool;
+    pool.reserve(threads - 1);
+    for (unsigned i = 1; i < threads; ++i) {
+      pool.emplace_back([this] { worker(); });
+    }
+    worker();
+    for (auto& t : pool) t.join();
+
+    result.ok = shared_.success;
+    result.expanded = shared_.expanded.load(std::memory_order_relaxed);
+    result.memo_states = memo_store_.size();
+    result.memo_bytes = memo_store_.memory_bytes();
+    result.matched = shared_.success ? obs_.size() : shared_.matched;
+    if (shared_.success) return;
+    if (shared_.limit_hit) {
+      result.diagnostic = strprintf(
+          "search limit of %llu nodes exceeded after matching %zu/%zu "
+          "observations",
+          static_cast<unsigned long long>(limits_.max_nodes), result.matched,
+          obs_.size());
+      return;
+    }
+    result.diagnostic = strprintf(
+        "no model run matches observation %zu/%zu (\"%s\" at t=%lld); "
+        "deepest run reached t=%lld",
+        result.matched + 1, obs_.size(),
+        result.matched < obs_.size() ? obs_[result.matched].describe.c_str()
+                                     : "?",
+        static_cast<long long>(
+            result.matched < obs_.size() ? obs_[result.matched].at : 0),
+        static_cast<long long>(shared_.best_time));
+  }
+
+ private:
+  void enqueue_initial() {
+    const ta::State initial = net_.initial_state();
+    const NodeKey key{memo_store_.intern(initial).first, 0, 0};
+    seen_.insert(key);
+    std::lock_guard<std::mutex> lock(shared_.mutex);
+    shared_.queue.push_back(key);
+  }
+
+  /// Interns a candidate node; if it is new, records progress, detects
+  /// full matches and schedules the node. Called from successor
+  /// expansion with the queue mutex *not* held.
+  void offer(std::span<const ta::Slot> target, std::int64_t time,
+             std::size_t next_obs) {
+    const NodeKey key{memo_store_.intern(target).first, time,
+                      static_cast<std::uint32_t>(next_obs)};
+    if (!seen_.insert(key)) return;
+    {
+      std::lock_guard<std::mutex> lock(shared_.progress_mutex);
+      if (next_obs > shared_.matched ||
+          (next_obs == shared_.matched && time > shared_.best_time)) {
+        shared_.matched = next_obs;
+        shared_.best_time = time;
+      }
+    }
+    std::lock_guard<std::mutex> lock(shared_.mutex);
+    if (next_obs == obs_.size()) {
+      shared_.done = true;
+      shared_.success = true;
+      shared_.cv.notify_all();
+      return;
+    }
+    shared_.queue.push_back(key);
+    shared_.cv.notify_one();
+  }
+
+  void worker() {
+    ta::State state;
+    ta::SuccessorScratch scratch;
+    for (;;) {
+      NodeKey key;
+      {
+        std::unique_lock<std::mutex> lock(shared_.mutex);
+        shared_.cv.wait(lock, [this] {
+          return shared_.done || !shared_.queue.empty() || shared_.busy == 0;
+        });
+        if (shared_.done || shared_.queue.empty()) {
+          // Either a verdict was reached or no work is left anywhere
+          // (queue empty and nobody expanding): exploration exhausted.
+          if (shared_.done || shared_.busy == 0) {
+            shared_.cv.notify_all();
+            return;
+          }
+          continue;
+        }
+        key = shared_.queue.back();
+        shared_.queue.pop_back();
+        ++shared_.busy;
+      }
+
+      if (shared_.expanded.fetch_add(1, std::memory_order_relaxed) + 1 >
+          limits_.max_nodes) {
+        std::lock_guard<std::mutex> lock(shared_.mutex);
+        shared_.done = true;
+        shared_.limit_hit = true;
+        --shared_.busy;
+        shared_.cv.notify_all();
+        return;
+      }
+
+      memo_store_.load(key.state_index, state);
+      expand(state, key.time, key.next_obs, scratch);
+
+      {
+        std::lock_guard<std::mutex> lock(shared_.mutex);
+        --shared_.busy;
+        if (shared_.busy == 0 && shared_.queue.empty()) {
+          shared_.cv.notify_all();
+        }
+      }
+    }
+  }
+
+  void expand(const ta::State& state, std::int64_t time, std::size_t next_obs,
+              ta::SuccessorScratch& scratch) {
+    const GuidedObservation& pending = obs_[next_obs];
+    net_.for_each_successor(state, scratch, [&](const ta::SuccessorView& v) {
+      if (shared_.done) return;
+      if (v.kind == ta::Transition::Kind::Tick) {
+        // Time may advance, but never past the pending observation.
+        if (time + 1 <= pending.at) offer(v.target, time + 1, next_obs);
+        return;
+      }
+      const std::string label = net_.label_of(v);
+      if (is_observable_(label)) {
+        if (time == pending.at && matches(pending, label) &&
+            (pending.count_needle.empty() ||
+             count_occurrences(label, pending.count_needle) ==
+                 pending.expected_count)) {
+          offer(v.target, time, next_obs + 1);
+        }
+        // An unmatched observable may not fire: the implementation did
+        // not produce it here.
+        return;
+      }
+      // Silent transitions interleave freely — except the loss edges of
+      // messages the recorded future still delivers: losing one of those
+      // would let the model re-use a distinct in-flight message with the
+      // same payload for the upcoming delivery.
+      if (forbidden_while_pending(pending, label)) return;
+      offer(v.target, time, next_obs);
+    });
+  }
+
+  const ta::Network& net_;
+  std::span<const GuidedObservation> obs_;
+  const std::function<bool(const std::string&)>& is_observable_;
+  GuidedLimits limits_;
+  ConcurrentStateStore memo_store_;
+  SeenSet seen_;
+  SearchShared shared_;
+};
+
 }  // namespace
 
 GuidedResult guided_replay(
@@ -60,89 +324,18 @@ GuidedResult guided_replay(
   }
 
   GuidedResult result;
+  // The in-flight id multiset is a deterministic function of the
+  // observation prefix, so it is checked once up front: a malformed
+  // stream (delivery of an id that is not in flight) is rejected before
+  // any search, and the never-delivered ids become explicit loss facts.
+  if (!track_in_flight(obs, result)) return result;
   if (obs.empty()) {
     result.ok = true;
     return result;
   }
 
-  // Depth-first search over (state, time, observation index), memoized:
-  // a node reached twice explores the identical subtree, so revisits are
-  // pruned. The memo key is exact — states are interned through the
-  // network's collapse codec, so two triples compare equal iff they are
-  // the same node. (Earlier revisions pruned on a bare 64-bit hash of
-  // the triple; a collision there silently drops a distinct node, which
-  // for a membership checker can turn a true "this trace is a trace of
-  // the model" into a spurious rejection.)
-  StateStore memo_store{net.codec(), ta::Compression::Collapse};
-  std::unordered_set<NodeKey, NodeKeyHash> seen;
-  std::deque<Node> stack;
-  stack.push_back(Node{net.initial_state(), 0, 0});
-
-  ta::SuccessorScratch scratch;
-  std::int64_t best_time = 0;
-
-  while (!stack.empty()) {
-    Node node = std::move(stack.back());
-    stack.pop_back();
-
-    if (node.next_obs > result.matched) {
-      result.matched = node.next_obs;
-      best_time = node.time;
-    }
-    if (node.next_obs == obs.size()) {
-      result.ok = true;
-      return result;
-    }
-    const NodeKey key{memo_store.intern(node.state).first, node.time,
-                      static_cast<std::uint32_t>(node.next_obs)};
-    if (!seen.insert(key).second) {
-      continue;
-    }
-    if (++result.expanded > limits.max_nodes) {
-      result.diagnostic = strprintf(
-          "search limit of %llu nodes exceeded after matching %zu/%zu "
-          "observations",
-          static_cast<unsigned long long>(limits.max_nodes), result.matched,
-          obs.size());
-      return result;
-    }
-
-    const GuidedObservation& pending = obs[node.next_obs];
-    net.for_each_successor(
-        node.state, scratch, [&](const ta::SuccessorView& v) {
-          if (v.kind == ta::Transition::Kind::Tick) {
-            // Time may advance, but never past the pending observation.
-            if (node.time + 1 <= pending.at) {
-              stack.push_back(Node{ta::State{v.target}, node.time + 1,
-                                   node.next_obs});
-            }
-            return;
-          }
-          const std::string label = net.label_of(v);
-          if (is_observable(label)) {
-            if (node.time == pending.at && matches(pending, label)) {
-              stack.push_back(Node{ta::State{v.target}, node.time,
-                                   node.next_obs + 1});
-            }
-            // An unmatched observable may not fire: the implementation
-            // did not produce it here.
-            return;
-          }
-          stack.push_back(
-              Node{ta::State{v.target}, node.time, node.next_obs});
-        });
-  }
-
-  result.diagnostic = strprintf(
-      "no model run matches observation %zu/%zu (\"%s\" at t=%lld); deepest "
-      "run reached t=%lld",
-      result.matched + 1, obs.size(),
-      result.matched < obs.size() ? obs[result.matched].describe.c_str()
-                                  : "?",
-      static_cast<long long>(result.matched < obs.size()
-                                 ? obs[result.matched].at
-                                 : 0),
-      static_cast<long long>(best_time));
+  GuidedSearch search(net, obs, is_observable, limits);
+  search.run(result);
   return result;
 }
 

@@ -10,6 +10,17 @@
 // (internal choices such as channel loss or committed bookkeeping
 // steps) may interleave freely, and unit ticks advance time but never
 // past the next observation's timestamp.
+//
+// Observations carry message identity: a Send observation puts its
+// message ids in flight, a Deliver observation consumes one, and the
+// replayer tracks the in-flight id multiset across the trace. Ids that
+// are sent but never delivered are reported as explicit loss facts
+// (GuidedResult::lost_ids) instead of being inferred, and a Deliver of
+// an id that is not in flight (duplicate or unsent) rejects the trace
+// up front. While a pending observation's message is in flight, its
+// `forbidden_silent` labels (the model's loss edges for that very
+// message) may not fire — this is what keeps two identical-payload
+// in-flight messages from being conflated.
 #pragma once
 
 #include <cstdint>
@@ -26,8 +37,28 @@ namespace ahb::mc {
 /// by Network::label_of) contains any of the `any_of` substrings, taken
 /// exactly when the model's tick count equals `at`.
 struct GuidedObservation {
+  /// Internal events (crashes, inactivations, rejoins) carry no message;
+  /// Send puts ids [msg_id, msg_id + fanout) in flight; Deliver consumes
+  /// its msg_id.
+  enum class Type { Internal, Send, Deliver };
+
   std::int64_t at = 0;
+  Type type = Type::Internal;
+  /// Network message id (Send: first id of the fan-out; Deliver: the
+  /// delivered id). 0 = no message attached.
+  std::uint64_t msg_id = 0;
+  /// Send only: number of consecutive ids the event fanned out as (a
+  /// coordinator round beat is one event, one id per member).
+  std::uint32_t fanout = 1;
   std::vector<std::string> any_of;
+  /// When non-empty, the matched label must contain exactly
+  /// `expected_count` occurrences of this fragment (used to check that a
+  /// model broadcast reaches as many channels as the engine's fan-out).
+  std::string count_needle;
+  int expected_count = -1;
+  /// Silent labels that may not fire while this observation is pending
+  /// (the loss edges of messages that the recorded future delivers).
+  std::vector<std::string> forbidden_silent;
   /// Human-readable description used in failure diagnostics.
   std::string describe;
 };
@@ -39,6 +70,13 @@ struct GuidedResult {
   std::size_t matched = 0;
   /// Nodes expanded by the search (diagnostics/limit accounting).
   std::uint64_t expanded = 0;
+  /// Distinct (state, time, obs) triples interned in the memo set.
+  std::size_t memo_states = 0;
+  /// Bytes held by the memo set's compressed state store.
+  std::size_t memo_bytes = 0;
+  /// Message ids still in flight after the whole trace: sent (or fanned
+  /// out) but never observed delivered. Loss as an explicit fact.
+  std::vector<std::uint64_t> lost_ids;
   /// On failure: which observation could not be matched, and why.
   std::string diagnostic;
 };
@@ -46,6 +84,11 @@ struct GuidedResult {
 struct GuidedLimits {
   /// Cap on distinct (state, time, observation-index) search nodes.
   std::uint64_t max_nodes = 2'000'000;
+  /// Worker threads for the memoized search. The memo set lives in a
+  /// sharded ConcurrentStateStore, so any thread count returns the same
+  /// match/fail verdict (and the same `matched` on failure, where the
+  /// full reachable node set is explored).
+  unsigned threads = 1;
 };
 
 /// Searches for a run of `net` whose observable transitions reproduce

@@ -95,6 +95,13 @@ class Builder {
       if (has_join_phase()) {
         join_send_.push_back(net_.add_channel(strprintf("join_send%d", i),
                                               ChanKind::Handshake));
+        // Join-beat deliveries get their own broadcast channel so the
+        // p[0] receive edge is a distinguishable action: a replayed
+        // trace with message identity can tell a delivered join beat
+        // from a delivered reply even though both carry the same
+        // payload on the wire.
+        deliver_p0_join_.push_back(net_.add_channel(
+            strprintf("deliver_p0_join_from%d", i), ChanKind::Broadcast));
       }
     }
 
@@ -196,6 +203,23 @@ class Builder {
                                if (join) m.set(jnd, 1);
                              },
                          .label = strprintf("recv_beat_from_p%d", i + 1)});
+      if (join) {
+        // Same registration effect, distinct action: the beat arrived
+        // over the join channel rather than as a round-trip reply.
+        net_.add_edge(
+            h.p0,
+            Edge{.src = h.l_alive,
+                 .dst = h.l_alive,
+                 .chan = deliver_p0_join_[static_cast<std::size_t>(i)],
+                 .dir = SyncDir::Recv,
+                 .effect =
+                     [rcvd0, jnd, tm, tmax](StateMut& m) {
+                       if (m.var(jnd) == 0) m.set(tm, tmax);
+                       m.set(rcvd0, 1);
+                       m.set(jnd, 1);
+                     },
+                 .label = strprintf("recv_join_from_p%d", i + 1)});
+      }
       if (leaves()) {
         net_.add_edge(
             h.p0,
@@ -652,7 +676,7 @@ class Builder {
     const Handles* hp = &h_;
     net_.add_edge(p.jch, Edge{.src = p.jch_t,
                               .dst = p.jch_idle,
-                              .chan = deliver_p0_true_[idx],
+                              .chan = deliver_p0_join_[idx],
                               .dir = SyncDir::Send,
                               .guard =
                                   [hp, idx](const StateView& v) {
@@ -703,6 +727,25 @@ class Builder {
                               .effect =
                                   [mdelay](StateMut& m) { m.reset(mdelay); },
                               .label = "observe_beat"});
+    if (has_join_phase()) {
+      // Join-beat deliveries moved to their own channel; the watchdog
+      // still treats them as beats reaching p[0] (R1's clock is about
+      // p[0] hearing *something*, not about which channel carried it).
+      net_.add_edge(p.mon, Edge{.src = p.mon_wait,
+                                .dst = p.mon_armed,
+                                .chan = deliver_p0_join_[idx],
+                                .dir = SyncDir::Recv,
+                                .effect =
+                                    [mdelay](StateMut& m) { m.reset(mdelay); },
+                                .label = "arm"});
+      net_.add_edge(p.mon, Edge{.src = p.mon_armed,
+                                .dst = p.mon_armed,
+                                .chan = deliver_p0_join_[idx],
+                                .dir = SyncDir::Recv,
+                                .effect =
+                                    [mdelay](StateMut& m) { m.reset(mdelay); },
+                                .label = "observe_beat"});
+    }
     if (leaves()) {
       net_.add_edge(p.mon, Edge{.src = p.mon_armed,
                                 .dst = p.mon_wait,
@@ -734,6 +777,7 @@ class Builder {
   std::vector<ChanId> deliver_p0_true_;
   std::vector<ChanId> deliver_p0_false_;
   std::vector<ChanId> join_send_;
+  std::vector<ChanId> deliver_p0_join_;
 };
 
 }  // namespace

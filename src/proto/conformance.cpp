@@ -1,5 +1,8 @@
 #include "proto/conformance.hpp"
 
+#include <algorithm>
+#include <unordered_map>
+
 #include "models/heartbeat_model.hpp"
 #include "util/contracts.hpp"
 #include "util/strings.hpp"
@@ -9,6 +12,7 @@ namespace ahb::proto {
 namespace {
 
 using Kind = hb::ProtocolEvent::Kind;
+using Obs = mc::GuidedObservation;
 
 const char* kind_name(Kind k) {
   switch (k) {
@@ -28,11 +32,35 @@ const char* kind_name(Kind k) {
   return "?";
 }
 
-// Maps one recorded event to the model edge labels that may realize it.
+bool is_send_kind(Kind k) {
+  return k == Kind::CoordinatorBeat || k == Kind::ParticipantReplied ||
+         k == Kind::ParticipantJoinBeat || k == Kind::ParticipantLeft;
+}
+
+bool is_delivery_kind(Kind k) {
+  return k == Kind::CoordinatorReceivedBeat ||
+         k == Kind::CoordinatorReceivedLeave ||
+         k == Kind::ParticipantReceivedBeat;
+}
+
+/// The node at which an event takes place: the receiver for deliveries
+/// (CoordinatorReceived* carry the *sender* in `node`), the acting node
+/// otherwise.
+int actor_of(const hb::ProtocolEvent& e) {
+  switch (e.kind) {
+    case Kind::CoordinatorReceivedBeat:
+    case Kind::CoordinatorReceivedLeave: return 0;
+    default: return e.node;
+  }
+}
+
+// Maps one recorded event to the payload-level model edge labels that
+// may realize it — the pre-identity matcher, still used for internal
+// events (which carry no message) and for the PayloadOnly canary mode.
 // Matching is by substring of Network::label_of output, so every needle
 // must be unambiguous across all label fragments (requires < 10
 // participants: "p1." vs "p10.").
-std::vector<std::string> needles_for(const hb::ProtocolEvent& e) {
+std::vector<std::string> payload_needles_for(const hb::ProtocolEvent& e) {
   const int i = e.node;
   switch (e.kind) {
     case Kind::CoordinatorBeat:
@@ -41,8 +69,9 @@ std::vector<std::string> needles_for(const hb::ProtocolEvent& e) {
       return {"p0.send_beat", "p0.broadcast_beat", "p0.initial_beat"};
     case Kind::CoordinatorReceivedBeat:
       // Covers both the reply delivery (ch) and the join-beat delivery
-      // (jch): both synchronize on the same p[0] receive edge.
-      return {strprintf("p0.recv_beat_from_p%d", i)};
+      // (jch): payload-only matching cannot tell them apart.
+      return {strprintf("p0.recv_beat_from_p%d", i),
+              strprintf("p0.recv_join_from_p%d", i)};
     case Kind::CoordinatorReceivedLeave:
       return {strprintf("p0.recv_leave_from_p%d", i)};
     case Kind::CoordinatorInactivated:
@@ -71,6 +100,252 @@ std::vector<std::string> needles_for(const hb::ProtocolEvent& e) {
   return {};
 }
 
+Obs base_observation(const hb::ProtocolEvent& e) {
+  Obs o;
+  o.at = e.at;
+  o.describe =
+      e.msg_id != 0
+          ? strprintf("%s(node=%d, id=%llu)", kind_name(e.kind), e.node,
+                      static_cast<unsigned long long>(e.msg_id))
+          : strprintf("%s(node=%d)", kind_name(e.kind), e.node);
+  return o;
+}
+
+/// Builds the id-aware observation stream: sends and deliveries paired
+/// by message id, duplicates folded onto their original, stale join
+/// beats dropped (the model voids them silently), and loss edges of
+/// messages with a recorded future delivery forbidden while in flight.
+class IdObservationBuilder {
+ public:
+  explicit IdObservationBuilder(std::span<const hb::ProtocolEvent> events)
+      : events_(events) {
+    int max_node = 0;
+    for (const auto& e : events) max_node = std::max(max_node, e.node);
+    // Until a node receives its first beat it is (potentially) in the
+    // join phase; non-joining variants simply never send join beats, so
+    // the flag is consulted only when one exists.
+    joining_.assign(static_cast<std::size_t>(max_node) + 1, 1);
+    pending_.assign(static_cast<std::size_t>(max_node) + 1, Pending{});
+  }
+
+  std::vector<Obs> build() {
+    for (const auto& e : events_) process(e);
+    // The loss edge of a message the recorded future delivers may not
+    // fire while that message is in flight — otherwise the model could
+    // lose it and re-use a distinct same-payload message for the
+    // upcoming delivery (the identical-payload conflation bug).
+    for (const auto& w : windows_) {
+      for (std::size_t k = w.send_obs + 1; k <= w.deliver_obs; ++k) {
+        obs_[k].forbidden_silent.push_back(w.loss_label);
+      }
+    }
+    return std::move(obs_);
+  }
+
+ private:
+  enum class SendKind { Beat, Reply, JoinBeat, Leave };
+  struct SendRec {
+    SendKind kind{};
+    int node = 0;
+    std::size_t obs_index = 0;
+  };
+  /// A beat delivery whose same-instant response send has not been seen
+  /// yet (the engine emits the response right after the delivery).
+  struct Pending {
+    std::uint64_t beat = 0;
+    bool duplicate = false;
+    sim::Time at = -1;
+    bool valid = false;
+  };
+  struct Window {
+    std::size_t send_obs = 0;
+    std::size_t deliver_obs = 0;
+    std::string loss_label;
+  };
+
+  std::uint64_t resolve(std::uint64_t id) const {
+    const auto it = alias_.find(id);
+    return it == alias_.end() ? id : it->second;
+  }
+
+  Pending take_pending(int node, sim::Time at) {
+    auto& slot = pending_[static_cast<std::size_t>(node)];
+    if (!slot.valid || slot.at != at) return Pending{};
+    Pending out = slot;
+    slot = Pending{};
+    return out;
+  }
+
+  void note_window(std::uint64_t canonical, std::size_t deliver_obs,
+                   std::string loss_label) {
+    const auto it = sends_.find(canonical);
+    if (it == sends_.end()) return;
+    windows_.push_back(Window{it->second.obs_index, deliver_obs,
+                              std::move(loss_label)});
+  }
+
+  void push_internal(const hb::ProtocolEvent& e) {
+    Obs o = base_observation(e);
+    o.any_of = payload_needles_for(e);
+    obs_.push_back(std::move(o));
+  }
+
+  void process(const hb::ProtocolEvent& e) {
+    switch (e.kind) {
+      case Kind::CoordinatorBeat: {
+        Obs o = base_observation(e);
+        o.type = Obs::Type::Send;
+        o.msg_id = e.msg_id;
+        o.fanout = e.msg_id != 0 ? std::max<std::uint32_t>(e.fanout, 1) : 0;
+        o.any_of = {"p0.send_beat", "p0.broadcast_beat", "p0.initial_beat"};
+        // A model round must reach exactly as many channels as the
+        // engine's fan-out (member-less rounds included: zero accepts).
+        o.count_needle = ".accept_beat";
+        o.expected_count = static_cast<int>(o.fanout);
+        for (std::uint32_t f = 0; f < o.fanout; ++f) {
+          sends_[e.msg_id + f] = SendRec{SendKind::Beat, 0, obs_.size()};
+        }
+        obs_.push_back(std::move(o));
+        return;
+      }
+      case Kind::ParticipantReplied: {
+        const Pending pend = take_pending(e.node, e.at);
+        if (pend.valid && pend.duplicate) {
+          const auto it = response_to_.find(pend.beat);
+          if (it != response_to_.end()) {
+            // Echo: the reply a duplicated beat delivery provoked. The
+            // model saw one beat and one reply; fold the echo onto the
+            // original so a delivery of either copy matches it.
+            alias_[e.msg_id] = it->second;
+            return;
+          }
+        }
+        if (pend.valid) response_to_[pend.beat] = e.msg_id;
+        sends_[e.msg_id] = SendRec{SendKind::Reply, e.node, obs_.size()};
+        Obs o = base_observation(e);
+        o.type = Obs::Type::Send;
+        o.msg_id = e.msg_id;
+        o.any_of = {strprintf("p%d.send_reply", e.node)};
+        obs_.push_back(std::move(o));
+        return;
+      }
+      case Kind::ParticipantJoinBeat: {
+        sends_[e.msg_id] = SendRec{SendKind::JoinBeat, e.node, obs_.size()};
+        Obs o = base_observation(e);
+        o.type = Obs::Type::Send;
+        o.msg_id = e.msg_id;
+        o.any_of = {strprintf("p%d.join_beat", e.node)};
+        obs_.push_back(std::move(o));
+        return;
+      }
+      case Kind::ParticipantLeft: {
+        (void)take_pending(e.node, e.at);
+        joining_[static_cast<std::size_t>(e.node)] = 0;
+        sends_[e.msg_id] = SendRec{SendKind::Leave, e.node, obs_.size()};
+        Obs o = base_observation(e);
+        o.type = Obs::Type::Send;
+        o.msg_id = e.msg_id;
+        o.any_of = {strprintf("p%d.send_leave", e.node)};
+        obs_.push_back(std::move(o));
+        return;
+      }
+      case Kind::ParticipantReceivedBeat: {
+        joining_[static_cast<std::size_t>(e.node)] = 0;
+        const bool first = delivered_[e.msg_id]++ == 0;
+        pending_[static_cast<std::size_t>(e.node)] =
+            Pending{e.msg_id, !first, e.at, true};
+        if (!first) return;  // duplicate delivery: the model delivers once
+        Obs o = base_observation(e);
+        o.type = Obs::Type::Deliver;
+        o.msg_id = sends_.count(e.msg_id) ? e.msg_id : 0;
+        o.any_of = {strprintf("ch%d.deliver_beat", e.node)};
+        if (o.msg_id != 0) {
+          note_window(e.msg_id, obs_.size(),
+                      strprintf("ch%d.lose_beat", e.node));
+        }
+        obs_.push_back(std::move(o));
+        return;
+      }
+      case Kind::CoordinatorReceivedBeat: {
+        const std::uint64_t c = resolve(e.msg_id);
+        const auto it = sends_.find(c);
+        if (it == sends_.end() || it->second.kind == SendKind::Beat ||
+            it->second.kind == SendKind::Leave) {
+          // Unknown origin: fall back to payload-level matching.
+          push_internal(e);
+          return;
+        }
+        const SendRec& s = it->second;
+        if (s.kind == SendKind::JoinBeat &&
+            joining_[static_cast<std::size_t>(s.node)] == 0) {
+          // Stale join beat: the sender joined (or left) while it was in
+          // flight. The model voids it silently (jch void_join); the
+          // engine's coordinator processes it, which is exactly the
+          // divergence a failing replay should pin further down the
+          // trace if it ever becomes observable.
+          return;
+        }
+        const bool first = delivered_[c]++ == 0;
+        if (!first) return;  // duplicate delivery
+        Obs o = base_observation(e);
+        o.type = Obs::Type::Deliver;
+        o.msg_id = c;
+        if (s.kind == SendKind::JoinBeat) {
+          o.any_of = {strprintf("jch%d.deliver_join", s.node)};
+          note_window(c, obs_.size(), strprintf("jch%d.lose_join", s.node));
+        } else {
+          o.any_of = {strprintf("ch%d.deliver_reply", s.node)};
+          note_window(c, obs_.size(), strprintf("ch%d.lose_reply", s.node));
+        }
+        obs_.push_back(std::move(o));
+        return;
+      }
+      case Kind::CoordinatorReceivedLeave: {
+        const bool known = sends_.count(e.msg_id) != 0;
+        const bool first = delivered_[e.msg_id]++ == 0;
+        if (!first) return;  // duplicate delivery
+        Obs o = base_observation(e);
+        o.any_of = {strprintf("ch%d.deliver_leave", e.node)};
+        if (known) {
+          o.type = Obs::Type::Deliver;
+          o.msg_id = e.msg_id;
+          note_window(e.msg_id, obs_.size(),
+                      strprintf("ch%d.lose_leave", e.node));
+        }
+        obs_.push_back(std::move(o));
+        return;
+      }
+      case Kind::ParticipantRejoined:
+        joining_[static_cast<std::size_t>(e.node)] = 1;
+        push_internal(e);
+        return;
+      case Kind::ParticipantInactivated:
+      case Kind::ParticipantCrashed:
+        // A crashed/inactivated sender leaves the join phase for good: a
+        // join beat of his still in flight is void in the model (the
+        // deliver_join guard needs the sender in l_joining), so its
+        // later delivery must not become an observation.
+        joining_[static_cast<std::size_t>(e.node)] = 0;
+        push_internal(e);
+        return;
+      case Kind::CoordinatorInactivated:
+      case Kind::CoordinatorCrashed:
+        push_internal(e);
+        return;
+    }
+  }
+
+  std::span<const hb::ProtocolEvent> events_;
+  std::vector<Obs> obs_;
+  std::unordered_map<std::uint64_t, SendRec> sends_;
+  std::unordered_map<std::uint64_t, std::uint64_t> alias_;
+  std::unordered_map<std::uint64_t, std::uint64_t> response_to_;
+  std::unordered_map<std::uint64_t, int> delivered_;
+  std::vector<char> joining_;     // index: node id
+  std::vector<Pending> pending_;  // index: node id
+  std::vector<Window> windows_;
+};
+
 }  // namespace
 
 models::BuildOptions model_options_for(const hb::ClusterConfig& config,
@@ -85,17 +360,49 @@ models::BuildOptions model_options_for(const hb::ClusterConfig& config,
   return options;
 }
 
-std::vector<mc::GuidedObservation> to_observations(
+std::vector<hb::ProtocolEvent> canonical_event_order(
     std::span<const hb::ProtocolEvent> events) {
-  std::vector<mc::GuidedObservation> obs;
-  obs.reserve(events.size());
-  for (const auto& e : events) {
-    AHB_EXPECTS(obs.empty() || obs.back().at <= e.at);
-    obs.push_back(mc::GuidedObservation{
-        e.at, needles_for(e),
-        strprintf("%s(node=%d)", kind_name(e.kind), e.node)});
+  std::vector<hb::ProtocolEvent> out(events.begin(), events.end());
+  // Which same-instant orders the recorder produces for *independent*
+  // nodes is a simulator queue artifact; canonicalize by hopping each
+  // send before other-node deliveries at the same timestamp. Same-node
+  // order is causal (a delivery precedes the sends it provokes) and is
+  // never disturbed; internal events act as barriers.
+  for (std::size_t k = 1; k < out.size(); ++k) {
+    if (!is_send_kind(out[k].kind)) continue;
+    const sim::Time at = out[k].at;
+    const int actor = actor_of(out[k]);
+    std::size_t j = k;
+    while (j > 0 && out[j - 1].at == at && is_delivery_kind(out[j - 1].kind) &&
+           actor_of(out[j - 1]) != actor) {
+      --j;
+    }
+    if (j < k) {
+      std::rotate(out.begin() + static_cast<std::ptrdiff_t>(j),
+                  out.begin() + static_cast<std::ptrdiff_t>(k),
+                  out.begin() + static_cast<std::ptrdiff_t>(k) + 1);
+    }
   }
-  return obs;
+  return out;
+}
+
+std::vector<Obs> to_observations(std::span<const hb::ProtocolEvent> events,
+                                 ObservationMode mode) {
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    AHB_EXPECTS(events[i - 1].at <= events[i].at);
+  }
+  const auto ordered = canonical_event_order(events);
+  if (mode == ObservationMode::PayloadOnly) {
+    std::vector<Obs> obs;
+    obs.reserve(ordered.size());
+    for (const auto& e : ordered) {
+      Obs o = base_observation(e);
+      o.any_of = payload_needles_for(e);
+      obs.push_back(std::move(o));
+    }
+    return obs;
+  }
+  return IdObservationBuilder(ordered).build();
 }
 
 bool is_observable_label(const std::string& label) {
@@ -103,11 +410,13 @@ bool is_observable_label(const std::string& label) {
   // (accept_*/deliver_*/lose_*/abort_wait/void_join) and p[0]'s internal
   // timeout edge stay silent; note combined labels like
   // "ch1.deliver_beat >> p1.recv_beat" classify by their process-side
-  // fragment.
+  // fragment — which also makes a delivery towards a crashed process
+  // (no process receiver in the broadcast) correctly silent.
   static constexpr const char* kObservable[] = {
       ".send_beat",  ".broadcast_beat", ".initial_beat", ".recv_beat",
-      ".recv_first_beat", ".recv_leave", ".send_reply",  ".join_beat",
-      ".send_leave", ".nv_inactivate",  ".crash",        ".rejoin",
+      ".recv_first_beat", ".recv_leave", ".recv_join",   ".send_reply",
+      ".join_beat",  ".send_leave",     ".nv_inactivate", ".crash",
+      ".rejoin",
   };
   for (const char* needle : kObservable) {
     if (label.find(needle) != std::string::npos) return true;
@@ -118,16 +427,20 @@ bool is_observable_label(const std::string& label) {
 ReplayResult replay_through_model(models::Flavor flavor,
                                   const models::BuildOptions& options,
                                   std::span<const hb::ProtocolEvent> events,
-                                  const mc::GuidedLimits& limits) {
+                                  const mc::GuidedLimits& limits,
+                                  ObservationMode mode) {
   ReplayResult result;
   result.events = events.size();
   const auto model = models::HeartbeatModel::build(flavor, options);
-  const auto obs = to_observations(events);
+  const auto obs = to_observations(events, mode);
   const auto guided =
       mc::guided_replay(model.net(), obs, is_observable_label, limits);
   result.ok = guided.ok;
   result.matched = guided.matched;
   result.expanded = guided.expanded;
+  result.memo_states = guided.memo_states;
+  result.memo_bytes = guided.memo_bytes;
+  result.lost_ids = guided.lost_ids;
   result.diagnostic = guided.diagnostic;
   return result;
 }
@@ -135,12 +448,12 @@ ReplayResult replay_through_model(models::Flavor flavor,
 ReplayResult replay_cluster_trace(const hb::ClusterConfig& config,
                                   std::span<const hb::ProtocolEvent> events,
                                   models::BuildOptions::Rejoin rejoin,
-                                  const mc::GuidedLimits& limits) {
+                                  const mc::GuidedLimits& limits,
+                                  ObservationMode mode) {
   AHB_EXPECTS(config.participants >= 1 && config.participants < 10);
-  AHB_EXPECTS(config.min_delay == 0 && config.max_delay == 0);
   return replay_through_model(config.protocol.variant,
                               model_options_for(config, rejoin), events,
-                              limits);
+                              limits, mode);
 }
 
 }  // namespace ahb::proto

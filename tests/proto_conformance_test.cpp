@@ -10,9 +10,11 @@
 // would mean nothing.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <random>
 #include <utility>
 
+#include "chaos/runner.hpp"
 #include "hb/cluster.hpp"
 #include "proto/conformance.hpp"
 #include "proto/rules.hpp"
@@ -30,8 +32,9 @@ constexpr hb::Variant kAllVariants[] = {
     hb::Variant::Binary,   hb::Variant::RevisedBinary, hb::Variant::TwoPhase,
     hb::Variant::Static,   hb::Variant::Expanding,     hb::Variant::Dynamic};
 
-// Zero network delay so deliveries are observed at their send instant
-// (the recording assumption of the conformance layer).
+// Zero network delay: deliveries are observed at their send instant.
+// The original conformance scenarios run like this; the nonzero-delay
+// scenarios below override the delay range.
 hb::ClusterConfig conformance_config(hb::Variant variant, int tmin,
                                      int tmax) {
   hb::ClusterConfig config;
@@ -42,6 +45,17 @@ hb::ClusterConfig conformance_config(hb::Variant variant, int tmin,
   config.min_delay = 0;
   config.max_delay = 0;
   config.seed = 1;
+  return config;
+}
+
+// In-spec nonzero delay: each message rides a random one-way delay in
+// [0, tmin/2] (the channel assumption's bound), so sends and deliveries
+// are distinct trace instants — the regime the message-identity matcher
+// exists for.
+hb::ClusterConfig delayed_config(hb::Variant variant, int tmin, int tmax) {
+  auto config = conformance_config(variant, tmin, tmax);
+  config.max_delay = -1;  // Cluster default: tmin / 2
+  config.seed = 7;
   return config;
 }
 
@@ -238,6 +252,323 @@ TEST(ConformanceCanary, PerturbedDeadlineLawIsRejected) {
                                              options, recorder.events());
   EXPECT_FALSE(r.ok);
   EXPECT_FALSE(r.diagnostic.empty());
+}
+
+// ---- nonzero-delay scenarios ----
+
+TEST(ConformanceDelay, PureDelayCrashCascadeReplaysForEveryVariant) {
+  // Every message rides its own random in-spec delay, so deliveries land
+  // strictly after their sends and concurrent same-payload messages are
+  // routine — the trace shape only message identity replays correctly.
+  for (const auto variant : kAllVariants) {
+    for (const auto& [tmin, tmax] : {std::pair{4, 10}, std::pair{10, 10}}) {
+      SCOPED_TRACE(testing::Message() << to_string(variant) << " tmin="
+                                      << tmin << " tmax=" << tmax);
+      const auto config = delayed_config(variant, tmin, tmax);
+      hb::Cluster cluster{config};
+      TraceRecorder recorder{cluster};
+      cluster.crash_participant_at(1, 2 * tmax + 1);
+      cluster.start();
+      cluster.run_until(9 * tmax);
+      ASSERT_FALSE(recorder.events().empty());
+      const auto r = proto::replay_cluster_trace(config, recorder.events());
+      EXPECT_TRUE(r.ok) << "matched " << r.matched << "/" << r.events << ": "
+                        << r.diagnostic;
+    }
+  }
+}
+
+TEST(ConformanceDelay, DelayAndLinkLossDecayReplays) {
+  // Delay plus loss: p[1]'s replies vanish for a window, the waiting
+  // time decays, then the link heals. The replayer must infer each lost
+  // message from the delivery that never came — with the loss edges of
+  // messages the future does deliver forbidden while in flight.
+  for (const auto& [tmin, tmax] : {std::pair{4, 10}, std::pair{9, 10}}) {
+    SCOPED_TRACE(testing::Message() << "tmin=" << tmin << " tmax=" << tmax);
+    const auto config = delayed_config(hb::Variant::Static, tmin, tmax);
+    hb::Cluster cluster{config};
+    TraceRecorder recorder{cluster};
+    cluster.start();
+    cluster.run_until(2 * tmax + 5);
+    cluster.fail_link(1, 0);  // p[1]'s replies are lost: tm[1] decays
+    cluster.run_until(4 * tmax + 5);
+    cluster.restore_link(1, 0);
+    cluster.run_until(8 * tmax);
+    ASSERT_FALSE(recorder.events().empty());
+    const auto r = proto::replay_cluster_trace(config, recorder.events());
+    EXPECT_TRUE(r.ok) << "matched " << r.matched << "/" << r.events << ": "
+                      << r.diagnostic;
+  }
+}
+
+TEST(ConformanceDelay, DelayAndDuplicationReplays) {
+  // Every beat is duplicated and every delivery is one tick late: the
+  // participant answers both copies, so the trace holds duplicate beat
+  // deliveries and echo replies. Identity folds each onto its original.
+  const auto config = conformance_config(hb::Variant::Binary, 4, 10);
+  hb::Cluster cluster{config};
+  using Params = sim::Network<hb::Message>::LinkParams;
+  cluster.network().set_link(
+      0, 1, Params{.min_delay = 1, .max_delay = 1, .duplicate_probability = 1.0});
+  cluster.network().set_link(1, 0, Params{.min_delay = 1, .max_delay = 1});
+  TraceRecorder recorder{cluster};
+  cluster.start();
+  cluster.run_until(60);
+  ASSERT_FALSE(recorder.events().empty());
+  ASSERT_GT(cluster.network_stats().duplicated, 0u);
+  const auto r = proto::replay_cluster_trace(config, recorder.events());
+  EXPECT_TRUE(r.ok) << "matched " << r.matched << "/" << r.events << ": "
+                    << r.diagnostic;
+
+  // The pre-identity matcher sees the duplicate beat delivery and the
+  // echo reply as events the model must reproduce — which it cannot, a
+  // single-slot channel delivers once. The old matcher rejects a trace
+  // the engines legitimately produced; that wrong verdict is the
+  // regression this test pins.
+  const auto payload = proto::replay_cluster_trace(
+      config, recorder.events(), models::BuildOptions::Rejoin::None, {},
+      proto::ObservationMode::PayloadOnly);
+  EXPECT_FALSE(payload.ok);
+}
+
+TEST(ConformanceDelay, RandomDelayLossAndDuplicationTracesReplay) {
+  // Seeded property sweep across all six variants at two Table-1 timing
+  // points, under two fault mixes: random in-spec delays with loss, and
+  // constant delay (tmin/2) with loss plus duplication. Every trace the
+  // engines produce here must replay — sends pair with their own
+  // deliveries, duplicates fold onto their originals, losses are
+  // inferred from the deliveries that never came.
+  //
+  // Two deliberate restrictions keep the sweep inside the regime where
+  // the engines provably agree with the models:
+  //  - faults switch on only after the join phase has quiesced
+  //    (3*tmax): the engine's coordinator counts a join beat from an
+  //    already-joined or crashed sender as the round's beat, the model
+  //    voids it — a genuine divergence the replayer detects (see
+  //    StaleJoinRescueDivergenceIsDetected), so a sweep asserting
+  //    conformance must not manufacture it;
+  //  - duplication rides the constant-delay mix, where both copies land
+  //    at the same instant: a later copy would extend the engine
+  //    participant's deadline, which the deliver-once model cannot do.
+  struct Mix {
+    double loss;
+    double duplication;
+    bool constant_delay;
+  };
+  constexpr Mix kMixes[] = {{0.15, 0.0, false}, {0.15, 0.25, true}};
+  std::mt19937_64 rng{20260806u};
+  for (const auto& mix : kMixes) {
+    for (const auto variant : kAllVariants) {
+      for (const auto& [tmin, tmax] : {std::pair{4, 10}, std::pair{10, 10}}) {
+        auto config = delayed_config(variant, tmin, tmax);
+        if (mix.constant_delay) config.min_delay = tmin / 2;
+        config.seed = rng();
+        SCOPED_TRACE(testing::Message()
+                     << to_string(variant) << " tmin=" << tmin << " tmax="
+                     << tmax << " seed=" << config.seed
+                     << " dup=" << mix.duplication);
+        hb::Cluster cluster{config};
+        TraceRecorder recorder{cluster};
+        if (rng() % 2 == 0) {
+          cluster.crash_participant_at(
+              1, static_cast<sim::Time>(3 * tmax + 1 + rng() % (3 * tmax)));
+        }
+        cluster.start();
+        cluster.run_until(3 * tmax);
+        cluster.network().default_params().loss_probability = mix.loss;
+        cluster.network().default_params().duplicate_probability =
+            mix.duplication;
+        cluster.run_until(8 * tmax);
+        const auto r = proto::replay_cluster_trace(config, recorder.events());
+        EXPECT_TRUE(r.ok) << "matched " << r.matched << "/" << r.events
+                          << ": " << r.diagnostic;
+      }
+    }
+  }
+}
+
+TEST(ConformanceDelay, ParallelReplayVerdictsAreThreadInvariant) {
+  // The guided walk memoizes on a sharded concurrent store; accepting
+  // and rejecting replays must return the same verdict and the same
+  // matched prefix at every thread count.
+  const auto config = delayed_config(hb::Variant::Dynamic, 4, 10);
+  hb::Cluster cluster{config};
+  TraceRecorder recorder{cluster};
+  cluster.crash_participant_at(1, 21);
+  cluster.start();
+  cluster.run_until(90);
+  ASSERT_FALSE(recorder.events().empty());
+
+  auto perturbed = proto::model_options_for(config);
+  perturbed.timing.tmax = 9;
+
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE(testing::Message() << "threads=" << threads);
+    mc::GuidedLimits limits;
+    limits.threads = threads;
+    const auto ok_r =
+        proto::replay_cluster_trace(config, recorder.events(),
+                                    models::BuildOptions::Rejoin::None, limits);
+    EXPECT_TRUE(ok_r.ok) << ok_r.diagnostic;
+    EXPECT_EQ(ok_r.matched, recorder.events().size());
+    const auto bad_r = proto::replay_through_model(
+        config.protocol.variant, perturbed, recorder.events(), limits);
+    EXPECT_FALSE(bad_r.ok);
+    EXPECT_FALSE(bad_r.diagnostic.empty());
+  }
+}
+
+// ---- message-identity regression pair (the zero-delay blind spot) ----
+
+TEST(ConformanceIdentity, StaleJoinRescueDivergenceIsDetected) {
+  // The conflation scenario: p[1]'s second join beat is still in flight
+  // when the first heartbeat arrives, so p[1] joins and replies — and the
+  // reply is lost. The engine's coordinator counts the stale join beat as
+  // the round's beat (any true-flag message sets rcvd); the verified
+  // model voids a join beat delivered to a joined sender. The behaviours
+  // genuinely diverge: the engine keeps tmax rounds, the model decays.
+  //
+  // With message identity the replay rejects the trace — the engine is
+  // provably off the model here. The payload-only matcher conflates the
+  // stale join's delivery with a (actually lost) reply delivery, since
+  // both are true-flag messages from p[1], and wrongly accepts: exactly
+  // the blind spot that let this divergence hide at zero delay.
+  const auto config = conformance_config(hb::Variant::Expanding, 4, 10);
+  hb::Cluster cluster{config};
+  TraceRecorder recorder{cluster};
+  using Params = sim::Network<hb::Message>::LinkParams;
+  cluster.start();
+  cluster.run_until(7);  // join beat 1 (t=4) delivered instantly
+  // Join beat 2 (t=8) rides a 3-tick delay: it lands at t=11, after the
+  // t=10 heartbeat has made p[1] a member.
+  cluster.network().set_link(1, 0, Params{.min_delay = 3, .max_delay = 3});
+  cluster.run_until(8);
+  cluster.network().set_link(1, 0, Params{.min_delay = 0, .max_delay = 0});
+  cluster.fail_link(1, 0);  // the t=10 reply is lost
+  cluster.run_until(10);
+  cluster.restore_link(1, 0);
+  cluster.run_until(45);
+  ASSERT_FALSE(recorder.events().empty());
+  const auto saw_rescue = [&] {
+    for (const auto& e : recorder.events()) {
+      if (e.kind == hb::ProtocolEvent::Kind::CoordinatorReceivedBeat &&
+          e.at == 11) {
+        return true;
+      }
+    }
+    return false;
+  }();
+  ASSERT_TRUE(saw_rescue);
+
+  const auto r = proto::replay_cluster_trace(config, recorder.events());
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.diagnostic.empty());
+  // The lost reply is reported as an explicit unmatched-id fact.
+  EXPECT_FALSE(r.lost_ids.empty());
+
+  const auto payload = proto::replay_cluster_trace(
+      config, recorder.events(), models::BuildOptions::Rejoin::None, {},
+      proto::ObservationMode::PayloadOnly);
+  EXPECT_TRUE(payload.ok) << payload.diagnostic;
+}
+
+// ---- canonical equal-timestamp ordering (satellite pin) ----
+
+TEST(ConformanceOrder, SendHopsBeforeOtherNodesDeliveryAtEqualTime) {
+  using Kind = hb::ProtocolEvent::Kind;
+  const auto ev = [](Kind kind, int node, sim::Time at) {
+    return hb::ProtocolEvent{kind, at, node, 0, 0};
+  };
+
+  // Independent nodes: p[1]'s send hops before p[2]'s delivery.
+  {
+    const hb::ProtocolEvent in[] = {ev(Kind::ParticipantReceivedBeat, 2, 5),
+                                    ev(Kind::ParticipantReplied, 1, 5)};
+    const auto out = proto::canonical_event_order(in);
+    EXPECT_EQ(out[0].kind, Kind::ParticipantReplied);
+    EXPECT_EQ(out[1].kind, Kind::ParticipantReceivedBeat);
+  }
+  // Same node: the delivery causes the send; order is causal, kept.
+  {
+    const hb::ProtocolEvent in[] = {ev(Kind::ParticipantReceivedBeat, 1, 5),
+                                    ev(Kind::ParticipantReplied, 1, 5)};
+    const auto out = proto::canonical_event_order(in);
+    EXPECT_EQ(out[0].kind, Kind::ParticipantReceivedBeat);
+  }
+  // A delivery *to* the coordinator and the coordinator's beat share the
+  // actor (node 0 receives; node field holds the sender): kept.
+  {
+    const hb::ProtocolEvent in[] = {ev(Kind::CoordinatorReceivedBeat, 1, 5),
+                                    ev(Kind::CoordinatorBeat, 0, 5)};
+    const auto out = proto::canonical_event_order(in);
+    EXPECT_EQ(out[0].kind, Kind::CoordinatorReceivedBeat);
+  }
+  // Internal events are barriers; earlier timestamps are never crossed.
+  {
+    const hb::ProtocolEvent in[] = {ev(Kind::ParticipantCrashed, 2, 5),
+                                    ev(Kind::ParticipantReplied, 1, 5),
+                                    ev(Kind::ParticipantReceivedBeat, 2, 6),
+                                    ev(Kind::ParticipantReplied, 2, 6)};
+    const auto out = proto::canonical_event_order(in);
+    EXPECT_EQ(out[0].kind, Kind::ParticipantCrashed);
+    EXPECT_EQ(out[2].kind, Kind::ParticipantReceivedBeat);
+  }
+  // The two recorder orders of an independent same-instant pair yield
+  // identical observation streams — verdicts cannot depend on simulator
+  // queue internals.
+  {
+    const hb::ProtocolEvent a[] = {ev(Kind::ParticipantReceivedBeat, 2, 5),
+                                   ev(Kind::ParticipantReplied, 1, 5)};
+    const hb::ProtocolEvent b[] = {ev(Kind::ParticipantReplied, 1, 5),
+                                   ev(Kind::ParticipantReceivedBeat, 2, 5)};
+    const auto oa = proto::to_observations(a);
+    const auto ob = proto::to_observations(b);
+    ASSERT_EQ(oa.size(), ob.size());
+    for (std::size_t i = 0; i < oa.size(); ++i) {
+      EXPECT_EQ(oa[i].any_of, ob[i].any_of);
+      EXPECT_EQ(oa[i].at, ob[i].at);
+    }
+  }
+}
+
+// ---- shrunk chaos artifact fed back through the replayer ----
+
+TEST(ConformanceChaos, ShrunkOutOfSpecArtifactIsRejectedByTheModel) {
+  // A shrunk reproducer from `bench_chaos_campaign --out-of-spec
+  // --artifacts=...`: one surviving action injects a one-way delay of up
+  // to 5 on the reply link of a tmin == 3 protocol (spec bound: 1). The
+  // run violates R1 at runtime; replaying its recorded trace must show
+  // the model rejecting it — out-of-spec executions are not traces of
+  // the model, and now the replayer can literally consume the artifact.
+  const std::string artifact =
+      "{\"schedule\": \"ahb-chaos\", \"variant\": \"binary\", \"tmin\": 3, "
+      "\"tmax\": 3, \"fixed_bounds\": true, \"receive_priority\": true, "
+      "\"participants\": 1, \"seed\": 120, \"horizon\": 48}\n"
+      "{\"kind\": \"set-delay\", \"at\": 2, \"a\": 0, \"b\": 1, \"p\": 0, "
+      "\"q\": 0, \"r\": 0, \"d1\": 0, \"d2\": 5}\n";
+  const auto spec = chaos::parse_run(artifact);
+  ASSERT_TRUE(spec.has_value());
+  ASSERT_TRUE(spec->schedule.out_of_spec(spec->timing()));
+
+  const auto run = chaos::run_chaos(*spec, nullptr, false, true);
+  ASSERT_FALSE(run.violations.empty());
+  ASSERT_FALSE(run.events.empty());
+  const auto r = proto::replay_cluster_trace(chaos::cluster_config_for(*spec),
+                                             run.events);
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.diagnostic.empty());
+
+  // Control: the same spec with the out-of-spec injection dropped stays
+  // within the channel assumption — no violations, and the trace replays.
+  auto clamped = *spec;
+  clamped.schedule.actions.clear();
+  const auto clean = chaos::run_chaos(clamped, nullptr, false, true);
+  EXPECT_TRUE(clean.violations.empty());
+  ASSERT_FALSE(clean.events.empty());
+  const auto cr = proto::replay_cluster_trace(
+      chaos::cluster_config_for(clamped), clean.events);
+  EXPECT_TRUE(cr.ok) << "matched " << cr.matched << "/" << cr.events << ": "
+                     << cr.diagnostic;
 }
 
 }  // namespace
