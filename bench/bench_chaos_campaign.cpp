@@ -21,6 +21,7 @@
 #include <sstream>
 #include <string>
 
+#include "bench_util.hpp"
 #include "chaos/campaign.hpp"
 
 namespace {
@@ -40,33 +41,31 @@ struct Args {
 
 Args parse_args(int argc, char** argv) {
   Args args;
-  for (int i = 1; i < argc; ++i) {
-    const char* arg = argv[i];
-    if (std::strcmp(arg, "--json") == 0) {
-      args.json = true;
-    } else if (std::strcmp(arg, "--out-of-spec") == 0) {
-      args.out_of_spec = true;
-    } else if (std::strcmp(arg, "--no-shrink") == 0) {
-      args.shrink = false;
-    } else if (std::strncmp(arg, "--runs=", 7) == 0) {
-      args.runs = std::atoi(arg + 7);
-    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
-      args.threads = static_cast<unsigned>(std::atoi(arg + 10));
-    } else if (std::strncmp(arg, "--participants=", 15) == 0) {
-      args.participants = std::atoi(arg + 15);
-    } else if (std::strncmp(arg, "--artifacts=", 12) == 0) {
-      args.artifacts_dir = arg + 12;
-    } else if (std::strncmp(arg, "--replay=", 9) == 0) {
-      args.replay_file = arg + 9;
-    } else {
-      std::fprintf(stderr,
-                   "usage: %s [--json] [--runs=N] [--threads=N] "
-                   "[--participants=N] [--out-of-spec] [--no-shrink] "
-                   "[--artifacts=DIR] [--replay=FILE]\n",
-                   argv[0]);
-      std::exit(2);
-    }
-  }
+  const bench::BenchArgs common = bench::parse_bench_args(
+      argc, argv,
+      [&args](const char* arg) {
+        if (std::strcmp(arg, "--out-of-spec") == 0) {
+          args.out_of_spec = true;
+        } else if (std::strcmp(arg, "--no-shrink") == 0) {
+          args.shrink = false;
+        } else if (std::strncmp(arg, "--runs=", 7) == 0) {
+          args.runs = std::atoi(arg + 7);
+        } else if (std::strncmp(arg, "--participants=", 15) == 0) {
+          args.participants = std::atoi(arg + 15);
+        } else if (std::strncmp(arg, "--artifacts=", 12) == 0) {
+          args.artifacts_dir = arg + 12;
+        } else if (std::strncmp(arg, "--replay=", 9) == 0) {
+          args.replay_file = arg + 9;
+        } else {
+          return false;
+        }
+        return true;
+      },
+      "[--out-of-spec] [--no-shrink] [--runs=N] [--participants=N] "
+      "[--artifacts=DIR] [--replay=FILE]");
+  args.json = common.json;
+  if (common.threads > 0) args.threads = common.threads;
+  if (common.participants > 0) args.participants = common.participants;
   return args;
 }
 

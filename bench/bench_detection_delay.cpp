@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "hb/cluster.hpp"
 
 namespace {
@@ -25,6 +26,15 @@ struct DelayStats {
   int detected = 0;
   int runs = 0;
 };
+
+void emit_row_json(const char* detector, hb::Time tmin, bool fixed,
+                   const DelayStats& s, long long bound) {
+  std::printf(
+      "{\"bench\": \"detection_delay/%s_tmin%lld_%s\", \"detected\": %d, "
+      "\"runs\": %d, \"mean\": %.1f, \"max\": %lld, \"bound\": %lld}\n",
+      detector, static_cast<long long>(tmin), fixed ? "fixed" : "paper",
+      s.detected, s.runs, s.mean, static_cast<long long>(s.max), bound);
+}
 
 DelayStats participant_crash_sweep(hb::Time tmin, hb::Time tmax,
                                    bool fixed_bounds, int runs) {
@@ -91,7 +101,8 @@ DelayStats coordinator_crash_sweep(hb::Time tmin, hb::Time tmax,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
   constexpr int kRuns = 300;
   const hb::Time tmax = 16;
 
@@ -117,6 +128,7 @@ int main() {
                   s.detected, s.runs, s.mean,
                   static_cast<long long>(s.max), bound,
                   s.max <= bound ? "  OK" : "  EXCEEDED");
+      if (args.json) emit_row_json("coordinator_detects", tmin, fixed, s, bound);
     }
   }
 
@@ -139,6 +151,7 @@ int main() {
                   s.detected, s.runs, s.mean,
                   static_cast<long long>(s.max), bound,
                   s.max <= bound ? "  OK" : "  EXCEEDED");
+      if (args.json) emit_row_json("participant_detects", tmin, fixed, s, bound);
     }
   }
 

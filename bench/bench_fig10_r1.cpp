@@ -13,6 +13,7 @@
 // inactivation or monitor error) matches the figure's narrative.
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "mc/explorer.hpp"
 #include "models/heartbeat_model.hpp"
 #include "trace/trace.hpp"
@@ -21,7 +22,8 @@ namespace {
 
 using namespace ahb;
 
-void show(int tmin, int tmax, const char* figure) {
+void show(int tmin, int tmax, const char* figure, const char* slug,
+          bool json) {
   models::BuildOptions options;
   options.timing = {tmin, tmax};
   options.r1_monitor = true;
@@ -33,6 +35,13 @@ void show(int tmin, int tmax, const char* figure) {
 
   std::printf("--- %s: binary protocol, tmin=%d tmax=%d ---\n", figure, tmin,
               tmax);
+  if (json) {
+    std::printf("{\"bench\": \"fig10/%s\", \"found\": %s, \"steps\": %zu, "
+                "\"states\": %llu}\n",
+                slug, result.found ? "true" : "false",
+                result.found ? result.trace.size() - 1 : 0,
+                static_cast<unsigned long long>(result.stats.states));
+  }
   if (!result.found) {
     std::printf("NO counterexample found (unexpected!)\n\n");
     return;
@@ -66,10 +75,11 @@ void show(int tmin, int tmax, const char* figure) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
   std::printf("== Figure 10: R1 counterexamples (2*tmin <= tmax) ==\n\n");
-  show(1, 10, "Fig. 10(a) analogue (2*tmin < tmax)");
-  show(5, 10, "Fig. 10(b) analogue (2*tmin == tmax)");
+  show(1, 10, "Fig. 10(a) analogue (2*tmin < tmax)", "a_tmin1", args.json);
+  show(5, 10, "Fig. 10(b) analogue (2*tmin == tmax)", "b_tmin5", args.json);
   std::printf(
       "For 2*tmin > tmax (e.g. tmin=9), R1 holds: the first halving\n"
       "already drops t below tmin, so p[0] inactivates within 2*tmax.\n");

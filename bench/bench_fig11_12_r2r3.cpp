@@ -11,6 +11,7 @@
 //    and p[0] inactivates although p[1] is alive.
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "mc/explorer.hpp"
 #include "models/heartbeat_model.hpp"
 #include "trace/trace.hpp"
@@ -19,7 +20,7 @@ namespace {
 
 using namespace ahb;
 
-void show(bool r2, int tmin, int tmax) {
+void show(bool r2, int tmin, int tmax, bool json) {
   models::BuildOptions options;
   options.timing = {tmin, tmax};
   const auto model =
@@ -31,6 +32,13 @@ void show(bool r2, int tmin, int tmax) {
   std::printf("--- %s: binary protocol, tmin=%d tmax=%d ---\n",
               r2 ? "Fig. 11 (R2 violation)" : "Fig. 12 (R3 violation)", tmin,
               tmax);
+  if (json) {
+    std::printf("{\"bench\": \"fig11_12/%s_race\", \"found\": %s, "
+                "\"steps\": %zu, \"states\": %llu}\n",
+                r2 ? "r2" : "r3", result.found ? "true" : "false",
+                result.found ? result.trace.size() - 1 : 0,
+                static_cast<unsigned long long>(result.stats.states));
+  }
   if (!result.found) {
     std::printf("NO counterexample found (unexpected!)\n\n");
     return;
@@ -47,7 +55,7 @@ void show(bool r2, int tmin, int tmax) {
                   .c_str());
 }
 
-void show_fixed_pass(int tmin, int tmax) {
+void show_fixed_pass(int tmin, int tmax, bool json) {
   models::BuildOptions options;
   options.timing = {tmin, tmax};
   options.fixed = true;
@@ -62,14 +70,20 @@ void show_fixed_pass(int tmin, int tmax) {
       "(paper: both races disappear once receives precede timeouts)\n",
       tmin, tmax, r2.found ? "yes (unexpected!)" : "no",
       r3.found ? "yes (unexpected!)" : "no");
+  if (json) {
+    std::printf("{\"bench\": \"fig11_12/fixed\", \"r2_found\": %s, "
+                "\"r3_found\": %s}\n",
+                r2.found ? "true" : "false", r3.found ? "true" : "false");
+  }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
   std::printf("== Figures 11-12: R2/R3 races at tmin == tmax ==\n\n");
-  show(/*r2=*/true, 10, 10);
-  show(/*r2=*/false, 10, 10);
-  show_fixed_pass(10, 10);
+  show(/*r2=*/true, 10, 10, args.json);
+  show(/*r2=*/false, 10, 10, args.json);
+  show_fixed_pass(10, 10, args.json);
   return 0;
 }

@@ -9,6 +9,7 @@
 // inactivates although nothing was lost and everybody is alive.
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "mc/explorer.hpp"
 #include "models/heartbeat_model.hpp"
 #include "trace/trace.hpp"
@@ -17,7 +18,7 @@ namespace {
 
 using namespace ahb;
 
-void show(models::Flavor flavor, int tmin, int tmax, bool fixed) {
+void show(models::Flavor flavor, int tmin, int tmax, bool fixed, bool json) {
   models::BuildOptions options;
   options.timing = {tmin, tmax};
   options.fixed = fixed;
@@ -28,6 +29,14 @@ void show(models::Flavor flavor, int tmin, int tmax, bool fixed) {
   std::printf("--- %s%s protocol, tmin=%d tmax=%d ---\n",
               fixed ? "fixed " : "", models::to_string(flavor), tmin,
               tmax);
+  if (json) {
+    std::printf("{\"bench\": \"fig13/%s%s\", \"found\": %s, \"steps\": %zu, "
+                "\"states\": %llu}\n",
+                models::to_string(flavor), fixed ? "_fixed" : "",
+                result.found ? "true" : "false",
+                result.found ? result.trace.size() - 1 : 0,
+                static_cast<unsigned long long>(result.stats.states));
+  }
   if (!result.found) {
     std::printf("R2 violation reachable: no%s\n\n",
                 fixed ? " (paper: the corrected join deadline of "
@@ -50,10 +59,11 @@ void show(models::Flavor flavor, int tmin, int tmax, bool fixed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
   std::printf("== Figure 13: join-phase R2 counterexample (2*tmin >= tmax) ==\n\n");
-  show(models::Flavor::Expanding, 5, 10, /*fixed=*/false);
-  show(models::Flavor::Dynamic, 5, 10, /*fixed=*/false);
-  show(models::Flavor::Expanding, 5, 10, /*fixed=*/true);
+  show(models::Flavor::Expanding, 5, 10, /*fixed=*/false, args.json);
+  show(models::Flavor::Dynamic, 5, 10, /*fixed=*/false, args.json);
+  show(models::Flavor::Expanding, 5, 10, /*fixed=*/true, args.json);
   return 0;
 }

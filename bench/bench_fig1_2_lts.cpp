@@ -10,6 +10,7 @@
 // printed so the diagrams can be compared visually with the figures.
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "mc/lts.hpp"
 #include "models/standalone.hpp"
 #include "trace/trace.hpp"
@@ -39,12 +40,19 @@ mc::Lts process_view(const mc::Lts& lts, const std::string& proc) {
 }
 
 void report(const char* figure, const ta::Network& net,
-            const std::string& proc) {
+            const std::string& proc, bool json) {
   const mc::Lts raw = mc::extract_lts(net);
   const mc::Lts view = process_view(raw, proc);
   const mc::Lts reduced = mc::weak_trace_reduce(view);
   const mc::Lts bisim = mc::bisim_reduce(view);
 
+  if (json) {
+    std::printf("{\"bench\": \"fig1_2/%s\", \"raw_states\": %d, "
+                "\"bisim_states\": %d, \"reduced_states\": %d, "
+                "\"reduced_transitions\": %zu}\n",
+                proc.c_str(), raw.state_count, bisim.state_count,
+                reduced.state_count, reduced.edges.size());
+  }
   std::printf("--- %s: process %s with tmax=2, tmin=1 ---\n", figure,
               proc.c_str());
   std::printf("raw reachable LTS:        %d states, %zu transitions\n",
@@ -59,10 +67,11 @@ void report(const char* figure, const ta::Network& net,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
   const models::Timing timing{1, 2};
   std::printf("== Figures 1-2: reduced per-process transition systems ==\n\n");
-  report("Fig. 1", models::build_standalone_p0(timing), "p0");
-  report("Fig. 2", models::build_standalone_p1(timing), "p1");
+  report("Fig. 1", models::build_standalone_p0(timing), "p0", args.json);
+  report("Fig. 2", models::build_standalone_p1(timing), "p1", args.json);
   return 0;
 }

@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <string>
 
 #include "sim/network.hpp"
@@ -27,9 +28,17 @@ struct BenchArgs {
   ta::Compression compression = ta::Compression::None;
 };
 
+/// Binary-specific flag hook: return true when `arg` was consumed.
+/// Lets a bench keep its extra flags while sharing the common parser.
+using ExtraFlag = std::function<bool(const char* arg)>;
+
 /// Parses --json, --threads=N, --compression=MODE and an optional
 /// positional participant count; exits with usage on anything else.
-inline BenchArgs parse_bench_args(int argc, char** argv) {
+/// `extra` (if given) gets a shot at unrecognised flags first, and
+/// `extra_usage` is appended to the usage line it prints on failure.
+inline BenchArgs parse_bench_args(int argc, char** argv,
+                                  const ExtraFlag& extra = {},
+                                  const char* extra_usage = "") {
   BenchArgs args;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -49,13 +58,15 @@ inline BenchArgs parse_bench_args(int argc, char** argv) {
         std::fprintf(stderr, "unknown --compression mode \"%s\"\n", mode);
         std::exit(2);
       }
+    } else if (extra && extra(arg)) {
+      // consumed by the binary's own flag set
     } else if (arg[0] != '-') {
       args.participants = std::atoi(arg);
     } else {
       std::fprintf(stderr,
                    "usage: %s [--json] [--threads=N] "
-                   "[--compression=none|pack|collapse] [participants]\n",
-                   argv[0]);
+                   "[--compression=none|pack|collapse] [participants]%s%s\n",
+                   argv[0], *extra_usage ? " " : "", extra_usage);
       std::exit(2);
     }
   }

@@ -1,0 +1,399 @@
+#include "hb/cluster_scale.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/contracts.hpp"
+
+namespace ahb::hb {
+
+ScaleCluster::ScaleCluster(const ClusterConfig& config)
+    : config_(config),
+      participants_(config.participants),
+      timing_(config.protocol.timing()),
+      timer_priority_(config.receive_priority ? 1 : 0),
+      rng_(config.seed),
+      loss_probability_(config.loss_probability),
+      min_delay_(config.min_delay),
+      delay_span_((config.max_delay >= 0
+                       ? config.max_delay
+                       : std::max<sim::Time>(config.protocol.tmin / 2, 0)) -
+                  config.min_delay),
+      spec_max_delay_(config.protocol.tmin / 2),
+      t_(config.protocol.tmax) {
+  AHB_EXPECTS(config.protocol.valid());
+  AHB_EXPECTS(config.participants >= 1);
+  AHB_EXPECTS(delay_span_ >= 0);
+
+  const auto slots = static_cast<std::size_t>(participants_) + 1;
+  newest_to_coord_.assign(slots, 0);
+  newest_from_coord_.assign(slots, 0);
+  joined_.resize(slots);
+  rcvd_.resize(slots);
+  registered_.resize(slots);
+  tm_.assign(slots, 0);
+  p_status_.assign(slots, Status::Active);
+  p_joined_.resize(slots);
+  p_leave_requested_.resize(slots);
+  p_deadline_.assign(slots, 0);
+  p_next_join_.assign(slots, kNever);
+  p_inactivated_at_.assign(slots, kNever);
+  p_left_at_.assign(slots, kNever);
+  p_timer_.assign(slots, Wheel::Handle{});
+
+  // A-priori membership (binary/static family): every participant
+  // starts registered, joined and with a granted first round, exactly
+  // like the legacy Coordinator's constructor.
+  if (!variant_joins(config.protocol.variant)) {
+    for (int i = 1; i <= participants_; ++i) {
+      joined_.set(static_cast<std::size_t>(i));
+      rcvd_.set(static_cast<std::size_t>(i));
+      registered_.set(static_cast<std::size_t>(i));
+      tm_[static_cast<std::size_t>(i)] = config.protocol.tmax;
+      p_joined_.set(static_cast<std::size_t>(i));
+    }
+  }
+}
+
+void ScaleCluster::start() {
+  AHB_EXPECTS(!started_);
+  started_ = true;
+
+  // Coordinator start: arm the first round; the revised-binary variant
+  // beats immediately.
+  round_deadline_ = now_ + config_.protocol.tmax;
+  if (proto::rules_for(config_.protocol.variant).initial_beat) {
+    std::uint64_t beat_id = 0;
+    std::uint32_t fanout = 0;
+    for (int i = 1; i <= participants_; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      if (!registered_.test(idx)) continue;
+      rcvd_.reset(idx);
+      const std::uint64_t id = send(0, i, true);
+      if (beat_id == 0) beat_id = id;
+      ++fanout;
+    }
+    scale_stats_.beats += fanout;
+    emit(ProtocolEvent::Kind::CoordinatorBeat, 0, beat_id, fanout);
+  }
+  arm_node_timer(0);
+
+  for (int i = 1; i <= participants_; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (p_joined_.test(idx)) {
+      p_deadline_[idx] = now_ + config_.protocol.participant_deadline();
+    } else {
+      p_deadline_[idx] = now_ + config_.protocol.join_deadline();
+      p_next_join_[idx] = now_ + proto::join_beat_period(timing_);
+    }
+    arm_node_timer(i);
+  }
+}
+
+void ScaleCluster::run_until(sim::Time horizon) {
+  Wheel::Expired expired;
+  while (wheel_.pop(horizon, expired)) {
+    now_ = expired.when;
+    handle(expired.payload);
+  }
+  if (now_ < horizon) {
+    now_ = horizon;
+    wheel_.advance_to(horizon);
+  }
+}
+
+void ScaleCluster::crash_coordinator_at(sim::Time when) {
+  wheel_.arm(when, 0, Ev{Ev::Kind::CrashCoordinator, true, 0, 0, 0});
+}
+
+void ScaleCluster::crash_participant_at(int id, sim::Time when) {
+  AHB_EXPECTS(id >= 1 && id <= participants_);
+  wheel_.arm(when, 0, Ev{Ev::Kind::CrashParticipant, true, 0, id, 0});
+}
+
+void ScaleCluster::leave_at(int id, sim::Time when) {
+  AHB_EXPECTS(id >= 1 && id <= participants_);
+  wheel_.arm(when, 0, Ev{Ev::Kind::Leave, true, 0, id, 0});
+}
+
+void ScaleCluster::rejoin_at(int id, sim::Time when) {
+  AHB_EXPECTS(id >= 1 && id <= participants_);
+  wheel_.arm(when, 0, Ev{Ev::Kind::Rejoin, true, 0, id, 0});
+}
+
+bool ScaleCluster::is_member(int id) const {
+  AHB_EXPECTS(id >= 1 && id <= participants_);
+  return joined_.test(static_cast<std::size_t>(id));
+}
+
+Status ScaleCluster::participant_status(int id) const {
+  AHB_EXPECTS(id >= 1 && id <= participants_);
+  return p_status_[static_cast<std::size_t>(id)];
+}
+
+sim::Time ScaleCluster::participant_inactivated_at(int id) const {
+  AHB_EXPECTS(id >= 1 && id <= participants_);
+  return p_inactivated_at_[static_cast<std::size_t>(id)];
+}
+
+bool ScaleCluster::participant_joined(int id) const {
+  AHB_EXPECTS(id >= 1 && id <= participants_);
+  return p_joined_.test(static_cast<std::size_t>(id));
+}
+
+bool ScaleCluster::all_inactive() const {
+  if (coord_status_ == Status::Active) return false;
+  for (int i = 1; i <= participants_; ++i) {
+    if (p_status_[static_cast<std::size_t>(i)] == Status::Active) return false;
+  }
+  return true;
+}
+
+void ScaleCluster::handle(const Ev& ev) {
+  switch (ev.kind) {
+    case Ev::Kind::Deliver:
+      if (ev.node == 0) {
+        deliver_to_coordinator(ev.from, ev.flag, ev.msg_id);
+      } else {
+        deliver_to_participant(ev.node, ev.from, ev.flag, ev.msg_id);
+      }
+      break;
+    case Ev::Kind::NodeTimer:
+      if (ev.node == 0) {
+        coordinator_elapsed();
+      } else {
+        participant_elapsed(ev.node);
+      }
+      break;
+    case Ev::Kind::CrashCoordinator:
+      if (coord_status_ == Status::Active) {
+        coord_status_ = Status::CrashedVoluntarily;
+        emit(ProtocolEvent::Kind::CoordinatorCrashed, 0);
+      }
+      break;
+    case Ev::Kind::CrashParticipant: {
+      const auto idx = static_cast<std::size_t>(ev.node);
+      if (p_status_[idx] == Status::Active) {
+        p_status_[idx] = Status::CrashedVoluntarily;
+        emit(ProtocolEvent::Kind::ParticipantCrashed, ev.node);
+      }
+      break;
+    }
+    case Ev::Kind::Leave: {
+      if (!proto::variant_leaves(config_.protocol.variant)) break;
+      const auto idx = static_cast<std::size_t>(ev.node);
+      if (p_status_[idx] != Status::Active) break;
+      p_leave_requested_.set(idx);
+      break;
+    }
+    case Ev::Kind::Rejoin: {
+      const auto idx = static_cast<std::size_t>(ev.node);
+      if (p_status_[idx] != Status::Left) break;
+      if (now_ < proto::earliest_rejoin(p_left_at_[idx], timing_)) break;
+      emit(ProtocolEvent::Kind::ParticipantRejoined, ev.node);
+      p_status_[idx] = Status::Active;
+      p_joined_.reset(idx);
+      p_leave_requested_.reset(idx);
+      p_deadline_[idx] = now_ + config_.protocol.join_deadline();
+      p_next_join_[idx] = now_ + proto::join_beat_period(timing_);
+      arm_node_timer(ev.node);
+      break;
+    }
+  }
+}
+
+std::uint64_t ScaleCluster::send(int from, int to, bool flag) {
+  const std::uint64_t id = next_msg_id_++;
+  ++net_stats_.sent;
+  // Same per-send draw order as sim::Network: the loss Bernoulli first
+  // (a no-draw when the probability is zero), then the delay sample —
+  // this is what keeps the seeded stream identical to the legacy run.
+  if (rng_.chance(loss_probability_)) {
+    ++net_stats_.lost;
+    return id;
+  }
+  const sim::Time delay =
+      min_delay_ + static_cast<sim::Time>(rng_.below(
+                       static_cast<std::uint64_t>(delay_span_) + 1));
+  if (spec_max_delay_ >= 0 && delay > spec_max_delay_) {
+    ++net_stats_.out_of_spec_delay;
+  }
+  wheel_.arm(now_ + delay, 0,
+             Ev{Ev::Kind::Deliver, flag, from, to, id});
+  return id;
+}
+
+void ScaleCluster::track_delivery(std::vector<std::uint64_t>& newest,
+                                  int index, std::uint64_t id) {
+  std::uint64_t& slot = newest[static_cast<std::size_t>(index)];
+  if (id < slot) {
+    ++net_stats_.reordered;
+  } else {
+    slot = id;
+  }
+}
+
+void ScaleCluster::deliver_to_coordinator(int from, bool flag,
+                                          std::uint64_t id) {
+  ++net_stats_.delivered;
+  track_delivery(newest_to_coord_, from, id);
+  if (coord_status_ == Status::Active) {
+    emit(flag ? ProtocolEvent::Kind::CoordinatorReceivedBeat
+              : ProtocolEvent::Kind::CoordinatorReceivedLeave,
+         from, id);
+    const auto idx = static_cast<std::size_t>(from);
+    if (flag) {
+      registered_.set(idx);
+      if (!joined_.test(idx)) {
+        joined_.set(idx);
+        tm_[idx] = config_.protocol.tmax;
+      }
+      rcvd_.set(idx);
+    } else if (proto::variant_leaves(config_.protocol.variant) &&
+               registered_.test(idx)) {
+      joined_.reset(idx);
+      rcvd_.reset(idx);
+      // Acknowledge the departure with a false-flag beat (no protocol
+      // event — same as the legacy dispatch path).
+      send(0, from, false);
+    }
+  }
+  arm_node_timer(0);
+}
+
+void ScaleCluster::deliver_to_participant(int id, int from, bool flag,
+                                          std::uint64_t msg_id) {
+  ++net_stats_.delivered;
+  track_delivery(newest_from_coord_, id, msg_id);
+  const auto idx = static_cast<std::size_t>(id);
+  if (flag && p_status_[idx] == Status::Active) {
+    emit(ProtocolEvent::Kind::ParticipantReceivedBeat, id, msg_id);
+  }
+  if (p_status_[idx] == Status::Active && from == 0 && flag) {
+    if (!p_joined_.test(idx)) {
+      p_joined_.set(idx);
+      p_next_join_[idx] = kNever;
+    }
+    if (p_leave_requested_.test(idx) &&
+        proto::variant_leaves(config_.protocol.variant)) {
+      p_status_[idx] = Status::Left;
+      p_left_at_[idx] = now_;
+      const std::uint64_t out = send(id, 0, false);
+      ++scale_stats_.replies;
+      emit(ProtocolEvent::Kind::ParticipantLeft, id, out, 1);
+    } else {
+      p_deadline_[idx] = now_ + config_.protocol.participant_deadline();
+      const std::uint64_t out = send(id, 0, true);
+      ++scale_stats_.replies;
+      emit(ProtocolEvent::Kind::ParticipantReplied, id, out, 1);
+    }
+  }
+  arm_node_timer(id);
+}
+
+void ScaleCluster::coordinator_elapsed() {
+  coord_timer_ = Wheel::Handle{};
+  if (coord_status_ == Status::Active && started_ &&
+      now_ >= round_deadline_) {
+    close_round();
+  }
+  arm_node_timer(0);
+}
+
+void ScaleCluster::close_round() {
+  // One struct-of-arrays pass over the member table: step every joined
+  // member down the waiting-time ladder (reset on a received beat,
+  // accelerate on a miss) and track the round minimum.
+  const Variant variant = config_.protocol.variant;
+  sim::Time min_t = config_.protocol.tmax;
+  for (std::size_t wi = 0; wi < joined_.word_count(); ++wi) {
+    std::uint64_t w = joined_.word(wi);
+    while (w != 0) {
+      const auto idx =
+          (wi << 6) + static_cast<std::size_t>(std::countr_zero(w));
+      w &= w - 1;
+      tm_[idx] =
+          proto::next_wait(rcvd_.test(idx), tm_[idx], timing_, variant);
+      min_t = std::min(min_t, tm_[idx]);
+    }
+  }
+  rcvd_.clear_all();  // batched: one word pass instead of n map writes
+
+  if (proto::wait_inactivates(min_t, timing_)) {
+    coord_status_ = Status::InactiveNonVoluntarily;
+    coord_inactivated_at_ = now_;
+    emit(ProtocolEvent::Kind::CoordinatorInactivated, 0);
+    if (inactivation_cb_) inactivation_cb_(0, now_);
+    return;
+  }
+
+  t_ = min_t;
+  round_deadline_ = now_ + t_;
+  ++scale_stats_.rounds;
+  // Batched beat generation: the whole round fans out in one pass over
+  // the joined bitset, ids consecutive in ascending member order.
+  std::uint64_t beat_id = 0;
+  std::uint32_t fanout = 0;
+  for (std::size_t wi = 0; wi < joined_.word_count(); ++wi) {
+    std::uint64_t w = joined_.word(wi);
+    while (w != 0) {
+      const auto idx =
+          (wi << 6) + static_cast<std::size_t>(std::countr_zero(w));
+      w &= w - 1;
+      const std::uint64_t id = send(0, static_cast<int>(idx), true);
+      if (beat_id == 0) beat_id = id;
+      ++fanout;
+    }
+  }
+  scale_stats_.beats += fanout;
+  emit(ProtocolEvent::Kind::CoordinatorBeat, 0, beat_id, fanout);
+}
+
+void ScaleCluster::participant_elapsed(int id) {
+  const auto idx = static_cast<std::size_t>(id);
+  p_timer_[idx] = Wheel::Handle{};
+  if (p_status_[idx] == Status::Active && started_) {
+    if (now_ >= p_deadline_[idx]) {
+      p_status_[idx] = Status::InactiveNonVoluntarily;
+      p_inactivated_at_[idx] = now_;
+      emit(ProtocolEvent::Kind::ParticipantInactivated, id);
+      if (inactivation_cb_) inactivation_cb_(id, now_);
+    } else if (!p_joined_.test(idx) && now_ >= p_next_join_[idx]) {
+      p_next_join_[idx] = now_ + proto::join_beat_period(timing_);
+      const std::uint64_t out = send(id, 0, true);
+      ++scale_stats_.replies;
+      emit(ProtocolEvent::Kind::ParticipantJoinBeat, id, out, 1);
+    }
+  }
+  arm_node_timer(id);
+}
+
+sim::Time ScaleCluster::node_next_event(int id) const {
+  if (id == 0) {
+    if (coord_status_ != Status::Active || !started_) return kNever;
+    return round_deadline_;
+  }
+  const auto idx = static_cast<std::size_t>(id);
+  if (p_status_[idx] != Status::Active || !started_) return kNever;
+  return std::min(p_deadline_[idx], p_next_join_[idx]);
+}
+
+void ScaleCluster::arm_node_timer(int id) {
+  Wheel::Handle& handle =
+      id == 0 ? coord_timer_ : p_timer_[static_cast<std::size_t>(id)];
+  wheel_.cancel(handle);
+  handle = Wheel::Handle{};
+  const sim::Time when = node_next_event(id);
+  if (when == kNever) return;
+  handle = wheel_.arm(std::max(when, now_), timer_priority_,
+                      Ev{Ev::Kind::NodeTimer, true, 0, id, 0});
+}
+
+void ScaleCluster::emit(ProtocolEvent::Kind kind, int node,
+                        std::uint64_t msg_id, std::uint32_t fanout) {
+  if (event_cb_) {
+    event_cb_(ProtocolEvent{kind, now_, node, msg_id, fanout});
+  }
+}
+
+}  // namespace ahb::hb

@@ -19,16 +19,22 @@
 // (burst state only advances when p_enter > 0, duplication only rolls
 // when duplicate_probability > 0), so default-configured runs consume
 // the exact same random stream as before these models existed.
+//
+// Hot-path state is dense: handlers and per-link newest-delivered ids
+// live in vectors indexed by node id, node isolation is a bitset behind
+// an any-isolated flag, and the rarely-touched fault state (links down,
+// burst chains, per-link overrides) hides behind empty-checks — a
+// healthy send touches no associative container at all.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <set>
 #include <vector>
 
 #include "sim/simulator.hpp"
+#include "util/dense_bitset.hpp"
 
 namespace ahb::sim {
 
@@ -88,7 +94,11 @@ class Network {
   /// Registers the message handler of node `id`.
   void attach(int id, Handler handler) {
     AHB_EXPECTS(handler != nullptr);
-    handlers_[id] = std::move(handler);
+    AHB_EXPECTS(id >= 0);
+    if (static_cast<std::size_t>(id) >= handlers_.size()) {
+      handlers_.resize(static_cast<std::size_t>(id) + 1);
+    }
+    handlers_[static_cast<std::size_t>(id)] = std::move(handler);
   }
   void attach(int id, SimpleHandler handler) {
     AHB_EXPECTS(handler != nullptr);
@@ -112,16 +122,25 @@ class Network {
 
   /// Takes the directed link down (messages silently dropped) or up.
   void set_link_up(int from, int to, bool up) {
+    const std::uint64_t key = link_key(from, to);
+    const auto it = std::lower_bound(down_.begin(), down_.end(), key);
     if (up) {
-      down_.erase({from, to});
-    } else {
-      down_.insert({from, to});
+      if (it != down_.end() && *it == key) down_.erase(it);
+    } else if (it == down_.end() || *it != key) {
+      down_.insert(it, key);
     }
   }
 
   /// Disconnects a node entirely (crash): all its incident messages are
   /// dropped from now on.
-  void isolate(int id) { isolated_.push_back(id); }
+  void isolate(int id) {
+    AHB_EXPECTS(id >= 0);
+    if (static_cast<std::size_t>(id) >= isolated_.size()) {
+      isolated_.resize(static_cast<std::size_t>(id) + 1);
+    }
+    isolated_.set(static_cast<std::size_t>(id));
+    any_isolated_ = true;
+  }
 
   /// One-way delay bound of the channel specification; sampled delays
   /// above it count into NetworkStats::out_of_spec_delay (chaos runs
@@ -137,15 +156,15 @@ class Network {
     const std::uint64_t id = next_id_++;
     ++stats_.sent;
     notify(ChannelEvent::Kind::Sent, from, to, id, 0);
-    if (is_isolated(from) || is_isolated(to) || down_.contains({from, to})) {
+    if (is_isolated(from) || is_isolated(to) || link_down(from, to)) {
       ++stats_.blocked;
       notify(ChannelEvent::Kind::Blocked, from, to, id, 0);
       return id;
     }
-    const LinkParams params = link(from, to);
+    const LinkParams& params = link(from, to);
     double loss_probability = params.loss_probability;
     if (params.burst.p_enter > 0) {
-      bool& bursting = burst_state_[{from, to}];
+      bool& bursting = burst_state(from, to);
       bursting = bursting ? !sim_->rng().chance(params.burst.p_exit)
                           : sim_->rng().chance(params.burst.p_enter);
       if (bursting) loss_probability = std::max(loss_probability, params.burst.loss);
@@ -194,17 +213,19 @@ class Network {
         notify(ChannelEvent::Kind::Blocked, from, to, id, delay);
         return;
       }
-      const auto it = handlers_.find(to);
-      if (it == handlers_.end()) return;  // crashed nodes receive silently
+      if (static_cast<std::size_t>(to) >= handlers_.size() ||
+          !handlers_[static_cast<std::size_t>(to)]) {
+        return;  // crashed nodes receive silently
+      }
       ++stats_.delivered;
-      std::uint64_t& newest = newest_delivered_[{from, to}];
+      std::uint64_t& newest = newest_delivered(from, to);
       if (id < newest) {
         ++stats_.reordered;
       } else {
         newest = id;
       }
       notify(ChannelEvent::Kind::Delivered, from, to, id, delay);
-      it->second(from, msg, id);
+      handlers_[static_cast<std::size_t>(to)](from, msg, id);
     });
   }
 
@@ -215,24 +236,66 @@ class Network {
     }
   }
 
-  LinkParams link(int from, int to) const {
+  const LinkParams& link(int from, int to) const {
+    if (links_.empty()) return defaults_;  // hot path: no overrides
     const auto it = links_.find({from, to});
     return it == links_.end() ? defaults_ : it->second;
   }
 
   bool is_isolated(int id) const {
-    return std::find(isolated_.begin(), isolated_.end(), id) !=
-           isolated_.end();
+    return any_isolated_ && id >= 0 &&
+           static_cast<std::size_t>(id) < isolated_.size() &&
+           isolated_.test(static_cast<std::size_t>(id));
+  }
+
+  /// Directed link as one sortable key (nodes are ids >= 0 in practice;
+  /// the cast keeps negatives distinct too).
+  static std::uint64_t link_key(int from, int to) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from))
+            << 32) |
+           static_cast<std::uint32_t>(to);
+  }
+
+  bool link_down(int from, int to) const {
+    if (down_.empty()) return false;  // hot path: no injected faults
+    return std::binary_search(down_.begin(), down_.end(),
+                              link_key(from, to));
+  }
+
+  /// Burst chains exist only on links the chaos layer configured, so a
+  /// small find-or-insert vector beats a map without making the
+  /// default path pay for it (the caller already checked p_enter > 0).
+  bool& burst_state(int from, int to) {
+    const std::uint64_t key = link_key(from, to);
+    const auto it = std::lower_bound(
+        burst_state_.begin(), burst_state_.end(), key,
+        [](const auto& entry, std::uint64_t k) { return entry.first < k; });
+    if (it != burst_state_.end() && it->first == key) return it->second;
+    return burst_state_.insert(it, {key, false})->second;
+  }
+
+  /// Newest-delivered id per directed link, dense by [to][from]: the
+  /// reordering counter's state is touched on every delivery.
+  std::uint64_t& newest_delivered(int from, int to) {
+    if (static_cast<std::size_t>(to) >= newest_delivered_.size()) {
+      newest_delivered_.resize(static_cast<std::size_t>(to) + 1);
+    }
+    auto& by_from = newest_delivered_[static_cast<std::size_t>(to)];
+    if (static_cast<std::size_t>(from) >= by_from.size()) {
+      by_from.resize(static_cast<std::size_t>(from) + 1, 0);
+    }
+    return by_from[static_cast<std::size_t>(from)];
   }
 
   Simulator* sim_;
   LinkParams defaults_;
   std::map<LinkKey, LinkParams> links_;
-  std::set<LinkKey> down_;
-  std::map<int, Handler> handlers_;
-  std::vector<int> isolated_;
-  std::map<LinkKey, bool> burst_state_;
-  std::map<LinkKey, std::uint64_t> newest_delivered_;
+  std::vector<std::uint64_t> down_;  ///< sorted link_key()s
+  std::vector<Handler> handlers_;
+  DenseBitset isolated_;
+  bool any_isolated_ = false;
+  std::vector<std::pair<std::uint64_t, bool>> burst_state_;
+  std::vector<std::vector<std::uint64_t>> newest_delivered_;
   std::uint64_t next_id_ = 1;
   Time spec_max_delay_ = -1;
   Observer observer_;

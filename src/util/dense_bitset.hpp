@@ -1,0 +1,95 @@
+// Flat, word-packed bitset over dense small-integer ids.
+//
+// The cluster-scale engine keeps per-participant booleans (joined,
+// beat-received-this-round, leave-requested) as bitsets so a round
+// boundary over 100k members is a word scan, not a map walk; the
+// simulation transport uses one for O(1) node-isolation checks. Unlike
+// std::vector<bool> it exposes the words, so callers can batch-clear
+// with one memset-like loop and iterate set bits with countr_zero.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace ahb {
+
+class DenseBitset {
+ public:
+  DenseBitset() = default;
+  explicit DenseBitset(std::size_t bits) { resize(bits); }
+
+  /// Grows/shrinks to hold `bits` bits; new bits start cleared.
+  void resize(std::size_t bits) {
+    bits_ = bits;
+    words_.resize((bits + 63) / 64, 0);
+    trim_last_word();
+  }
+
+  std::size_t size() const { return bits_; }
+
+  bool test(std::size_t i) const {
+    AHB_EXPECTS(i < bits_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+  void set(std::size_t i) {
+    AHB_EXPECTS(i < bits_);
+    words_[i >> 6] |= std::uint64_t{1} << (i & 63);
+  }
+  void reset(std::size_t i) {
+    AHB_EXPECTS(i < bits_);
+    words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+  void assign(std::size_t i, bool value) { value ? set(i) : reset(i); }
+
+  /// Clears every bit (one linear word pass — the batched round reset).
+  void clear_all() {
+    for (auto& w : words_) w = 0;
+  }
+
+  bool any() const {
+    for (const auto w : words_) {
+      if (w != 0) return true;
+    }
+    return false;
+  }
+
+  std::size_t count() const {
+    std::size_t n = 0;
+    for (const auto w : words_) n += static_cast<std::size_t>(std::popcount(w));
+    return n;
+  }
+
+  /// First set bit at or after `from`, or size() when none.
+  std::size_t find_next(std::size_t from) const {
+    if (from >= bits_) return bits_;
+    std::size_t wi = from >> 6;
+    std::uint64_t w = words_[wi] & (~std::uint64_t{0} << (from & 63));
+    while (true) {
+      if (w != 0) {
+        return (wi << 6) + static_cast<std::size_t>(std::countr_zero(w));
+      }
+      if (++wi == words_.size()) return bits_;
+      w = words_[wi];
+    }
+  }
+
+  /// Word view for batched scans (e.g. joined & ~received per word).
+  std::size_t word_count() const { return words_.size(); }
+  std::uint64_t word(std::size_t wi) const { return words_[wi]; }
+
+ private:
+  void trim_last_word() {
+    if (bits_ % 64 != 0 && !words_.empty()) {
+      words_.back() &= (std::uint64_t{1} << (bits_ % 64)) - 1;
+    }
+  }
+
+  std::size_t bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace ahb

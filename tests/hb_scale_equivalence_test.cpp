@@ -1,0 +1,328 @@
+// ScaleCluster-vs-Cluster equivalence (src/hb/cluster_scale.hpp).
+//
+// The cluster-scale engine claims bit-for-bit the same behaviour as the
+// legacy harness: same ClusterConfig, same fault schedule, same seeded
+// RNG stream => the identical ProtocolEvent sequence (kinds, times,
+// node ids, message ids, fan-outs). These tests pin that claim on small
+// clusters across all six variants and the Table-1 timing points, under
+// zero delay, in-spec random delay, and random loss — and then close
+// the loop by replaying a scale-engine trace through the conformance
+// layer, which only knows the legacy harness existed.
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "hb/cluster.hpp"
+#include "hb/cluster_scale.hpp"
+#include "proto/conformance.hpp"
+#include "proto/rules.hpp"
+
+namespace ahb {
+namespace {
+
+constexpr std::pair<int, int> kTimingPoints[] = {
+    {1, 10}, {4, 10}, {5, 10}, {9, 10}, {10, 10}};
+
+constexpr hb::Variant kAllVariants[] = {
+    hb::Variant::Binary,   hb::Variant::RevisedBinary, hb::Variant::TwoPhase,
+    hb::Variant::Static,   hb::Variant::Expanding,     hb::Variant::Dynamic};
+
+// One injected fault, applied identically to either engine.
+struct Fault {
+  enum class Kind { CrashCoordinator, CrashParticipant, Leave, Rejoin };
+  Kind kind{};
+  int node = 0;
+  sim::Time when = 0;
+};
+
+struct Scenario {
+  hb::ClusterConfig config;
+  std::vector<Fault> faults;
+  sim::Time horizon = 0;
+};
+
+template <typename Engine>
+void inject(Engine& engine, const Fault& fault) {
+  switch (fault.kind) {
+    case Fault::Kind::CrashCoordinator:
+      engine.crash_coordinator_at(fault.when);
+      break;
+    case Fault::Kind::CrashParticipant:
+      engine.crash_participant_at(fault.node, fault.when);
+      break;
+    case Fault::Kind::Leave:
+      engine.leave_at(fault.node, fault.when);
+      break;
+    case Fault::Kind::Rejoin:
+      engine.rejoin_at(fault.node, fault.when);
+      break;
+  }
+}
+
+template <typename Engine>
+std::vector<hb::ProtocolEvent> run_trace(const Scenario& scenario) {
+  Engine engine{scenario.config};
+  std::vector<hb::ProtocolEvent> events;
+  engine.on_protocol_event(
+      [&](const hb::ProtocolEvent& e) { events.push_back(e); });
+  for (const auto& fault : scenario.faults) inject(engine, fault);
+  engine.start();
+  engine.run_until(scenario.horizon);
+  return events;
+}
+
+const char* kind_name(hb::ProtocolEvent::Kind kind) {
+  using Kind = hb::ProtocolEvent::Kind;
+  switch (kind) {
+    case Kind::CoordinatorBeat: return "CoordinatorBeat";
+    case Kind::CoordinatorReceivedBeat: return "CoordinatorReceivedBeat";
+    case Kind::CoordinatorReceivedLeave: return "CoordinatorReceivedLeave";
+    case Kind::CoordinatorInactivated: return "CoordinatorInactivated";
+    case Kind::CoordinatorCrashed: return "CoordinatorCrashed";
+    case Kind::ParticipantReceivedBeat: return "ParticipantReceivedBeat";
+    case Kind::ParticipantReplied: return "ParticipantReplied";
+    case Kind::ParticipantJoinBeat: return "ParticipantJoinBeat";
+    case Kind::ParticipantLeft: return "ParticipantLeft";
+    case Kind::ParticipantInactivated: return "ParticipantInactivated";
+    case Kind::ParticipantCrashed: return "ParticipantCrashed";
+    case Kind::ParticipantRejoined: return "ParticipantRejoined";
+  }
+  return "?";
+}
+
+// Runs the scenario on both engines and requires identical event
+// streams and identical aggregate transport statistics.
+void expect_equivalent(const Scenario& scenario) {
+  const auto legacy = run_trace<hb::Cluster>(scenario);
+  const auto scale = run_trace<hb::ScaleCluster>(scenario);
+  ASSERT_FALSE(legacy.empty());
+  ASSERT_EQ(legacy.size(), scale.size());
+  for (std::size_t i = 0; i < legacy.size(); ++i) {
+    const auto& a = legacy[i];
+    const auto& b = scale[i];
+    ASSERT_TRUE(a.kind == b.kind && a.at == b.at && a.node == b.node &&
+                a.msg_id == b.msg_id && a.fanout == b.fanout)
+        << "event " << i << ": legacy {" << kind_name(a.kind) << " at=" << a.at
+        << " node=" << a.node << " msg=" << a.msg_id << " fanout=" << a.fanout
+        << "} scale {" << kind_name(b.kind) << " at=" << b.at
+        << " node=" << b.node << " msg=" << b.msg_id << " fanout=" << b.fanout
+        << "}";
+  }
+
+  // Same messages on the wire, not just the same observable events.
+  hb::Cluster lc{scenario.config};
+  hb::ScaleCluster sc{scenario.config};
+  for (const auto& fault : scenario.faults) {
+    inject(lc, fault);
+    inject(sc, fault);
+  }
+  lc.start();
+  sc.start();
+  lc.run_until(scenario.horizon);
+  sc.run_until(scenario.horizon);
+  const auto& ln = lc.network_stats();
+  const auto& sn = sc.network_stats();
+  EXPECT_EQ(ln.sent, sn.sent);
+  EXPECT_EQ(ln.delivered, sn.delivered);
+  EXPECT_EQ(ln.lost, sn.lost);
+  EXPECT_EQ(ln.reordered, sn.reordered);
+  EXPECT_EQ(ln.out_of_spec_delay, sn.out_of_spec_delay);
+  EXPECT_EQ(lc.all_inactive(), sc.all_inactive());
+  EXPECT_EQ(lc.coordinator().status(), sc.coordinator_status());
+  EXPECT_EQ(lc.coordinator().inactivated_at(), sc.coordinator_inactivated_at());
+  for (int id = 1; id <= scenario.config.participants; ++id) {
+    EXPECT_EQ(lc.participant(id).status(), sc.participant_status(id))
+        << "participant " << id;
+    EXPECT_EQ(lc.participant(id).inactivated_at(),
+              sc.participant_inactivated_at(id))
+        << "participant " << id;
+  }
+}
+
+hb::ClusterConfig base_config(hb::Variant variant, int tmin, int tmax) {
+  hb::ClusterConfig config;
+  config.protocol.variant = variant;
+  config.protocol.tmin = tmin;
+  config.protocol.tmax = tmax;
+  config.participants = proto::variant_is_multi(variant) ? 2 : 1;
+  config.min_delay = 0;
+  config.max_delay = 0;
+  config.seed = 1;
+  return config;
+}
+
+TEST(ScaleEquivalence, ParticipantCrashCascadeMatchesForEveryVariant) {
+  for (const auto variant : kAllVariants) {
+    for (const auto& [tmin, tmax] : kTimingPoints) {
+      SCOPED_TRACE(testing::Message() << to_string(variant) << " tmin="
+                                      << tmin << " tmax=" << tmax);
+      Scenario scenario;
+      scenario.config = base_config(variant, tmin, tmax);
+      scenario.faults = {{Fault::Kind::CrashParticipant, 1, 2 * tmax + 1}};
+      scenario.horizon = 9 * tmax;
+      expect_equivalent(scenario);
+    }
+  }
+}
+
+TEST(ScaleEquivalence, CoordinatorCrashStarvationMatchesForEveryVariant) {
+  for (const auto variant : kAllVariants) {
+    for (const auto& [tmin, tmax] : kTimingPoints) {
+      SCOPED_TRACE(testing::Message() << to_string(variant) << " tmin="
+                                      << tmin << " tmax=" << tmax);
+      Scenario scenario;
+      scenario.config = base_config(variant, tmin, tmax);
+      scenario.faults = {{Fault::Kind::CrashCoordinator, 0, 2 * tmax + 1}};
+      scenario.horizon = 8 * tmax;
+      expect_equivalent(scenario);
+    }
+  }
+}
+
+TEST(ScaleEquivalence, RandomDelayMatchesForEveryVariant) {
+  // In-spec random delays: every message id rides its own delay draw,
+  // so this exercises the shared RNG-consumption order and the
+  // same-instant (priority, schedule-order) tiebreak on both engines.
+  for (const auto variant : kAllVariants) {
+    for (const auto& [tmin, tmax] : kTimingPoints) {
+      SCOPED_TRACE(testing::Message() << to_string(variant) << " tmin="
+                                      << tmin << " tmax=" << tmax);
+      Scenario scenario;
+      scenario.config = base_config(variant, tmin, tmax);
+      scenario.config.participants =
+          proto::variant_is_multi(variant) ? 4 : 1;
+      scenario.config.max_delay = -1;  // default: tmin / 2
+      scenario.config.seed = 7;
+      scenario.faults = {{Fault::Kind::CrashParticipant, 1, 3 * tmax + 1}};
+      scenario.horizon = 12 * tmax;
+      expect_equivalent(scenario);
+    }
+  }
+}
+
+TEST(ScaleEquivalence, RandomLossMatchesAcrossSeeds) {
+  // Lossy runs accelerate the waiting-time ladder at random rounds; any
+  // divergence in loss-draw order between the engines shows up as a
+  // different trace within a few rounds.
+  for (const auto variant :
+       {hb::Variant::Static, hb::Variant::Expanding, hb::Variant::Dynamic}) {
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      SCOPED_TRACE(testing::Message()
+                   << to_string(variant) << " seed=" << seed);
+      Scenario scenario;
+      scenario.config = base_config(variant, 4, 10);
+      scenario.config.participants = 3;
+      scenario.config.loss_probability = 0.2;
+      scenario.config.max_delay = -1;
+      scenario.config.seed = seed;
+      scenario.horizon = 40 * 10;
+      expect_equivalent(scenario);
+    }
+  }
+}
+
+TEST(ScaleEquivalence, ReceivePriorityOffMatches) {
+  // With receive_priority disabled, timers win same-instant races; the
+  // tiebreak flips to (priority=1 deliveries vs priority=... ) — the
+  // exact legacy inversion must reproduce.
+  for (const auto variant : {hb::Variant::Static, hb::Variant::TwoPhase}) {
+    Scenario scenario;
+    scenario.config = base_config(variant, 5, 10);
+    scenario.config.participants = 3;
+    scenario.config.receive_priority = false;
+    scenario.config.max_delay = -1;
+    scenario.config.seed = 11;
+    scenario.faults = {{Fault::Kind::CrashParticipant, 2, 3 * 10 + 1}};
+    scenario.horizon = 10 * 10;
+    expect_equivalent(scenario);
+  }
+}
+
+TEST(ScaleEquivalence, DynamicLeaveAndRejoinMatches) {
+  for (const auto& [tmin, tmax] : kTimingPoints) {
+    SCOPED_TRACE(testing::Message() << "tmin=" << tmin << " tmax=" << tmax);
+    Scenario scenario;
+    scenario.config = base_config(hb::Variant::Dynamic, tmin, tmax);
+    scenario.config.participants = 3;
+    scenario.faults = {{Fault::Kind::Leave, 1, 2 * tmax + 1},
+                       {Fault::Kind::Rejoin, 1, 4 * tmax + 1},
+                       {Fault::Kind::CrashCoordinator, 0, 7 * tmax + 1}};
+    scenario.horizon = 12 * tmax;
+    expect_equivalent(scenario);
+  }
+}
+
+TEST(ScaleEquivalence, ScaleTraceReplaysThroughConformance) {
+  // The conformance layer was written against the legacy harness; a
+  // green replay of a ScaleCluster trace certifies the fast engine
+  // against the timed-automata model with no scale-specific code.
+  for (const auto variant : kAllVariants) {
+    for (const auto& [tmin, tmax] : kTimingPoints) {
+      SCOPED_TRACE(testing::Message() << to_string(variant) << " tmin="
+                                      << tmin << " tmax=" << tmax);
+      Scenario scenario;
+      scenario.config = base_config(variant, tmin, tmax);
+      scenario.faults = {{Fault::Kind::CrashParticipant, 1, 2 * tmax + 1}};
+      scenario.horizon = 9 * tmax;
+      const auto events = run_trace<hb::ScaleCluster>(scenario);
+      ASSERT_FALSE(events.empty());
+      const auto r = proto::replay_cluster_trace(scenario.config, events);
+      EXPECT_TRUE(r.ok) << "matched " << r.matched << "/" << r.events << ": "
+                        << r.diagnostic;
+    }
+  }
+}
+
+TEST(ScaleEquivalence, MidSizedRunKeepsAggregateBooks) {
+  // Beyond the legacy harness's comfort zone the streams can no longer
+  // be compared event-by-event in reasonable time; pin the scale
+  // engine's own invariants instead: conservation of messages and a
+  // full member table over a long healthy run.
+  hb::ClusterConfig config;
+  config.protocol.variant = hb::Variant::Static;
+  config.protocol.tmin = 4;
+  config.protocol.tmax = 10;
+  config.participants = 512;
+  config.max_delay = -1;
+  config.seed = 3;
+  hb::ScaleCluster cluster{config};
+  cluster.start();
+  cluster.run_until(200 * 10);
+  const auto& n = cluster.network_stats();
+  // At the horizon only the last round's messages may still be in
+  // flight; everything else must be accounted for.
+  EXPECT_LE(n.delivered + n.lost, n.sent);
+  EXPECT_LE(n.sent - n.delivered - n.lost,
+            static_cast<std::uint64_t>(2 * config.participants));
+  EXPECT_GT(n.delivered, 0u);
+  EXPECT_EQ(n.lost, 0u);
+  EXPECT_EQ(cluster.coordinator_status(), hb::Status::Active);
+  EXPECT_EQ(cluster.member_count(), 512);
+  EXPECT_GT(cluster.stats().rounds, 100u);
+  EXPECT_EQ(cluster.stats().beats + cluster.stats().replies, n.sent);
+}
+
+TEST(ScaleEquivalence, MidSizedLossyRunInactivatesLikeTheProtocolSays) {
+  // With 512 members at 1% i.i.d. loss some member misses consecutive
+  // rounds almost immediately, so the accelerated ladder must drive
+  // the coordinator to non-voluntary inactivation — at scale, loss
+  // detection IS the protocol's steady state, not an error.
+  hb::ClusterConfig config;
+  config.protocol.variant = hb::Variant::Static;
+  config.protocol.tmin = 4;
+  config.protocol.tmax = 10;
+  config.participants = 512;
+  config.loss_probability = 0.01;
+  config.max_delay = -1;
+  config.seed = 3;
+  hb::ScaleCluster cluster{config};
+  cluster.start();
+  cluster.run_until(200 * 10);
+  EXPECT_EQ(cluster.coordinator_status(), hb::Status::InactiveNonVoluntarily);
+  EXPECT_GT(cluster.network_stats().lost, 0u);
+  EXPECT_TRUE(cluster.all_inactive());
+}
+
+}  // namespace
+}  // namespace ahb
