@@ -21,8 +21,12 @@
 #include <sstream>
 #include <string>
 
+#include <chrono>
+
 #include "bench_util.hpp"
 #include "chaos/campaign.hpp"
+#include "chaos/runner.hpp"
+#include "rv/suspicion.hpp"
 
 namespace {
 
@@ -120,6 +124,60 @@ void write_artifacts(const Args& args, const chaos::CampaignResult& result) {
   }
 }
 
+// Direct measurement of the monitors' per-event cost: record one
+// representative faulty run's protocol events, then stream them through
+// a fresh monitor stack in a timed loop. The denominator is the sum of
+// the sinks' events_seen — the events that got past the interest masks.
+double measure_monitor_ns_per_event(int participants) {
+  chaos::RunSpec spec;
+  spec.variant = chaos::Variant::Dynamic;
+  spec.tmin = 4;
+  spec.tmax = 10;
+  spec.participants = participants;
+  spec.seed = 5;
+  spec.horizon = 2000;
+  spec.schedule.actions = {
+      {chaos::FaultKind::CrashParticipant, 100, 1, 0, 0, 0, 0, 0, 0},
+  };
+  const chaos::RunResult recorded = chaos::run_chaos(spec, nullptr,
+                                                     /*record_trace=*/false,
+                                                     /*record_events=*/true);
+  if (recorded.events.empty()) return 0;
+
+  rv::RequirementMonitor::Config monitor_config;
+  monitor_config.variant = spec.variant;
+  monitor_config.timing = spec.timing();
+  monitor_config.fixed_bounds = spec.fixed_bounds;
+  monitor_config.participants = spec.participants;
+  rv::SuspicionMonitor::Config suspicion_config;
+  suspicion_config.variant = spec.variant;
+  suspicion_config.timing = spec.timing();
+  suspicion_config.participants = spec.participants;
+  const rv::MonitorBounds bounds = rv::MonitorBounds::defaults(
+      spec.timing(), spec.variant, spec.fixed_bounds);
+
+  constexpr int kReps = 500;
+  std::uint64_t events = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (int rep = 0; rep < kReps; ++rep) {
+    rv::RequirementMonitor requirements{monitor_config, bounds};
+    rv::SuspicionMonitor suspicion{suspicion_config, bounds};
+    rv::AvailabilityStats availability{spec.participants};
+    rv::SinkChain chain;
+    chain.add(&requirements);
+    chain.add(&suspicion);
+    chain.add(&availability);
+    for (const auto& event : recorded.events) chain.emit(event);
+    chain.finish(spec.horizon);
+    events += requirements.events_seen() + suspicion.events_seen() +
+              availability.events_seen();
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return events > 0 ? seconds * 1e9 / static_cast<double>(events) : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -135,6 +193,12 @@ int main(int argc, char** argv) {
 
   const chaos::CampaignResult result = chaos::run_campaign(options);
   const char* profile = args.out_of_spec ? "out-of-spec" : "in-spec";
+  const double monitor_ns = measure_monitor_ns_per_event(args.participants);
+  const auto& avail = result.availability;
+  const double detection_mean =
+      avail.detections > 0 ? static_cast<double>(avail.detection_total) /
+                                 static_cast<double>(avail.detections)
+                           : 0;
 
   if (args.json) {
     std::printf(
@@ -143,16 +207,27 @@ int main(int argc, char** argv) {
         ", \"delivered\": %" PRIu64 ", \"lost\": %" PRIu64
         ", \"blocked\": %" PRIu64 ", \"duplicated\": %" PRIu64
         ", \"reordered\": %" PRIu64 ", \"out_of_spec_delay\": %" PRIu64
+        ", \"availability_up_fraction\": %.4f, \"recoveries\": %" PRIu64
+        ", \"detections\": %" PRIu64 ", \"detection_mean\": %.1f"
+        ", \"detection_max\": %" PRId64 ", \"monitor_ns_per_event\": %.1f"
         ", \"threads\": %u, \"fingerprint\": \"%016" PRIx64 "\"}\n",
         profile, result.runs, result.violating_runs, result.totals.sent,
         result.totals.delivered, result.totals.lost, result.totals.blocked,
         result.totals.duplicated, result.totals.reordered,
-        result.totals.out_of_spec_delay, args.threads, result.fingerprint);
+        result.totals.out_of_spec_delay, avail.up_fraction(),
+        avail.recoveries, avail.detections, detection_mean,
+        avail.detection_max, monitor_ns, args.threads, result.fingerprint);
   } else {
     std::printf("chaos campaign (%s): %" PRIu64 " runs, %" PRIu64
                 " violating, fingerprint %016" PRIx64 "\n",
                 profile, result.runs, result.violating_runs,
                 result.fingerprint);
+    std::printf("availability: %.2f%% up, %" PRIu64 " recoveries, %" PRIu64
+                " detections (mean %.1f, max %" PRId64
+                " ticks); monitors cost %.1f ns/event\n",
+                avail.up_fraction() * 100.0, avail.recoveries,
+                avail.detections, detection_mean, avail.detection_max,
+                monitor_ns);
   }
 
   for (const auto& violating : result.violating) {

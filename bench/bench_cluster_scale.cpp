@@ -24,6 +24,9 @@
 #include "bench_util.hpp"
 #include "hb/cluster.hpp"
 #include "hb/cluster_scale.hpp"
+#include "rv/availability.hpp"
+#include "rv/monitor.hpp"
+#include "rv/suspicion.hpp"
 
 namespace {
 
@@ -80,6 +83,56 @@ SteadyResult steady_state_scale(int n) {
   r.rounds = cluster.stats().rounds;
   r.beats = cluster.stats().beats;
   r.net = cluster.network_stats();
+  return r;
+}
+
+struct MonitoredResult {
+  SteadyResult steady;
+  std::uint64_t monitor_events = 0;  ///< sum of the sinks' events_seen
+  std::size_t violations = 0;
+  double up_fraction = 1.0;
+};
+
+// The same steady-state run with the full rv monitor stack attached
+// (requirement + suspicion + availability). The delta against the
+// plain run is the runtime-verification overhead; a clean run must
+// report zero violations and full availability.
+MonitoredResult steady_state_scale_monitored(int n) {
+  hb::ScaleCluster cluster{scale_config(hb::Variant::Static, n, 42)};
+
+  rv::RequirementMonitor::Config monitor_config;
+  monitor_config.variant = hb::Variant::Static;
+  monitor_config.timing = proto::Timing{kTmin, kTmax};
+  monitor_config.participants = n;
+  const auto bounds = rv::MonitorBounds::defaults(monitor_config.timing,
+                                                  monitor_config.variant, true);
+  rv::RequirementMonitor requirements{monitor_config, bounds};
+  requirements.attach(cluster);
+  rv::SuspicionMonitor::Config suspicion_config;
+  suspicion_config.variant = hb::Variant::Static;
+  suspicion_config.timing = monitor_config.timing;
+  suspicion_config.participants = n;
+  rv::SuspicionMonitor suspicion{suspicion_config, bounds};
+  suspicion.attach(cluster);
+  rv::AvailabilityStats availability{n};
+  cluster.add_sink(&availability);
+
+  const sim::Time horizon =
+      static_cast<sim::Time>(steady_rounds(n)) * kTmax + 1;
+  const auto start = std::chrono::steady_clock::now();
+  cluster.start();
+  cluster.run_until(horizon);
+  cluster.sinks().finish(horizon);
+  MonitoredResult r;
+  r.steady.seconds = seconds_since(start);
+  r.steady.rounds = cluster.stats().rounds;
+  r.steady.beats = cluster.stats().beats;
+  r.steady.net = cluster.network_stats();
+  r.monitor_events = requirements.events_seen() + suspicion.events_seen() +
+                     availability.events_seen();
+  r.violations = requirements.violations().size() +
+                 suspicion.violations().size();
+  r.up_fraction = availability.summary().up_fraction();
   return r;
 }
 
@@ -219,6 +272,17 @@ int main(int argc, char** argv) {
   for (const int n : sizes) {
     const auto steady = steady_state_scale(n);
     if (n == 10'000) scale_bps_10k = steady.beats_per_sec();
+    const auto monitored = steady_state_scale_monitored(n);
+    const double overhead_pct =
+        steady.beats_per_sec() > 0
+            ? (1.0 - monitored.steady.beats_per_sec() / steady.beats_per_sec()) *
+                  100.0
+            : 0;
+    const double monitor_ns_per_event =
+        monitored.monitor_events > 0
+            ? std::max(0.0, monitored.steady.seconds - steady.seconds) * 1e9 /
+                  static_cast<double>(monitored.monitor_events)
+            : 0;
     const auto detect = detection_latency(n, detection_runs(n));
     if (args.json) {
       std::printf(
@@ -229,6 +293,20 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(steady.beats), steady.seconds,
           steady.beats_per_sec(), steady.ns_per_beat(),
           bench::network_stats_fields(steady.net).c_str());
+      std::printf(
+          "{\"bench\": \"cluster_scale/steady_monitored_n%d\", "
+          "\"participants\": %d, \"rounds\": %llu, \"beats\": %llu, "
+          "\"seconds\": %.3f, \"beats_per_sec\": %.0f, \"ns_per_beat\": %.1f, "
+          "\"monitor_events\": %llu, \"monitor_ns_per_event\": %.1f, "
+          "\"monitor_overhead_pct\": %.1f, \"violations\": %zu, "
+          "\"availability_up_fraction\": %.4f}\n",
+          n, n, static_cast<unsigned long long>(monitored.steady.rounds),
+          static_cast<unsigned long long>(monitored.steady.beats),
+          monitored.steady.seconds, monitored.steady.beats_per_sec(),
+          monitored.steady.ns_per_beat(),
+          static_cast<unsigned long long>(monitored.monitor_events),
+          monitor_ns_per_event, overhead_pct, monitored.violations,
+          monitored.up_fraction);
       std::printf(
           "{\"bench\": \"cluster_scale/detect_n%d\", \"participants\": %d, "
           "\"runs\": %d, \"detected\": %d, \"p50\": %lld, \"p99\": %lld, "
@@ -245,6 +323,11 @@ int main(int argc, char** argv) {
                   static_cast<long long>(detect.p50),
                   static_cast<long long>(detect.p99),
                   static_cast<long long>(detect.max));
+      std::printf("%9s %8s %12s %14.0f %10.1f  rv on: %.1f%% overhead, "
+                  "%.1f ns/event, %zu violation(s)\n",
+                  "", "", "", monitored.steady.beats_per_sec(),
+                  monitored.steady.ns_per_beat(), overhead_pct,
+                  monitor_ns_per_event, monitored.violations);
     }
   }
 

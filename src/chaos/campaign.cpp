@@ -332,6 +332,7 @@ CampaignResult run_campaign(const CampaignOptions& options) {
   for (std::size_t i = 0; i < specs.size(); ++i) {
     ++result.runs;
     add_stats(result.totals, slots[i].result.net_stats);
+    result.availability += slots[i].result.availability;
     fingerprint = (fingerprint ^ slots[i].hash) * 1099511628211ULL;
     if (slots[i].result.violations.empty()) continue;
     ++result.violating_runs;

@@ -58,6 +58,9 @@ struct CampaignResult {
   std::uint64_t runs = 0;
   std::uint64_t violating_runs = 0;
   sim::NetworkStats totals;  ///< summed over every run
+  /// Availability score summed over every run (rv::AvailabilityStats):
+  /// node up/down time, recoveries, detection-latency histogram.
+  rv::AvailabilitySummary availability;
   std::vector<ViolatingRun> violating;
   /// FNV-1a over every run's serialized spec + protocol trace, folded
   /// in run order; byte-equal across repeats and thread counts.

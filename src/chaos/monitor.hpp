@@ -1,108 +1,18 @@
-// Runtime requirement monitors for chaos runs.
-//
-// The model-checking layer proves R1–R3 over *all* executions of the
-// timed-automata models; this monitor checks the *executable* hb
-// engines against the same requirements on one live execution, fed by
-// the Cluster protocol-event stream and the Network channel-event
-// stream. The deadlines come from the closed-form slack laws in
-// proto/timing.hpp, which are sound for any fault sequence inside the
-// channel/clock assumptions — so under in-spec faults every violation
-// is a genuine protocol bug, while out-of-spec faults (delays breaking
-// the tmin round trip, drifting clocks) are expected to trip the
-// monitor and serve as its negative control.
-//
-// The three obligations, in monitor form:
-//   R1  once every participant has stopped (crashed, left, or
-//       inactivated) while the coordinator still has a registered
-//       member, the coordinator must NV-inactivate within
-//       r1_detection_slack.
-//   R2  every NV-inactivation must be *explained* by a fault — a
-//       channel loss/block, a crash, a leave, or an earlier
-//       NV-inactivation — within the preceding r2_explanation_window;
-//       an unexplained one is a premature detection.
-//   R3  once the coordinator stops, every live participant must stop
-//       within r3_detection_slack (re-anchored if it rejoins later).
+// Deprecated forwarding header: the runtime requirement monitors moved
+// to the standalone runtime-verification library (src/rv), where they
+// attach to either heartbeat engine through the rv::EventSink
+// interface. Include rv/monitor.hpp directly in new code; the aliases
+// below keep existing chaos-layer callers compiling unchanged.
 #pragma once
 
-#include <string>
-#include <vector>
-
-#include "hb/cluster.hpp"
-#include "sim/network.hpp"
+#include "rv/monitor.hpp"
 
 namespace ahb::chaos {
 
 using Time = sim::Time;
 
-/// The monitor deadlines. Defaults come from proto/timing.hpp; tests
-/// loosen individual bounds to prove the monitor actually bites (the
-/// mutation canary: a loosened bound must silence the negative
-/// control).
-struct MonitorBounds {
-  Time r1_slack = 0;
-  Time r2_window = 0;
-  Time r3_slack = 0;
-
-  static MonitorBounds defaults(const proto::Timing& timing,
-                                proto::Variant variant, bool fixed_bounds);
-};
-
-struct Violation {
-  int requirement = 0;  ///< 1, 2 or 3
-  int node = 0;         ///< 0 = coordinator
-  Time at = 0;          ///< when the violation was established
-  Time deadline = 0;    ///< the missed deadline (R1/R3) or the premature
-                        ///< inactivation instant (R2)
-  std::string detail;
-
-  /// Stable identity for shrinking: two runs reproduce "the same"
-  /// violation when requirement, node and deadline all match.
-  std::string key() const;
-};
-
-class RequirementMonitor {
- public:
-  struct Config {
-    proto::Variant variant = proto::Variant::Binary;
-    proto::Timing timing;
-    bool fixed_bounds = true;
-    int participants = 1;
-  };
-
-  RequirementMonitor(const Config& config, const MonitorBounds& bounds);
-
-  /// Convenience: subscribes to both event streams of the cluster.
-  /// Events must arrive in nondecreasing time order (the simulator's
-  /// synchronous callbacks guarantee this).
-  void attach(hb::Cluster& cluster);
-
-  void on_protocol_event(const hb::ProtocolEvent& event);
-  void on_channel_event(const sim::ChannelEvent& event);
-
-  /// Settles pending deadlines at the end of a run: obligations whose
-  /// deadline lies strictly before `horizon` and were never discharged
-  /// become violations; later deadlines are undetermined (campaigns
-  /// leave a settle margin before the horizon so this stays empty).
-  void finish(Time horizon);
-
-  const std::vector<Violation>& violations() const { return violations_; }
-
- private:
-  void check_deadlines(Time now);
-  void update_r1(Time now);
-  bool coordinator_live() const { return coordinator_stopped_at_ == hb::kNever; }
-  void stop_participant(int id, Time at);
-
-  Config config_;
-  MonitorBounds bounds_;
-  Time coordinator_stopped_at_ = hb::kNever;
-  std::vector<Time> stopped_at_;    ///< per participant; kNever = live
-  std::vector<bool> registered_;    ///< coordinator-side membership estimate
-  std::vector<Time> r3_deadline_;   ///< per participant; kNever = no obligation
-  Time r1_deadline_ = hb::kNever;
-  bool r1_fired_ = false;
-  Time last_explanation_;
-  std::vector<Violation> violations_;
-};
+using MonitorBounds = rv::MonitorBounds;
+using Violation = rv::Violation;
+using RequirementMonitor = rv::RequirementMonitor;
 
 }  // namespace ahb::chaos

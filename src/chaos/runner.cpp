@@ -4,6 +4,7 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "rv/suspicion.hpp"
 #include "util/contracts.hpp"
 
 namespace ahb::chaos {
@@ -146,32 +147,43 @@ RunResult run_chaos(const RunSpec& spec, const MonitorBounds* bounds,
 
   hb::Cluster cluster(cluster_config_for(spec));
 
+  const MonitorBounds monitor_bounds =
+      bounds != nullptr ? *bounds
+                        : MonitorBounds::defaults(spec.timing(), spec.variant,
+                                                  spec.fixed_bounds);
   RequirementMonitor::Config monitor_config{spec.variant, spec.timing(),
                                             spec.fixed_bounds,
                                             spec.participants};
-  RequirementMonitor monitor(
-      monitor_config,
-      bounds != nullptr
-          ? *bounds
-          : MonitorBounds::defaults(spec.timing(), spec.variant,
-                                    spec.fixed_bounds));
+  RequirementMonitor monitor(monitor_config, monitor_bounds);
+  rv::SuspicionMonitor::Config suspicion_config;
+  suspicion_config.variant = spec.variant;
+  suspicion_config.timing = spec.timing();
+  suspicion_config.participants = spec.participants;
+  rv::SuspicionMonitor suspicion(suspicion_config, monitor_bounds);
+  rv::AvailabilityStats availability(spec.participants);
+
+  // The whole monitor stack rides the sink chain; the trace/event
+  // recorder is the legacy callback adapter, which the cluster
+  // registered first.
+  monitor.attach(cluster);
+  suspicion.attach(cluster);
+  cluster.add_sink(&availability);
 
   RunResult result;
   result.out_of_spec = spec.schedule.out_of_spec(spec.timing());
 
-  cluster.on_protocol_event([&](const hb::ProtocolEvent& event) {
-    monitor.on_protocol_event(event);
-    if (record_events) result.events.push_back(event);
-    if (record_trace) {
-      char line[96];
-      std::snprintf(line, sizeof line, "%" PRId64 " %s %d %" PRIu64 "\n",
-                    event.at, kind_name(event.kind), event.node,
-                    event.msg_id);
-      result.trace += line;
-    }
-  });
-  cluster.network().on_channel_event(
-      [&](const sim::ChannelEvent& event) { monitor.on_channel_event(event); });
+  if (record_trace || record_events) {
+    cluster.on_protocol_event([&](const hb::ProtocolEvent& event) {
+      if (record_events) result.events.push_back(event);
+      if (record_trace) {
+        char line[96];
+        std::snprintf(line, sizeof line, "%" PRId64 " %s %d %" PRIu64 "\n",
+                      event.at, kind_name(event.kind), event.node,
+                      event.msg_id);
+        result.trace += line;
+      }
+    });
+  }
 
   // Fault actions are scheduled before start() in schedule order, so
   // same-instant actions fire FIFO exactly as listed — replay order is
@@ -182,9 +194,13 @@ RunResult run_chaos(const RunSpec& spec, const MonitorBounds* bounds,
 
   cluster.start();
   cluster.run_until(spec.horizon);
-  monitor.finish(spec.horizon);
+  cluster.sinks().finish(spec.horizon);
 
   result.violations = monitor.violations();
+  result.violations.insert(result.violations.end(),
+                           suspicion.violations().begin(),
+                           suspicion.violations().end());
+  result.availability = availability.summary();
   result.net_stats = cluster.network_stats();
   result.all_inactive = cluster.all_inactive();
   return result;

@@ -12,11 +12,17 @@
 
 #include "chaos/fault_schedule.hpp"
 #include "chaos/monitor.hpp"
+#include "hb/cluster.hpp"
+#include "rv/availability.hpp"
 
 namespace ahb::chaos {
 
 struct RunResult {
+  /// R1–R3 violations first (in detection order), then any suspicion-
+  /// ladder (requirement 4) violations.
   std::vector<Violation> violations;
+  /// Availability score of the run (rv::AvailabilityStats).
+  rv::AvailabilitySummary availability;
   sim::NetworkStats net_stats;
   /// The schedule stepped outside the channel/clock assumptions, so
   /// violations are expected rather than bugs.
@@ -31,10 +37,13 @@ struct RunResult {
   std::vector<hb::ProtocolEvent> events;
 };
 
-/// Runs `spec` to its horizon. `bounds` overrides the monitor deadlines
-/// (nullptr = the proto/timing.hpp defaults — the only sound setting;
-/// overriding exists for the mutation-canary tests). `record_trace`
-/// fills RunResult::trace, `record_events` fills RunResult::events.
+/// Runs `spec` to its horizon with the full rv monitor stack attached
+/// (requirement + suspicion + availability). `bounds` overrides the
+/// monitor deadlines (nullptr = the proto/timing.hpp defaults — the
+/// only sound setting; overriding exists for the mutation-canary
+/// tests and applies to the suspicion bounds carried in MonitorBounds
+/// too). `record_trace` fills RunResult::trace, `record_events` fills
+/// RunResult::events.
 RunResult run_chaos(const RunSpec& spec, const MonitorBounds* bounds = nullptr,
                     bool record_trace = false, bool record_events = false);
 

@@ -40,6 +40,16 @@ Cluster::Cluster(const ClusterConfig& config)
   clocks_.assign(static_cast<std::size_t>(config.participants) + 1,
                  NodeClock{});
 
+  // The legacy lambda observers ride the sink chain as its first entry;
+  // with no callbacks installed its masks are zero and the emit path
+  // skips event construction, exactly like the old `if (event_cb_)`.
+  sinks_.add(&legacy_);
+  // Claim the network's observer slot to feed channel events to the
+  // sinks (the reason Cluster::network() documents the slot as taken).
+  net_.on_channel_event([this](const sim::ChannelEvent& event) {
+    if (sinks_.wants(event.kind)) sinks_.emit(event);
+  });
+
   net_.attach(0, [this](int from, const Message& msg, std::uint64_t id) {
     ++node_stats_[0].received;
     // A delivery to a crashed/inactive coordinator is absorbed silently
@@ -194,14 +204,13 @@ void Cluster::dispatch(int node_id, const Actions& actions) {
     emit(node_id == 0 ? ProtocolEvent::Kind::CoordinatorInactivated
                       : ProtocolEvent::Kind::ParticipantInactivated,
          node_id);
-    if (inactivation_cb_) inactivation_cb_(node_id, sim_.now());
   }
 }
 
 void Cluster::emit(ProtocolEvent::Kind kind, int node, std::uint64_t msg_id,
                    std::uint32_t fanout) {
-  if (event_cb_) {
-    event_cb_(ProtocolEvent{kind, sim_.now(), node, msg_id, fanout});
+  if (sinks_.wants(kind)) {
+    sinks_.emit(ProtocolEvent{kind, sim_.now(), node, msg_id, fanout});
   }
 }
 

@@ -12,6 +12,8 @@
 
 #include "hb/coordinator.hpp"
 #include "hb/participant.hpp"
+#include "hb/protocol_event.hpp"
+#include "rv/sink_chain.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
 
@@ -38,41 +40,6 @@ struct ClusterConfig {
 struct NodeStats {
   std::uint64_t sent = 0;
   std::uint64_t received = 0;
-};
-
-/// One protocol-level event of a cluster execution, as observed at the
-/// simulator boundary. The stream of these events is the cluster's
-/// timed trace; the conformance layer (proto/conformance.hpp) replays
-/// it through the corresponding timed-automata model.
-struct ProtocolEvent {
-  enum class Kind {
-    CoordinatorBeat,          ///< p[0] beat its members (round or initial beat)
-    CoordinatorReceivedBeat,  ///< a reply/join beat reached p[0] (node = sender)
-    CoordinatorReceivedLeave, ///< a leave beat reached p[0] (node = sender)
-    CoordinatorInactivated,   ///< p[0] NV-inactivated
-    CoordinatorCrashed,       ///< injected p[0] crash took effect
-    ParticipantReceivedBeat,  ///< p[0]'s beat reached p[node]
-    ParticipantReplied,       ///< p[node] echoed a beat
-    ParticipantJoinBeat,      ///< p[node] sent a join-phase beat
-    ParticipantLeft,          ///< p[node] replied with a leave beat
-    ParticipantInactivated,   ///< p[node] NV-inactivated
-    ParticipantCrashed,       ///< injected p[node] crash took effect
-    ParticipantRejoined,      ///< p[node] re-entered the join phase
-  };
-  Kind kind{};
-  sim::Time at = 0;
-  int node = 0;  ///< participant id; sender id for CoordinatorReceived*
-  /// Network message id for send/delivery events (0 = not tied to one
-  /// message). Sends and deliveries of the same message share the id,
-  /// so the two become separately identifiable trace events. A
-  /// CoordinatorBeat fans out as one message per member but is one
-  /// protocol event; it carries the id of the first beat of the round
-  /// (ids of the fan-out are consecutive).
-  std::uint64_t msg_id = 0;
-  /// Number of network messages the event fanned out as: the member
-  /// count for a CoordinatorBeat (ids [msg_id, msg_id + fanout)), 1 for
-  /// participant sends, 0 for events not tied to a send.
-  std::uint32_t fanout = 0;
 };
 
 class Cluster {
@@ -107,22 +74,43 @@ class Cluster {
   void set_drift(int id, std::int64_t num, std::int64_t den);
 
   /// Direct access to the transport, for fault injection beyond the
-  /// convenience wrappers above (loss/burst/duplication/delay changes,
-  /// channel-event observation). Node 0 is the coordinator.
+  /// convenience wrappers above (loss/burst/duplication/delay changes).
+  /// Node 0 is the coordinator. The network's single channel-event
+  /// observer slot is claimed by the cluster itself to feed the sink
+  /// chain — observe channel events via on_channel_event or add_sink,
+  /// not Network::on_channel_event.
   sim::Network<Message>& network() { return net_; }
 
   const ClusterConfig& config() const { return config_; }
 
+  /// Registers a runtime-verification sink (not owned; must outlive the
+  /// cluster). Install before start() to capture the complete trace;
+  /// run_until does not call finish on the sinks — drive
+  /// `sinks().finish(horizon)` when the run ends.
+  void add_sink(rv::EventSink* sink) { sinks_.add(sink); }
+  rv::SinkChain& sinks() { return sinks_; }
+
+  // Legacy lambda observers, kept as a thin adapter over the sink chain
+  // (one rv::CallbackSink registered at construction).
+
   /// Observer called on every non-voluntary inactivation, with the node
   /// id (0 = coordinator) and the time.
   void on_inactivation(std::function<void(int, sim::Time)> cb) {
-    inactivation_cb_ = std::move(cb);
+    legacy_.set_inactivation(std::move(cb));
+    sinks_.refresh();
   }
 
   /// Observer called on every protocol-level event (see ProtocolEvent).
   /// Install before start() to capture the complete trace.
   void on_protocol_event(std::function<void(const ProtocolEvent&)> cb) {
-    event_cb_ = std::move(cb);
+    legacy_.set_protocol(std::move(cb));
+    sinks_.refresh();
+  }
+
+  /// Observer called on every channel event of the transport.
+  void on_channel_event(std::function<void(const sim::ChannelEvent&)> cb) {
+    legacy_.set_channel(std::move(cb));
+    sinks_.refresh();
   }
 
   Coordinator& coordinator() { return *coordinator_; }
@@ -179,8 +167,8 @@ class Cluster {
   std::vector<sim::Simulator::EventId> timers_;  // index: node id
   std::vector<NodeStats> node_stats_;
   std::vector<NodeClock> clocks_;  // index: node id
-  std::function<void(int, sim::Time)> inactivation_cb_;
-  std::function<void(const ProtocolEvent&)> event_cb_;
+  rv::CallbackSink legacy_;  ///< adapter behind the lambda observer API
+  rv::SinkChain sinks_;
   bool started_ = false;
 };
 

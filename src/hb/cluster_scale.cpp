@@ -25,6 +25,8 @@ ScaleCluster::ScaleCluster(const ClusterConfig& config)
   AHB_EXPECTS(config.participants >= 1);
   AHB_EXPECTS(delay_span_ >= 0);
 
+  sinks_.add(&legacy_);
+
   const auto slots = static_cast<std::size_t>(participants_) + 1;
   newest_to_coord_.assign(slots, 0);
   newest_from_coord_.assign(slots, 0);
@@ -205,11 +207,19 @@ void ScaleCluster::handle(const Ev& ev) {
 std::uint64_t ScaleCluster::send(int from, int to, bool flag) {
   const std::uint64_t id = next_msg_id_++;
   ++net_stats_.sent;
+  if (sinks_.wants(sim::ChannelEvent::Kind::Sent)) {
+    sinks_.emit(sim::ChannelEvent{sim::ChannelEvent::Kind::Sent, from, to, id,
+                                  now_, 0});
+  }
   // Same per-send draw order as sim::Network: the loss Bernoulli first
   // (a no-draw when the probability is zero), then the delay sample —
   // this is what keeps the seeded stream identical to the legacy run.
   if (rng_.chance(loss_probability_)) {
     ++net_stats_.lost;
+    if (sinks_.wants(sim::ChannelEvent::Kind::Lost)) {
+      sinks_.emit(sim::ChannelEvent{sim::ChannelEvent::Kind::Lost, from, to,
+                                    id, now_, 0});
+    }
     return id;
   }
   const sim::Time delay =
@@ -236,6 +246,10 @@ void ScaleCluster::track_delivery(std::vector<std::uint64_t>& newest,
 void ScaleCluster::deliver_to_coordinator(int from, bool flag,
                                           std::uint64_t id) {
   ++net_stats_.delivered;
+  if (sinks_.wants(sim::ChannelEvent::Kind::Delivered)) {
+    sinks_.emit(sim::ChannelEvent{sim::ChannelEvent::Kind::Delivered, from, 0,
+                                  id, now_, 0});
+  }
   track_delivery(newest_to_coord_, from, id);
   if (coord_status_ == Status::Active) {
     emit(flag ? ProtocolEvent::Kind::CoordinatorReceivedBeat
@@ -264,6 +278,10 @@ void ScaleCluster::deliver_to_coordinator(int from, bool flag,
 void ScaleCluster::deliver_to_participant(int id, int from, bool flag,
                                           std::uint64_t msg_id) {
   ++net_stats_.delivered;
+  if (sinks_.wants(sim::ChannelEvent::Kind::Delivered)) {
+    sinks_.emit(sim::ChannelEvent{sim::ChannelEvent::Kind::Delivered, from, id,
+                                  msg_id, now_, 0});
+  }
   track_delivery(newest_from_coord_, id, msg_id);
   const auto idx = static_cast<std::size_t>(id);
   if (flag && p_status_[idx] == Status::Active) {
@@ -323,7 +341,6 @@ void ScaleCluster::close_round() {
     coord_status_ = Status::InactiveNonVoluntarily;
     coord_inactivated_at_ = now_;
     emit(ProtocolEvent::Kind::CoordinatorInactivated, 0);
-    if (inactivation_cb_) inactivation_cb_(0, now_);
     return;
   }
 
@@ -357,7 +374,6 @@ void ScaleCluster::participant_elapsed(int id) {
       p_status_[idx] = Status::InactiveNonVoluntarily;
       p_inactivated_at_[idx] = now_;
       emit(ProtocolEvent::Kind::ParticipantInactivated, id);
-      if (inactivation_cb_) inactivation_cb_(id, now_);
     } else if (!p_joined_.test(idx) && now_ >= p_next_join_[idx]) {
       p_next_join_[idx] = now_ + proto::join_beat_period(timing_);
       const std::uint64_t out = send(id, 0, true);
@@ -391,8 +407,8 @@ void ScaleCluster::arm_node_timer(int id) {
 
 void ScaleCluster::emit(ProtocolEvent::Kind kind, int node,
                         std::uint64_t msg_id, std::uint32_t fanout) {
-  if (event_cb_) {
-    event_cb_(ProtocolEvent{kind, now_, node, msg_id, fanout});
+  if (sinks_.wants(kind)) {
+    sinks_.emit(ProtocolEvent{kind, now_, node, msg_id, fanout});
   }
 }
 

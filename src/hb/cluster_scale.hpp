@@ -26,7 +26,11 @@
 //
 // Deliberately unsupported (use hb::Cluster, which stays the chaos and
 // small-n harness): clock drift, per-link parameter overrides, link
-// up/down faults, burst loss, duplication, channel-event observers.
+// up/down faults, burst loss, duplication. Channel events (Sent, Lost,
+// Delivered) are tapped inline in the flat transport and fanned out
+// through the sink chain when some sink subscribes; Delivered events
+// report delay 0 because the flat transport does not carry the sampled
+// delay to the delivery (Blocked/Duplicated never occur here).
 #pragma once
 
 #include <cstdint>
@@ -64,17 +68,36 @@ class ScaleCluster {
   void leave_at(int id, sim::Time when);
   void rejoin_at(int id, sim::Time when);
 
+  /// Registers a runtime-verification sink (not owned; must outlive the
+  /// cluster). Install before start(). Event construction is gated on
+  /// the chain's cached interest masks, so the 100k-node hot path never
+  /// pays for observability nothing subscribed to. run_until does not
+  /// call finish on the sinks — drive `sinks().finish(horizon)` when
+  /// the run ends.
+  void add_sink(rv::EventSink* sink) { sinks_.add(sink); }
+  rv::SinkChain& sinks() { return sinks_; }
+
+  // Legacy lambda observers, the same thin adapter over the sink chain
+  // as hb::Cluster's (the duplicated per-engine callback bookkeeping
+  // lives once in rv::CallbackSink now).
+
   /// Observer over every protocol-level event. Install before start().
-  /// When none is installed, event construction is skipped entirely —
-  /// the 100k-node hot path never pays for observability it isn't
-  /// using.
   void on_protocol_event(std::function<void(const ProtocolEvent&)> cb) {
-    event_cb_ = std::move(cb);
+    legacy_.set_protocol(std::move(cb));
+    sinks_.refresh();
   }
 
   /// Observer over every non-voluntary inactivation (node id, time).
   void on_inactivation(std::function<void(int, sim::Time)> cb) {
-    inactivation_cb_ = std::move(cb);
+    legacy_.set_inactivation(std::move(cb));
+    sinks_.refresh();
+  }
+
+  /// Observer over the flat transport's channel events (see the header
+  /// comment for the tap's semantics).
+  void on_channel_event(std::function<void(const sim::ChannelEvent&)> cb) {
+    legacy_.set_channel(std::move(cb));
+    sinks_.refresh();
   }
 
   const ClusterConfig& config() const { return config_; }
@@ -186,8 +209,8 @@ class ScaleCluster {
   std::vector<sim::Time> p_left_at_;
   std::vector<Wheel::Handle> p_timer_;
 
-  std::function<void(const ProtocolEvent&)> event_cb_;
-  std::function<void(int, sim::Time)> inactivation_cb_;
+  rv::CallbackSink legacy_;  ///< adapter behind the lambda observer API
+  rv::SinkChain sinks_;
 };
 
 }  // namespace ahb::hb

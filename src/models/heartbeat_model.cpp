@@ -34,14 +34,39 @@ int next_waiting_time(bool received, int current, const Timing& timing,
 /// Fixed-variant receive priority (Section 6.1): "before processing
 /// timeouts, it has to be checked whether the communication channels
 /// offer messages that have to be delivered". True iff any channel holds
-/// an undelivered message — a beat towards some p[i], a reply or leave
-/// towards p[0], or a join beat towards p[0].
+/// an undelivered round-trip message — a beat towards some p[i], or a
+/// reply or leave towards p[0]. Join beats deliberately don't count
+/// here: in-spec round-trip traffic can never span a deadline
+/// (round-trip delay <= tmin <= the waiting time), so gating on "in
+/// flight" is exact for these channels — but a join beat is
+/// unsynchronised with p[0]'s round and may legitimately still be in
+/// flight when the timer fires, exactly as the engine's timer fires
+/// regardless of in-flight messages. Joins gate p[0]'s timeout only in
+/// the forced case below.
 bool any_delivery_pending(const StateView& v, const Handles* h) {
   for (const auto& p : h->parts) {
     const auto loc = v.loc(p.ch);
     if (loc == p.ch_t0 || loc == p.ch_t1) return true;
     if (p.ch_t1f >= 0 && loc == p.ch_t1f) return true;
-    if (p.jch.value >= 0 && v.loc(p.jch) == p.jch_t) return true;
+  }
+  return false;
+}
+
+/// A pending join beat whose delay clock has hit the channel bound must
+/// resolve at this very instant (the transit invariant forbids waiting
+/// longer), so under receive priority its delivery precedes a
+/// same-instant timeout of p[0] — the engine processes a message
+/// arriving at time T before p[0]'s timer callback at T. A join that
+/// may still arrive later does not gate the timeout: ordering the close
+/// before such a delivery corresponds to an engine run where the join
+/// simply arrives after the close.
+bool forced_join_pending(const StateView& v, const Handles* h) {
+  if (h->jch_bound < 0) return false;
+  for (const auto& p : h->parts) {
+    if (p.jch.value < 0) continue;
+    if (v.loc(p.jch) == p.jch_t && v.clk(p.jdelay) == h->jch_bound) {
+      return true;
+    }
   }
   return false;
 }
@@ -72,6 +97,9 @@ class Builder {
     const int n = is_multi(flavor_) ? options_.participants : 1;
     // Shared flag (no owning automaton): lives in the collapse root.
     h_.lost = net_.add_var("lost", 0, 0, 1);
+    if (has_join_phase()) {
+      h_.stale_join = net_.add_var("stale_join", 0, 0, 1);
+    }
 
     // Channel declarations first: edges reference them from every side.
     if (is_multi(flavor_)) {
@@ -243,7 +271,7 @@ class Builder {
       if (options_.use_receive_priority()) {
         guard = [t_var, waiting, hp](const StateView& v) {
           return v.clk(waiting) == v.var(t_var) &&
-                 !any_delivery_pending(v, hp);
+                 !any_delivery_pending(v, hp) && !forced_join_pending(v, hp);
         };
       } else {
         guard = [t_var, waiting](const StateView& v) {
@@ -645,16 +673,20 @@ class Builder {
     auto& p = h_.parts[static_cast<std::size_t>(i)];
     const auto idx = static_cast<std::size_t>(i);
     p.jch = net_.add_automaton(strprintf("jch%d", i + 1));
-    p.jdelay = net_.add_clock(strprintf("jdelay%d", i + 1), timing_.tmin + 1);
+    // The channel assumption budgets tmin per message exchange; the
+    // published R2 counterexamples need the full budget on this one-way
+    // leg (a join sent tmin before a round close, arriving at it).
+    const int jbound = timing_.tmin;
+    h_.jch_bound = jbound;
+    p.jdelay = net_.add_clock(strprintf("jdelay%d", i + 1), jbound + 1);
 
     const ClockId jdelay = p.jdelay;
-    const int tmin = timing_.tmin;
     const VarId lost = h_.lost;
 
     p.jch_idle = net_.add_location(p.jch, "Idle");
     p.jch_t = net_.add_location(p.jch, "JoinInTransit", LocKind::Normal,
-                                [jdelay, tmin](const StateView& v) {
-                                  return v.clk(jdelay) <= tmin;
+                                [jdelay, jbound](const StateView& v) {
+                                  return v.clk(jdelay) <= jbound;
                                 });
 
     net_.add_edge(p.jch, Edge{.src = p.jch_idle,
@@ -668,12 +700,22 @@ class Builder {
                               .dst = p.jch_idle,
                               .effect = [lost](StateMut& m) { m.set(lost, 1); },
                               .label = "lose_join"});
-    // Per Section 4.4 of the analysis the join channel "is only active
-    // before the process has joined": a join beat still in flight once
-    // p[i] left the join phase is dropped (it can carry no information
-    // p[0] does not already have, since p[i] only joins after p[0]
-    // registered it) instead of re-registering a departed process.
+    // A join beat still in flight once p[i] left the join phase is
+    // delivered like any other flag message: the engine coordinator
+    // registers `rcvd` for whatever arrives, so the model must too
+    // (the old guard `loc == l_joining` on the delivery voided stale
+    // joins and made engine traces with a post-join delivery
+    // unreplayable — see DESIGN.md, resolved divergence (b)). The
+    // stale delivery latches `stale_join`, which the R3 predicate
+    // conditions on: the paper's analysis assumes a quiet join channel
+    // after joining, so runs outside that assumption don't witness a
+    // violation (the role `lost` plays for channel loss). `void_join`
+    // stays as pure channel freedom: the message may also vanish
+    // silently without raising `lost`, which keeps the lost==0
+    // verification slice an over-approximation of the engine's
+    // perfect-channel runs.
     const Handles* hp = &h_;
+    const VarId stale = h_.stale_join;
     net_.add_edge(p.jch, Edge{.src = p.jch_t,
                               .dst = p.jch_idle,
                               .chan = deliver_p0_join_[idx],
@@ -684,6 +726,18 @@ class Builder {
                                     return v.loc(part.proc) == part.l_joining;
                                   },
                               .label = "deliver_join"});
+    net_.add_edge(p.jch, Edge{.src = p.jch_t,
+                              .dst = p.jch_idle,
+                              .chan = deliver_p0_join_[idx],
+                              .dir = SyncDir::Send,
+                              .guard =
+                                  [hp, idx](const StateView& v) {
+                                    const auto& part = hp->parts[idx];
+                                    return v.loc(part.proc) != part.l_joining;
+                                  },
+                              .effect =
+                                  [stale](StateMut& m) { m.set(stale, 1); },
+                              .label = "deliver_join_stale"});
     net_.add_edge(p.jch, Edge{.src = p.jch_t,
                               .dst = p.jch_idle,
                               .guard =
@@ -852,6 +906,10 @@ mc::Pred HeartbeatModel::r3_violation() const {
   return [h](const StateView& v) {
     if (v.loc(h->p0) != h->l_nv) return false;
     if (v.var(h->lost) != 0) return false;
+    // A delivered stale join re-registers a departed member and can
+    // legitimately drag the ladder dry (engine semantics); the paper's
+    // R3 claim assumes that never happens, so such runs are excused.
+    if (h->stale_join.value >= 0 && v.var(h->stale_join) != 0) return false;
     for (const auto& p : h->parts) {
       if (!participant_ok(v, p)) return false;
     }

@@ -72,6 +72,19 @@ class HeartbeatModel {
     ta::VarId t;  ///< current waiting time of p[0]
     ta::ClockId waiting;
     ta::VarId lost;  ///< latched: some message was lost
+    /// Latched: a join beat was delivered after its sender had already
+    /// left the join phase (expanding/dynamic only, else -1). The
+    /// engine's coordinator registers any flag message, so the model
+    /// delivers stale joins too; the paper's R3 analysis assumes the
+    /// join channel is quiet after joining, so `r3_violation` only
+    /// counts runs where this stayed 0 (the same role `lost` plays for
+    /// the channel-loss assumption).
+    ta::VarId stale_join{};
+    /// Upper bound of the join channels' delay clocks (expanding/
+    /// dynamic only, else -1). The receive-priority timeout guard needs
+    /// it: a pending join whose clock has hit the bound must resolve at
+    /// this instant, so its delivery precedes a same-instant timeout.
+    int jch_bound = -1;
     std::vector<Participant> parts;
   };
 
@@ -97,7 +110,8 @@ class HeartbeatModel {
   mc::Pred r2_violation_any() const;
 
   /// R3 violated: p[0] non-voluntarily inactivated although no message
-  /// was lost and every participant is alive or never joined.
+  /// was lost, no stale join beat was delivered, and every participant
+  /// is alive or never joined.
   mc::Pred r3_violation() const;
 
  private:

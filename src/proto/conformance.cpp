@@ -112,19 +112,17 @@ Obs base_observation(const hb::ProtocolEvent& e) {
 }
 
 /// Builds the id-aware observation stream: sends and deliveries paired
-/// by message id, duplicates folded onto their original, stale join
-/// beats dropped (the model voids them silently), and loss edges of
-/// messages with a recorded future delivery forbidden while in flight.
+/// by message id, duplicates folded onto their original, and loss edges
+/// of messages with a recorded future delivery forbidden while in
+/// flight. Join-beat deliveries translate like any other delivery —
+/// the model's `deliver_join` is unguarded (a stale join re-registers
+/// its sender, exactly as the engine coordinator does).
 class IdObservationBuilder {
  public:
   explicit IdObservationBuilder(std::span<const hb::ProtocolEvent> events)
       : events_(events) {
     int max_node = 0;
     for (const auto& e : events) max_node = std::max(max_node, e.node);
-    // Until a node receives its first beat it is (potentially) in the
-    // join phase; non-joining variants simply never send join beats, so
-    // the flag is consulted only when one exists.
-    joining_.assign(static_cast<std::size_t>(max_node) + 1, 1);
     pending_.assign(static_cast<std::size_t>(max_node) + 1, Pending{});
   }
 
@@ -240,7 +238,6 @@ class IdObservationBuilder {
       }
       case Kind::ParticipantLeft: {
         (void)take_pending(e.node, e.at);
-        joining_[static_cast<std::size_t>(e.node)] = 0;
         sends_[e.msg_id] = SendRec{SendKind::Leave, e.node, obs_.size()};
         Obs o = base_observation(e);
         o.type = Obs::Type::Send;
@@ -250,7 +247,6 @@ class IdObservationBuilder {
         return;
       }
       case Kind::ParticipantReceivedBeat: {
-        joining_[static_cast<std::size_t>(e.node)] = 0;
         const bool first = delivered_[e.msg_id]++ == 0;
         pending_[static_cast<std::size_t>(e.node)] =
             Pending{e.msg_id, !first, e.at, true};
@@ -276,15 +272,6 @@ class IdObservationBuilder {
           return;
         }
         const SendRec& s = it->second;
-        if (s.kind == SendKind::JoinBeat &&
-            joining_[static_cast<std::size_t>(s.node)] == 0) {
-          // Stale join beat: the sender joined (or left) while it was in
-          // flight. The model voids it silently (jch void_join); the
-          // engine's coordinator processes it, which is exactly the
-          // divergence a failing replay should pin further down the
-          // trace if it ever becomes observable.
-          return;
-        }
         const bool first = delivered_[c]++ == 0;
         if (!first) return;  // duplicate delivery
         Obs o = base_observation(e);
@@ -316,16 +303,8 @@ class IdObservationBuilder {
         return;
       }
       case Kind::ParticipantRejoined:
-        joining_[static_cast<std::size_t>(e.node)] = 1;
-        push_internal(e);
-        return;
       case Kind::ParticipantInactivated:
       case Kind::ParticipantCrashed:
-        // A crashed/inactivated sender leaves the join phase for good: a
-        // join beat of his still in flight is void in the model (the
-        // deliver_join guard needs the sender in l_joining), so its
-        // later delivery must not become an observation.
-        joining_[static_cast<std::size_t>(e.node)] = 0;
         push_internal(e);
         return;
       case Kind::CoordinatorInactivated:
@@ -341,7 +320,6 @@ class IdObservationBuilder {
   std::unordered_map<std::uint64_t, std::uint64_t> alias_;
   std::unordered_map<std::uint64_t, std::uint64_t> response_to_;
   std::unordered_map<std::uint64_t, int> delivered_;
-  std::vector<char> joining_;     // index: node id
   std::vector<Pending> pending_;  // index: node id
   std::vector<Window> windows_;
 };

@@ -113,11 +113,11 @@ constexpr Time earliest_rejoin(Time left_at, const Timing& t) {
 }
 
 // ---------------------------------------------------------------------------
-// Runtime-monitor slack laws (chaos layer)
+// Runtime-monitor slack laws (rv layer)
 // ---------------------------------------------------------------------------
 //
 // The R1–R3 verdict predicates below answer whether a requirement holds
-// at *every* execution of a timing; the runtime monitors of src/chaos
+// at *every* execution of a timing; the runtime monitors of src/rv
 // instead need per-execution deadlines that are *sound* for any fault
 // sequence inside the channel assumptions yet still violable by
 // out-of-spec faults. These laws give that slack in closed form.
@@ -167,6 +167,34 @@ constexpr Time r3_detection_slack(const Timing& t, Variant v, bool fixed) {
 /// hop by hop.
 constexpr Time r2_explanation_window(const Timing& t, Variant v, bool fixed) {
   return r1_detection_slack(t, v) + r3_detection_slack(t, v, fixed);
+}
+
+/// Suspicion-ladder earliest-detection slack: the coordinator counts a
+/// missed round for a member at most once per round, and while it is
+/// active consecutive round closes are at least tmin apart (the round
+/// length never drops below tmin without forcing inactivation) — so
+/// `misses` consecutive missed rounds cannot have accumulated earlier
+/// than `misses * tmin` after the member's last registered beat. A
+/// suspicion level reached sooner means the rounds closed faster than
+/// the protocol allows (a drifting coordinator clock — the negative
+/// control of rv::SuspicionMonitor).
+constexpr Time suspicion_earliest_slack(const Timing& t, int misses) {
+  return static_cast<Time>(misses) * t.tmin;
+}
+
+/// Suspicion-ladder detection bound: once a member stops beating at
+/// global time S, the coordinator must have counted `misses` missed
+/// rounds for it — or have stopped itself — by S +
+/// suspicion_detection_bound. Budget: tmin for the member's in-flight
+/// replies to drain, up to tmax until the round the last reply lands in
+/// closes (a miss is only counted from the next close on), then one
+/// close per miss, each at most tmax later. Sound for any in-spec fault
+/// sequence because a silent member also drags the coordinator's
+/// acceleration ladder dry: whenever the ladder inactivates the
+/// coordinator first, the obligation is discharged, and that always
+/// happens within this same budget.
+constexpr Time suspicion_detection_bound(const Timing& t, int misses) {
+  return t.tmin + (static_cast<Time>(misses) + 1) * t.tmax;
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,154 @@
+#include "rv/availability.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "hb/types.hpp"
+#include "util/contracts.hpp"
+
+namespace ahb::rv {
+
+AvailabilitySummary& AvailabilitySummary::operator+=(
+    const AvailabilitySummary& other) {
+  up_time += other.up_time;
+  down_time += other.down_time;
+  recoveries += other.recoveries;
+  detections += other.detections;
+  detection_total += other.detection_total;
+  detection_max = std::max(detection_max, other.detection_max);
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    detection_hist[b] += other.detection_hist[b];
+  }
+  return *this;
+}
+
+double AvailabilitySummary::up_fraction() const {
+  const Time total = up_time + down_time;
+  if (total <= 0) return 1.0;
+  return static_cast<double>(up_time) / static_cast<double>(total);
+}
+
+AvailabilityStats::AvailabilityStats(int participants)
+    : participants_(participants) {
+  AHB_EXPECTS(participants >= 1);
+  const auto slots = static_cast<std::size_t>(participants) + 1;
+  up_since_.assign(slots, 0);  // every node is up from the start
+  down_since_.assign(slots, hb::kNever);
+  up_acc_.assign(slots, 0);
+  down_acc_.assign(slots, 0);
+  recoveries_.assign(slots, 0);
+}
+
+std::uint32_t AvailabilityStats::protocol_interest() const {
+  using Kind = hb::ProtocolEvent::Kind;
+  return protocol_bit(Kind::CoordinatorInactivated) |
+         protocol_bit(Kind::CoordinatorCrashed) |
+         protocol_bit(Kind::CoordinatorReceivedLeave) |
+         protocol_bit(Kind::ParticipantInactivated) |
+         protocol_bit(Kind::ParticipantCrashed) |
+         protocol_bit(Kind::ParticipantLeft) |
+         protocol_bit(Kind::ParticipantRejoined);
+}
+
+void AvailabilityStats::on_protocol_event(const hb::ProtocolEvent& event) {
+  ++events_seen_;
+  const Time at = event.at;
+  const auto idx = static_cast<std::size_t>(event.node);
+  using Kind = hb::ProtocolEvent::Kind;
+  switch (event.kind) {
+    case Kind::CoordinatorInactivated:
+      // The coordinator acting on total silence: one latency sample per
+      // participant it was still to account for.
+      for (int i = 1; i <= participants_; ++i) {
+        const Time since = down_since_[static_cast<std::size_t>(i)];
+        if (since != hb::kNever) sample_detection(at - since);
+      }
+      node_down(0, at);
+      break;
+    case Kind::CoordinatorCrashed:
+      node_down(0, at);
+      break;
+    case Kind::CoordinatorReceivedLeave:
+      // The leave beat landing is the coordinator noticing the
+      // departure.
+      if (down_since_[idx] != hb::kNever) {
+        sample_detection(at - down_since_[idx]);
+      }
+      break;
+    case Kind::ParticipantInactivated:
+    case Kind::ParticipantCrashed:
+    case Kind::ParticipantLeft:
+      node_down(event.node, at);
+      break;
+    case Kind::ParticipantRejoined:
+      node_up(event.node, at);
+      break;
+    default:
+      break;
+  }
+}
+
+void AvailabilityStats::node_down(int node, Time at) {
+  const auto idx = static_cast<std::size_t>(node);
+  if (up_since_[idx] == hb::kNever) return;  // already down
+  up_acc_[idx] += at - up_since_[idx];
+  up_since_[idx] = hb::kNever;
+  down_since_[idx] = at;
+}
+
+void AvailabilityStats::node_up(int node, Time at) {
+  const auto idx = static_cast<std::size_t>(node);
+  if (down_since_[idx] == hb::kNever) return;  // already up
+  down_acc_[idx] += at - down_since_[idx];
+  down_since_[idx] = hb::kNever;
+  up_since_[idx] = at;
+  ++recoveries_[idx];
+}
+
+void AvailabilityStats::sample_detection(Time latency) {
+  if (latency < 0) latency = 0;
+  ++summary_.detections;
+  summary_.detection_total += latency;
+  summary_.detection_max = std::max(summary_.detection_max, latency);
+  const auto bucket = std::min<std::size_t>(
+      static_cast<std::size_t>(
+          std::bit_width(static_cast<std::uint64_t>(latency))),
+      AvailabilitySummary::kBuckets - 1);
+  ++summary_.detection_hist[bucket];
+}
+
+void AvailabilityStats::finish(Time horizon) {
+  if (finished_) return;
+  finished_ = true;
+  for (int node = 0; node <= participants_; ++node) {
+    const auto idx = static_cast<std::size_t>(node);
+    if (up_since_[idx] != hb::kNever && horizon > up_since_[idx]) {
+      up_acc_[idx] += horizon - up_since_[idx];
+      up_since_[idx] = horizon;
+    }
+    if (down_since_[idx] != hb::kNever && horizon > down_since_[idx]) {
+      down_acc_[idx] += horizon - down_since_[idx];
+      down_since_[idx] = horizon;
+    }
+    summary_.up_time += up_acc_[idx];
+    summary_.down_time += down_acc_[idx];
+    summary_.recoveries += recoveries_[idx];
+  }
+}
+
+Time AvailabilityStats::up_time(int node) const {
+  AHB_EXPECTS(node >= 0 && node <= participants_);
+  return up_acc_[static_cast<std::size_t>(node)];
+}
+
+Time AvailabilityStats::down_time(int node) const {
+  AHB_EXPECTS(node >= 0 && node <= participants_);
+  return down_acc_[static_cast<std::size_t>(node)];
+}
+
+std::uint64_t AvailabilityStats::recoveries(int node) const {
+  AHB_EXPECTS(node >= 0 && node <= participants_);
+  return recoveries_[static_cast<std::size_t>(node)];
+}
+
+}  // namespace ahb::rv

@@ -1,0 +1,74 @@
+// AvailabilityStats: a scoring sink for long campaigns.
+//
+// Where RequirementMonitor and SuspicionMonitor answer pass/fail,
+// this sink accumulates *how well* a run went: per-node up/down
+// intervals (a node is up from start until it crashes, leaves or
+// NV-inactivates, and up again from a rejoin), recovery counts, and a
+// power-of-two histogram of detection latencies — the gap between a
+// participant stopping and the coordinator acting on it (NV-
+// inactivating, or registering the leave beat). Campaigns sum the
+// summaries across runs; the benches surface them as JSON.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "rv/event_sink.hpp"
+
+namespace ahb::rv {
+
+struct AvailabilitySummary {
+  static constexpr std::size_t kBuckets = 20;
+
+  Time up_time = 0;    ///< summed over nodes (coordinator included)
+  Time down_time = 0;
+  std::uint64_t recoveries = 0;  ///< rejoins observed
+  std::uint64_t detections = 0;  ///< detection-latency samples
+  Time detection_total = 0;      ///< sum of sampled latencies
+  Time detection_max = 0;
+  /// detection_hist[b] counts samples with bit_width(latency) == b,
+  /// i.e. latency in [2^(b-1), 2^b); bucket 0 is latency 0; the last
+  /// bucket absorbs everything larger.
+  std::array<std::uint64_t, kBuckets> detection_hist{};
+
+  AvailabilitySummary& operator+=(const AvailabilitySummary& other);
+  /// Fraction of node-time spent up; 1.0 for an empty summary.
+  double up_fraction() const;
+};
+
+class AvailabilityStats final : public EventSink {
+ public:
+  explicit AvailabilityStats(int participants);
+
+  std::uint32_t protocol_interest() const override;
+  void on_protocol_event(const hb::ProtocolEvent& event) override;
+  /// Closes every open up/down interval at `horizon` and freezes the
+  /// summary.
+  void finish(Time horizon) override;
+
+  const AvailabilitySummary& summary() const { return summary_; }
+  std::uint64_t events_seen() const { return events_seen_; }
+
+  // Per-node views (valid after finish), for tests and reports.
+  Time up_time(int node) const;
+  Time down_time(int node) const;
+  std::uint64_t recoveries(int node) const;
+
+ private:
+  void node_down(int node, Time at);
+  void node_up(int node, Time at);
+  void sample_detection(Time latency);
+
+  int participants_;
+  std::vector<Time> up_since_;    ///< kNever = currently down
+  std::vector<Time> down_since_;  ///< kNever = currently up
+  std::vector<Time> up_acc_;
+  std::vector<Time> down_acc_;
+  std::vector<std::uint64_t> recoveries_;
+  AvailabilitySummary summary_;
+  std::uint64_t events_seen_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace ahb::rv

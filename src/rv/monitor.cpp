@@ -1,13 +1,15 @@
-#include "chaos/monitor.hpp"
+#include "rv/monitor.hpp"
 
 #include <cinttypes>
 #include <cstdio>
 #include <limits>
 
-#include "proto/timing.hpp"
+#include "hb/cluster.hpp"
+#include "hb/cluster_scale.hpp"
+#include "hb/types.hpp"
 #include "util/contracts.hpp"
 
-namespace ahb::chaos {
+namespace ahb::rv {
 
 namespace {
 
@@ -25,11 +27,14 @@ std::string describe(const char* what, Time deadline) {
 
 MonitorBounds MonitorBounds::defaults(const proto::Timing& timing,
                                       proto::Variant variant,
-                                      bool fixed_bounds) {
+                                      bool fixed_bounds,
+                                      int suspect_after_misses) {
   return MonitorBounds{
       proto::r1_detection_slack(timing, variant),
       proto::r2_explanation_window(timing, variant, fixed_bounds),
       proto::r3_detection_slack(timing, variant, fixed_bounds),
+      timing.tmin,
+      proto::suspicion_detection_bound(timing, suspect_after_misses),
   };
 }
 
@@ -42,7 +47,12 @@ std::string Violation::key() const {
 
 RequirementMonitor::RequirementMonitor(const Config& config,
                                        const MonitorBounds& bounds)
-    : config_(config), bounds_(bounds), last_explanation_(kLongAgo) {
+    : config_(config),
+      bounds_(bounds),
+      coordinator_stopped_at_(hb::kNever),
+      r1_deadline_(hb::kNever),
+      last_explanation_(kLongAgo),
+      earliest_deadline_(hb::kNever) {
   AHB_EXPECTS(config.participants >= 1);
   AHB_EXPECTS(config.timing.valid());
   const auto n = static_cast<std::size_t>(config.participants);
@@ -52,16 +62,49 @@ RequirementMonitor::RequirementMonitor(const Config& config,
   // variants register on the first delivered join beat.
   registered_.assign(n + 1, !proto::variant_joins(config.variant));
   registered_[0] = false;
+  live_count_ = config.participants;
+  registered_count_ =
+      proto::variant_joins(config.variant) ? 0 : config.participants;
 }
 
 void RequirementMonitor::attach(hb::Cluster& cluster) {
-  cluster.on_protocol_event(
-      [this](const hb::ProtocolEvent& event) { on_protocol_event(event); });
-  cluster.network().on_channel_event(
-      [this](const sim::ChannelEvent& event) { on_channel_event(event); });
+  cluster.add_sink(this);
+}
+
+void RequirementMonitor::attach(hb::ScaleCluster& cluster) {
+  cluster.add_sink(this);
+}
+
+bool RequirementMonitor::coordinator_live() const {
+  return coordinator_stopped_at_ == hb::kNever;
+}
+
+std::uint32_t RequirementMonitor::protocol_interest() const {
+  // Steady-state traffic (beats, replies, join beats, deliveries to
+  // participants) carries no R1–R3 information: obligations are armed
+  // and discharged only by membership transitions and stops, so those
+  // are the only kinds worth paying for at line rate. Filtering the hot
+  // kinds can only delay the *detection* instant of a missed deadline
+  // (the `at` of a violation), never its existence, deadline, node or
+  // order — the key() identity shrinking relies on is unchanged.
+  using Kind = hb::ProtocolEvent::Kind;
+  return protocol_bit(Kind::CoordinatorReceivedBeat) |
+         protocol_bit(Kind::CoordinatorReceivedLeave) |
+         protocol_bit(Kind::CoordinatorInactivated) |
+         protocol_bit(Kind::CoordinatorCrashed) |
+         protocol_bit(Kind::ParticipantInactivated) |
+         protocol_bit(Kind::ParticipantCrashed) |
+         protocol_bit(Kind::ParticipantLeft) |
+         protocol_bit(Kind::ParticipantRejoined);
+}
+
+std::uint32_t RequirementMonitor::channel_interest() const {
+  return channel_bit(sim::ChannelEvent::Kind::Lost) |
+         channel_bit(sim::ChannelEvent::Kind::Blocked);
 }
 
 void RequirementMonitor::on_channel_event(const sim::ChannelEvent& event) {
+  ++events_seen_;
   switch (event.kind) {
     case sim::ChannelEvent::Kind::Lost:
     case sim::ChannelEvent::Kind::Blocked:
@@ -77,6 +120,7 @@ void RequirementMonitor::on_channel_event(const sim::ChannelEvent& event) {
 }
 
 void RequirementMonitor::on_protocol_event(const hb::ProtocolEvent& event) {
+  ++events_seen_;
   // Missed deadlines are detected by the first event after them, so the
   // check precedes the event's own effect: a discharge arriving *past*
   // its deadline is a (late-detection) violation, not a discharge.
@@ -87,11 +131,17 @@ void RequirementMonitor::on_protocol_event(const hb::ProtocolEvent& event) {
   using Kind = hb::ProtocolEvent::Kind;
   switch (event.kind) {
     case Kind::CoordinatorReceivedBeat:
-      registered_[static_cast<std::size_t>(node)] = true;
+      if (!registered_[static_cast<std::size_t>(node)]) {
+        registered_[static_cast<std::size_t>(node)] = true;
+        ++registered_count_;
+      }
       update_r1(at);
       break;
     case Kind::CoordinatorReceivedLeave:
-      registered_[static_cast<std::size_t>(node)] = false;
+      if (registered_[static_cast<std::size_t>(node)]) {
+        registered_[static_cast<std::size_t>(node)] = false;
+        --registered_count_;
+      }
       update_r1(at);
       break;
     case Kind::CoordinatorInactivated:
@@ -105,6 +155,7 @@ void RequirementMonitor::on_protocol_event(const hb::ProtocolEvent& event) {
       for (int i = 1; i <= config_.participants; ++i) {
         if (stopped_at_[static_cast<std::size_t>(i)] == hb::kNever) {
           r3_deadline_[static_cast<std::size_t>(i)] = at + bounds_.r3_slack;
+          arm(at + bounds_.r3_slack);
         }
       }
       last_explanation_ = at;
@@ -115,6 +166,7 @@ void RequirementMonitor::on_protocol_event(const hb::ProtocolEvent& event) {
       for (int i = 1; i <= config_.participants; ++i) {
         if (stopped_at_[static_cast<std::size_t>(i)] == hb::kNever) {
           r3_deadline_[static_cast<std::size_t>(i)] = at + bounds_.r3_slack;
+          arm(at + bounds_.r3_slack);
         }
       }
       last_explanation_ = at;
@@ -135,11 +187,18 @@ void RequirementMonitor::on_protocol_event(const hb::ProtocolEvent& event) {
       stop_participant(node, at);
       break;
     case Kind::ParticipantRejoined:
-      stopped_at_[static_cast<std::size_t>(node)] = hb::kNever;
+      if (stopped_at_[static_cast<std::size_t>(node)] != hb::kNever) {
+        stopped_at_[static_cast<std::size_t>(node)] = hb::kNever;
+        ++live_count_;
+      }
       // A reincarnation starts a fresh join phase; if the coordinator
       // is already gone it must give up within the join slack.
-      r3_deadline_[static_cast<std::size_t>(node)] =
-          coordinator_live() ? hb::kNever : at + bounds_.r3_slack;
+      if (coordinator_live()) {
+        r3_deadline_[static_cast<std::size_t>(node)] = hb::kNever;
+      } else {
+        r3_deadline_[static_cast<std::size_t>(node)] = at + bounds_.r3_slack;
+        arm(at + bounds_.r3_slack);
+      }
       update_r1(at);
       break;
     default:
@@ -148,6 +207,9 @@ void RequirementMonitor::on_protocol_event(const hb::ProtocolEvent& event) {
 }
 
 void RequirementMonitor::stop_participant(int id, Time at) {
+  if (stopped_at_[static_cast<std::size_t>(id)] == hb::kNever) {
+    --live_count_;
+  }
   stopped_at_[static_cast<std::size_t>(id)] = at;
   r3_deadline_[static_cast<std::size_t>(id)] = hb::kNever;
   last_explanation_ = at;
@@ -162,39 +224,52 @@ void RequirementMonitor::update_r1(Time now) {
   // unregistered joiner, whose next join beat would re-register it)
   // legitimately keeps the coordinator alive; a leave delivered after
   // the last stop can empty the registered set and void the obligation.
-  bool any_registered = false;
-  bool all_stopped = true;
-  for (int i = 1; i <= config_.participants; ++i) {
-    any_registered = any_registered || registered_[static_cast<std::size_t>(i)];
-    all_stopped =
-        all_stopped && stopped_at_[static_cast<std::size_t>(i)] != hb::kNever;
-  }
-  const bool obliged = coordinator_live() && any_registered && all_stopped;
+  const bool obliged =
+      coordinator_live() && registered_count_ > 0 && live_count_ == 0;
   if (!obliged) {
     r1_deadline_ = hb::kNever;
   } else if (r1_deadline_ == hb::kNever && !r1_fired_) {
     r1_deadline_ = now + bounds_.r1_slack;
+    arm(r1_deadline_);
   }
 }
 
+void RequirementMonitor::arm(Time deadline) {
+  if (deadline < earliest_deadline_) earliest_deadline_ = deadline;
+}
+
 void RequirementMonitor::check_deadlines(Time now) {
-  if (r1_deadline_ != hb::kNever && now > r1_deadline_) {
-    violations_.push_back(Violation{
-        1, 0, now, r1_deadline_,
-        describe("coordinator failed to detect total silence", r1_deadline_)});
-    r1_deadline_ = hb::kNever;
-    r1_fired_ = true;
+  // The watermark is a lower bound on every armed deadline (discharges
+  // leave it stale), so `now` at or below it proves nothing has fired.
+  if (now <= earliest_deadline_) return;
+  Time earliest = hb::kNever;
+  if (r1_deadline_ != hb::kNever) {
+    if (now > r1_deadline_) {
+      violations_.push_back(Violation{
+          1, 0, now, r1_deadline_,
+          describe("coordinator failed to detect total silence",
+                   r1_deadline_)});
+      r1_deadline_ = hb::kNever;
+      r1_fired_ = true;
+    } else {
+      earliest = r1_deadline_;
+    }
   }
   for (int i = 1; i <= config_.participants; ++i) {
     Time& deadline = r3_deadline_[static_cast<std::size_t>(i)];
-    if (deadline != hb::kNever && now > deadline) {
+    if (deadline == hb::kNever) continue;
+    if (now > deadline) {
       char buf[96];
       std::snprintf(buf, sizeof buf,
                     "participant %d failed to detect the coordinator stop", i);
-      violations_.push_back(Violation{3, i, now, deadline, describe(buf, deadline)});
+      violations_.push_back(
+          Violation{3, i, now, deadline, describe(buf, deadline)});
       deadline = hb::kNever;
+    } else if (deadline < earliest) {
+      earliest = deadline;
     }
   }
+  earliest_deadline_ = earliest;
 }
 
 void RequirementMonitor::finish(Time horizon) {
@@ -203,4 +278,4 @@ void RequirementMonitor::finish(Time horizon) {
   check_deadlines(horizon);
 }
 
-}  // namespace ahb::chaos
+}  // namespace ahb::rv

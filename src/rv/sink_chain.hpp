@@ -1,0 +1,137 @@
+// SinkChain: the engines' fan-out point for runtime-verification sinks,
+// plus the CallbackSink adapter that keeps the legacy std::function
+// observer API alive on top of it.
+//
+// The chain caches each sink's interest masks at registration and the
+// OR of all of them, so an engine's emit path is
+//
+//   if (sinks_.wants(kind)) sinks_.emit(Event{...});
+//
+// — one AND per emitted kind when nothing is listening, one extra
+// cached-mask AND per registered sink when something is. Registration
+// is not thread-safe and must happen before the run starts; delivery is
+// single-threaded (the simulator's callback discipline).
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "rv/event_sink.hpp"
+#include "util/contracts.hpp"
+
+namespace ahb::rv {
+
+class SinkChain {
+ public:
+  /// Registers `sink` (not owned; must outlive the chain or be removed
+  /// by destroying the chain first). Delivery order is registration
+  /// order.
+  void add(EventSink* sink) {
+    AHB_EXPECTS(sink != nullptr);
+    entries_.push_back(Entry{sink, 0, 0});
+    refresh();
+  }
+
+  /// Re-caches every sink's interest masks. Call after a sink's
+  /// interests change (e.g. a callback adapter gained a callback).
+  void refresh() {
+    protocol_mask_ = 0;
+    channel_mask_ = 0;
+    for (Entry& entry : entries_) {
+      entry.protocol_mask = entry.sink->protocol_interest();
+      entry.channel_mask = entry.sink->channel_interest();
+      protocol_mask_ |= entry.protocol_mask;
+      channel_mask_ |= entry.channel_mask;
+    }
+  }
+
+  bool wants(hb::ProtocolEvent::Kind kind) const {
+    return (protocol_mask_ & protocol_bit(kind)) != 0;
+  }
+  bool wants(sim::ChannelEvent::Kind kind) const {
+    return (channel_mask_ & channel_bit(kind)) != 0;
+  }
+  std::uint32_t protocol_mask() const { return protocol_mask_; }
+  std::uint32_t channel_mask() const { return channel_mask_; }
+  bool empty() const { return entries_.empty(); }
+
+  void emit(const hb::ProtocolEvent& event) {
+    const std::uint32_t bit = protocol_bit(event.kind);
+    for (Entry& entry : entries_) {
+      if ((entry.protocol_mask & bit) != 0) entry.sink->on_protocol_event(event);
+    }
+  }
+
+  void emit(const sim::ChannelEvent& event) {
+    const std::uint32_t bit = channel_bit(event.kind);
+    for (Entry& entry : entries_) {
+      if ((entry.channel_mask & bit) != 0) entry.sink->on_channel_event(event);
+    }
+  }
+
+  void finish(Time horizon) {
+    for (Entry& entry : entries_) entry.sink->finish(horizon);
+  }
+
+ private:
+  struct Entry {
+    EventSink* sink;
+    std::uint32_t protocol_mask;
+    std::uint32_t channel_mask;
+  };
+
+  std::vector<Entry> entries_;
+  std::uint32_t protocol_mask_ = 0;
+  std::uint32_t channel_mask_ = 0;
+};
+
+/// Adapter sink behind the engines' legacy lambda observers
+/// (on_protocol_event / on_inactivation / on_channel_event). Its
+/// interest masks are exactly what the installed callbacks need, so a
+/// cluster with no observers keeps a zero mask and the hot path skips
+/// event construction entirely — the pre-refactor behaviour of the
+/// `if (event_cb_)` gate.
+class CallbackSink final : public EventSink {
+ public:
+  void set_protocol(std::function<void(const hb::ProtocolEvent&)> fn) {
+    protocol_fn_ = std::move(fn);
+  }
+  void set_channel(std::function<void(const sim::ChannelEvent&)> fn) {
+    channel_fn_ = std::move(fn);
+  }
+  void set_inactivation(std::function<void(int, Time)> fn) {
+    inactivation_fn_ = std::move(fn);
+  }
+
+  std::uint32_t protocol_interest() const override {
+    std::uint32_t mask = protocol_fn_ ? kAllProtocolEvents : 0;
+    if (inactivation_fn_) {
+      mask |= protocol_bit(hb::ProtocolEvent::Kind::CoordinatorInactivated) |
+              protocol_bit(hb::ProtocolEvent::Kind::ParticipantInactivated);
+    }
+    return mask;
+  }
+  std::uint32_t channel_interest() const override {
+    return channel_fn_ ? kAllChannelEvents : 0;
+  }
+
+  void on_protocol_event(const hb::ProtocolEvent& event) override {
+    if (protocol_fn_) protocol_fn_(event);
+    if (inactivation_fn_ &&
+        (event.kind == hb::ProtocolEvent::Kind::CoordinatorInactivated ||
+         event.kind == hb::ProtocolEvent::Kind::ParticipantInactivated)) {
+      inactivation_fn_(event.node, event.at);
+    }
+  }
+  void on_channel_event(const sim::ChannelEvent& event) override {
+    if (channel_fn_) channel_fn_(event);
+  }
+
+ private:
+  std::function<void(const hb::ProtocolEvent&)> protocol_fn_;
+  std::function<void(const sim::ChannelEvent&)> channel_fn_;
+  std::function<void(int, Time)> inactivation_fn_;
+};
+
+}  // namespace ahb::rv

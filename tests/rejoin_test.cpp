@@ -101,13 +101,17 @@ TEST(RejoinModel, RejoinRegistrationRestartsWaitingTimeFromTmax) {
   // sees rcvd set (the join beat sets it), and next_wait(received=true)
   // resets tm regardless — so no trace can detect the reset. The state
   // space can: without it, departed-and-rejoined runs drag decayed tm
-  // values through otherwise-identical states (111,285 reachable states
-  // instead of 102,765 at this point).
+  // values through otherwise-identical states. The pinned count also
+  // guards the stale-join adjudication: since deliver_join lost its
+  // l_joining guard (engine semantics: any flag message registers), the
+  // reachable set includes stale re-registration runs and their
+  // stale_join latch — 229,528 states here, up from 102,765 under the
+  // old voiding guard.
   const auto model =
       HeartbeatModel::build(Flavor::Dynamic, rejoin_options(2, 10, false));
   mc::Explorer ex{model.net()};
   const auto stats = ex.explore_all();
-  EXPECT_EQ(stats.states, 102765u);
+  EXPECT_EQ(stats.states, 229528u);
 }
 
 TEST(RejoinModel, UnfixedVerdictsMatchDynamicOracle) {
