@@ -45,9 +45,7 @@ void run_point(Flavor flavor, int tmin, int tmax, const char* focus,
       {"corrected bounds only", false, true},
       {"both (Section 6)", true, true},
   };
-  mc::SearchLimits limits;
-  limits.threads = args.threads;
-  limits.compression = args.compression;
+  const mc::SearchLimits limits = args.limits();
   for (const auto& combo : combos) {
     BuildOptions options;
     options.timing = {tmin, tmax};
@@ -69,7 +67,10 @@ void run_point(Flavor flavor, int tmin, int tmax, const char* focus,
           args.threads,
           std::max({v.r1_stats.store_bytes, v.r2_stats.store_bytes,
                     v.r3_stats.store_bytes}),
-          args.compression);
+          args.compression, args.symmetry, args.por,
+          bench::reduction_factor(
+              v.r1_stats.states + v.r2_stats.states + v.r3_stats.states,
+              v.r1_stats.fused + v.r2_stats.fused + v.r3_stats.fused));
     }
   }
   std::printf("\n");

@@ -31,9 +31,7 @@ void check(BuildOptions::Rejoin mode, const char* name,
   options.rejoin = mode;
   const auto model = models::HeartbeatModel::build(Flavor::Dynamic, options);
   mc::Explorer explorer{model.net()};
-  mc::SearchLimits limits;
-  limits.threads = args.threads;
-  limits.compression = args.compression;
+  const mc::SearchLimits limits = args.limits();
   const auto r2 = explorer.reach(model.r2_violation_any(), limits);
   if (args.json) {
     bench::emit_json_line(
@@ -41,7 +39,8 @@ void check(BuildOptions::Rejoin mode, const char* name,
                   mode == BuildOptions::Rejoin::Naive ? "naive" : "graceful",
                   r2.found ? "violated" : "holds"),
         r2.stats.states, r2.stats.transitions, r2.stats.elapsed.count(),
-        args.threads, r2.stats.store_bytes, args.compression);
+        args.threads, r2.stats.store_bytes, args.compression, args.symmetry,
+        args.por, bench::reduction_factor(r2.stats.states, r2.stats.fused));
   }
   std::printf("--- corrected dynamic protocol + %s rejoin (tmin=tmax=4) ---\n",
               name);

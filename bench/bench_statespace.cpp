@@ -6,13 +6,19 @@
 // With --json the binary bypasses google-benchmark and runs the static
 // protocol's Table-1 parameter sweep (tmax=10, tmin in {1,4,5,9,10}),
 // emitting one JSON line per point plus a total line — the harness the
-// compression acceptance numbers are read from:
+// compression and reduction acceptance numbers are read from:
 //   bench_statespace --json [--threads=N]
-//                    [--compression=none|pack|collapse] [participants]
-// The n=2 sweep visits exactly 33,809,598 states in every mode at
-// --threads=1; only store_bytes moves. (Parallel runs agree with each
-// other but finish the BFS level at the early-exit points, interning a
-// few more states — see DESIGN.md "Parallel exploration".)
+//                    [--compression=none|pack|collapse]
+//                    [--symmetry=none|participants] [--por] [participants]
+// The n=2 sweep visits exactly 33,809,598 states in every compression
+// mode at --threads=1 with reductions off; only store_bytes moves.
+// (Parallel runs agree with each other but finish the BFS level at the
+// early-exit points, interning a few more states — see DESIGN.md
+// "Parallel exploration".) With --symmetry=participants/--por the state
+// counts shrink; the verdicts are then asserted against the proto
+// kernel's closed forms, so a reduction soundness regression fails the
+// bench instead of silently reporting a smaller sweep. Every line also
+// carries peak_rss_bytes so the BENCH trajectory tracks memory.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -22,6 +28,8 @@
 #include "mc/explorer.hpp"
 #include "mc/store.hpp"
 #include "models/heartbeat_model.hpp"
+#include "proto/timing.hpp"
+#include "util/contracts.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
 
@@ -142,12 +150,11 @@ int run_json_sweep(const ahb::bench::BenchArgs& args) {
   const int tmins[] = {1, 4, 5, 9, 10};
   const int tmax = 10;
 
-  mc::SearchLimits limits;
-  limits.threads = args.threads;
-  limits.compression = args.compression;
+  const mc::SearchLimits limits = args.limits();
 
   std::uint64_t total_states = 0;
   std::uint64_t total_transitions = 0;
+  std::uint64_t total_fused = 0;
   double total_seconds = 0;
   std::size_t peak_store_bytes = 0;
   std::string verdict_list;
@@ -157,11 +164,21 @@ int run_json_sweep(const ahb::bench::BenchArgs& args) {
     options.participants = participants;
     const auto v =
         models::verify_requirements(models::Flavor::Static, options, limits);
+    if (args.reduced()) {
+      // Reduced sweeps must reproduce the paper's closed-form verdicts;
+      // a mismatch means a reduction soundness bug, not a measurement.
+      const auto expected = proto::expected_verdicts(
+          models::Flavor::Static, proto::Timing{tmin, tmax});
+      AHB_ASSERT(v.r1 == expected.r1 && v.r2 == expected.r2 &&
+                 v.r3 == expected.r3);
+    }
     const std::uint64_t states =
         v.r1_stats.states + v.r2_stats.states + v.r3_stats.states;
     const std::uint64_t transitions = v.r1_stats.transitions +
                                       v.r2_stats.transitions +
                                       v.r3_stats.transitions;
+    const std::uint64_t fused =
+        v.r1_stats.fused + v.r2_stats.fused + v.r3_stats.fused;
     const double seconds = v.r1_stats.elapsed.count() +
                            v.r2_stats.elapsed.count() +
                            v.r3_stats.elapsed.count();
@@ -170,6 +187,7 @@ int run_json_sweep(const ahb::bench::BenchArgs& args) {
                   v.r3_stats.store_bytes});
     total_states += states;
     total_transitions += transitions;
+    total_fused += fused;
     total_seconds += seconds;
     peak_store_bytes = std::max(peak_store_bytes, store_bytes);
     const std::string verdicts =
@@ -180,24 +198,33 @@ int run_json_sweep(const ahb::bench::BenchArgs& args) {
     std::printf(
         "{\"bench\": \"statespace/static_n%d_tmin%d\", \"states\": %llu, "
         "\"transitions\": %llu, \"seconds\": %.3f, \"threads\": %u, "
-        "\"store_bytes\": %llu, \"compression\": \"%s\", "
-        "\"verdicts\": \"%s\"}\n",
+        "\"store_bytes\": %llu, \"peak_rss_bytes\": %llu, "
+        "\"compression\": \"%s\", \"symmetry\": \"%s\", \"por\": %s, "
+        "\"reduction_factor\": %.2f, \"verdicts\": \"%s\"}\n",
         participants, tmin, static_cast<unsigned long long>(states),
         static_cast<unsigned long long>(transitions), seconds, args.threads,
         static_cast<unsigned long long>(store_bytes),
-        ta::to_string(args.compression), verdicts.c_str());
+        static_cast<unsigned long long>(ahb::bench::peak_rss_bytes()),
+        ta::to_string(args.compression), ta::to_string(args.symmetry),
+        args.por ? "true" : "false",
+        ahb::bench::reduction_factor(states, fused), verdicts.c_str());
   }
   // store_bytes of the total line is the sweep's peak footprint — the
   // number that must shrink >= 3x under collapse vs none.
   std::printf(
       "{\"bench\": \"statespace/static_n%d_total\", \"states\": %llu, "
       "\"transitions\": %llu, \"seconds\": %.3f, \"threads\": %u, "
-      "\"store_bytes\": %llu, \"compression\": \"%s\", "
-      "\"verdicts\": \"%s\"}\n",
+      "\"store_bytes\": %llu, \"peak_rss_bytes\": %llu, "
+      "\"compression\": \"%s\", \"symmetry\": \"%s\", \"por\": %s, "
+      "\"reduction_factor\": %.2f, \"verdicts\": \"%s\"}\n",
       participants, static_cast<unsigned long long>(total_states),
       static_cast<unsigned long long>(total_transitions), total_seconds,
       args.threads, static_cast<unsigned long long>(peak_store_bytes),
-      ta::to_string(args.compression), verdict_list.c_str());
+      static_cast<unsigned long long>(ahb::bench::peak_rss_bytes()),
+      ta::to_string(args.compression), ta::to_string(args.symmetry),
+      args.por ? "true" : "false",
+      ahb::bench::reduction_factor(total_states, total_fused),
+      verdict_list.c_str());
   return 0;
 }
 

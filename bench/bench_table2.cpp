@@ -47,9 +47,7 @@ void run_flavor(Flavor flavor, int participants, const BenchArgs& args) {
   for (int tmin : tmins) std::printf(" %3d", tmin);
   std::printf("   paper\n");
 
-  ahb::mc::SearchLimits limits;
-  limits.threads = args.threads;
-  limits.compression = args.compression;
+  const ahb::mc::SearchLimits limits = args.limits();
   std::vector<Verdicts> verdicts;
   std::uint64_t total_states = 0;
   double total_seconds = 0;
@@ -74,12 +72,15 @@ void run_flavor(Flavor flavor, int participants, const BenchArgs& args) {
       const std::size_t store_bytes =
           std::max({v.r1_stats.store_bytes, v.r2_stats.store_bytes,
                     v.r3_stats.store_bytes});
+      const std::uint64_t fused =
+          v.r1_stats.fused + v.r2_stats.fused + v.r3_stats.fused;
       ahb::bench::emit_json_line(
           ahb::strprintf("table2/%s_n%d_tmin%d",
                          ahb::models::to_string(flavor), participants,
                          tmin),
           states, transitions, seconds, args.threads, store_bytes,
-          args.compression);
+          args.compression, args.symmetry, args.por,
+          ahb::bench::reduction_factor(states, fused));
     }
   }
 

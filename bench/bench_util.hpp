@@ -1,10 +1,12 @@
 // Shared command-line handling for the table/figure reproduction
 // binaries: a --threads=N knob for the parallel explorer, a
 // --compression=none|pack|collapse knob for the state-store encoding,
+// --symmetry=none|participants / --por knobs for the reduced searches,
 // and a --json mode that emits one machine-readable line per measured
 // configuration,
 //   {"bench": "...", "states": S, "transitions": T, "seconds": X.XXX,
-//    "threads": N, "store_bytes": B, "compression": "none"}
+//    "threads": N, "store_bytes": B, "compression": "none",
+//    "symmetry": "none", "por": false, "reduction_factor": 1.00}
 // so sweep scripts can diff runs without scraping the human tables.
 #pragma once
 
@@ -15,6 +17,9 @@
 #include <functional>
 #include <string>
 
+#include <sys/resource.h>
+
+#include "mc/explorer.hpp"
 #include "sim/network.hpp"
 #include "ta/codec.hpp"
 
@@ -26,6 +31,29 @@ struct BenchArgs {
   int participants = 0;  ///< first positional argument, when given
   /// SearchLimits::compression; affects store_bytes only, never verdicts.
   ta::Compression compression = ta::Compression::None;
+  /// SearchLimits::symmetry; verdict-preserving orbit quotient.
+  ta::Symmetry symmetry = ta::Symmetry::None;
+  /// SearchLimits::por; verdict-preserving ample-set reduction.
+  bool por = false;
+  /// SearchLimits::max_states override; 0 keeps the engine default.
+  /// Deep sweeps (n >= 3) need more head-room than the 200M default.
+  std::uint64_t max_states = 0;
+
+  bool reduced() const {
+    return por || symmetry != ta::Symmetry::None;
+  }
+
+  /// The SearchLimits every bench passes to the checker, so the knobs
+  /// stay uniform across binaries.
+  mc::SearchLimits limits() const {
+    mc::SearchLimits l;
+    l.threads = threads;
+    l.compression = compression;
+    l.symmetry = symmetry;
+    l.por = por;
+    if (max_states != 0) l.max_states = max_states;
+    return l;
+  }
 };
 
 /// Binary-specific flag hook: return true when `arg` was consumed.
@@ -58,6 +86,20 @@ inline BenchArgs parse_bench_args(int argc, char** argv,
         std::fprintf(stderr, "unknown --compression mode \"%s\"\n", mode);
         std::exit(2);
       }
+    } else if (std::strncmp(arg, "--symmetry=", 11) == 0) {
+      const char* mode = arg + 11;
+      if (std::strcmp(mode, "none") == 0) {
+        args.symmetry = ta::Symmetry::None;
+      } else if (std::strcmp(mode, "participants") == 0) {
+        args.symmetry = ta::Symmetry::Participants;
+      } else {
+        std::fprintf(stderr, "unknown --symmetry mode \"%s\"\n", mode);
+        std::exit(2);
+      }
+    } else if (std::strcmp(arg, "--por") == 0) {
+      args.por = true;
+    } else if (std::strncmp(arg, "--max-states=", 13) == 0) {
+      args.max_states = std::strtoull(arg + 13, nullptr, 10);
     } else if (extra && extra(arg)) {
       // consumed by the binary's own flag set
     } else if (arg[0] != '-') {
@@ -65,7 +107,9 @@ inline BenchArgs parse_bench_args(int argc, char** argv,
     } else {
       std::fprintf(stderr,
                    "usage: %s [--json] [--threads=N] "
-                   "[--compression=none|pack|collapse] [participants]%s%s\n",
+                   "[--compression=none|pack|collapse] "
+                   "[--symmetry=none|participants] [--por] "
+                   "[--max-states=N] [participants]%s%s\n",
                    argv[0], *extra_usage ? " " : "", extra_usage);
       std::exit(2);
     }
@@ -73,22 +117,46 @@ inline BenchArgs parse_bench_args(int argc, char** argv,
   return args;
 }
 
+/// Interned-state saving observable within a single reduced run: visited
+/// states (interned + fused-through transients) per interned state. The
+/// symmetry quotient's gain shows up directly in the smaller `states`
+/// figure; cross-mode factors are computed by diffing JSON lines.
+inline double reduction_factor(std::uint64_t states, std::uint64_t fused) {
+  return states == 0
+             ? 1.0
+             : static_cast<double>(states + fused) /
+                   static_cast<double>(states);
+}
+
+/// Peak resident set size of this process so far, in bytes (Linux
+/// getrusage reports kilobytes). 0 when unavailable.
+inline std::size_t peak_rss_bytes() {
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<std::size_t>(usage.ru_maxrss) * 1024;
+}
+
 /// One JSON result line on stdout. `bench` names the configuration,
 /// e.g. "table1/static_n2_tmin5". `store_bytes` is the state-store
 /// footprint of the largest search behind the number (the figure the
-/// compression modes exist to shrink).
+/// compression modes exist to shrink); `reduction_factor` is the
+/// within-run fusion saving (see reduction_factor() above).
 inline void emit_json_line(const std::string& bench, std::uint64_t states,
                            std::uint64_t transitions, double seconds,
                            unsigned threads, std::size_t store_bytes,
-                           ta::Compression compression) {
+                           ta::Compression compression,
+                           ta::Symmetry symmetry = ta::Symmetry::None,
+                           bool por = false, double reduction = 1.0) {
   std::printf(
       "{\"bench\": \"%s\", \"states\": %llu, \"transitions\": %llu, "
       "\"seconds\": %.3f, \"threads\": %u, \"store_bytes\": %llu, "
-      "\"compression\": \"%s\"}\n",
+      "\"compression\": \"%s\", \"symmetry\": \"%s\", \"por\": %s, "
+      "\"reduction_factor\": %.2f}\n",
       bench.c_str(), static_cast<unsigned long long>(states),
       static_cast<unsigned long long>(transitions), seconds, threads,
       static_cast<unsigned long long>(store_bytes),
-      ta::to_string(compression));
+      ta::to_string(compression), ta::to_string(symmetry),
+      por ? "true" : "false", reduction);
 }
 
 /// JSON key/value fragment (no braces) with every channel counter, for

@@ -13,6 +13,15 @@ namespace {
 constexpr std::size_t kInitialTableSize = 1u << 8;
 constexpr std::size_t kInitialCompTableSize = 1u << 6;
 
+/// Full-avalanche mix (splitmix64 finalizer) for inline keys; see the
+/// StateStore twin for why a multiply-only mix is not enough here.
+inline std::uint64_t mix_key(std::uint64_t key) {
+  std::uint64_t h = key;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+  return h ^ (h >> 31);
+}
+
 // Reusable per-thread encode/decode buffers. Sizes differ between store
 // instances, so every use resizes first (a no-op when unchanged).
 thread_local std::vector<std::byte> tl_packed;
@@ -62,7 +71,8 @@ ConcurrentStateStore::ConcurrentStateStore(const ta::StateCodec& codec,
       entry_bytes_ = codec.packed_bytes();
       break;
     case ta::Compression::Collapse:
-      entry_bytes_ = codec.root_bytes();
+      root_fast_ = codec.root_bits() <= 64;
+      entry_bytes_ = root_fast_ ? sizeof(std::uint64_t) : codec.root_bytes();
       break;
   }
   for (auto& shard : shards_) {
@@ -71,7 +81,12 @@ ConcurrentStateStore::ConcurrentStateStore(const ta::StateCodec& codec,
       shard.comps.resize(codec.component_count());
       for (std::size_t c = 0; c < codec.component_count(); ++c) {
         if (codec.component(c).index_bits == 0) continue;
-        shard.comps[c].table.assign(kInitialCompTableSize, kInvalidIndex);
+        if (codec.component(c).key_bits <= 64) {
+          shard.comps[c].fast_table.assign(kInitialCompTableSize,
+                                           CompShard::FastSlot{});
+        } else {
+          shard.comps[c].table.assign(kInitialCompTableSize, kInvalidIndex);
+        }
       }
     }
   }
@@ -100,6 +115,13 @@ std::uint32_t ConcurrentStateStore::probe(const Shard& shard,
   }
 }
 
+std::uint64_t ConcurrentStateStore::entry_hash(const std::byte* entry) const {
+  if (!root_fast_) return hash_bytes({entry, entry_bytes_});
+  std::uint64_t key;
+  std::memcpy(&key, entry, sizeof key);
+  return mix_key(key);
+}
+
 void ConcurrentStateStore::grow_table(Shard& shard) {
   std::vector<std::uint32_t> old = std::move(shard.table);
   shard.table.assign(old.size() * 2, kInvalidIndex);
@@ -109,8 +131,7 @@ void ConcurrentStateStore::grow_table(Shard& shard) {
     const std::uint64_t hash =
         mode_ == ta::Compression::None
             ? shard.hashes[entry]
-            : hash_bytes({shard.arena.entry(entry, entry_bytes_),
-                          entry_bytes_});
+            : entry_hash(shard.arena.entry(entry, entry_bytes_));
     std::size_t i = static_cast<std::size_t>(hash) & mask;
     while (shard.table[i] != kInvalidIndex) i = (i + 1) & mask;
     shard.table[i] = entry;
@@ -154,6 +175,44 @@ std::uint32_t ConcurrentStateStore::comp_intern(
   return index;
 }
 
+std::uint32_t ConcurrentStateStore::comp_intern_fast(Shard& shard,
+                                                     std::size_t c,
+                                                     std::uint64_t key) {
+  CompShard& comp = shard.comps[c];
+  const std::size_t mask = comp.fast_table.size() - 1;
+  std::size_t i = static_cast<std::size_t>(mix_key(key)) & mask;
+  while (true) {
+    const CompShard::FastSlot& slot = comp.fast_table[i];
+    if (slot.index == kInvalidIndex) break;
+    if (slot.key == key) return slot.index;
+    i = (i + 1) & mask;
+  }
+  AHB_ASSERT(comp.count < kMaxPerShard);
+  const auto index = comp.count;
+  // Published keys must be readable lock-free, so they live in the
+  // never-moving arena as 8-byte entries; the probe table may reallocate
+  // (it is only touched under the shard lock).
+  std::memcpy(comp.keys.ensure(index, sizeof(std::uint64_t)), &key,
+              sizeof(std::uint64_t));
+  comp.fast_table[i] = CompShard::FastSlot{key, index};
+  ++comp.count;
+  if (static_cast<std::size_t>(comp.count) * 10 >=
+      comp.fast_table.size() * 7) {
+    std::vector<CompShard::FastSlot> old = std::move(comp.fast_table);
+    comp.fast_table.assign(old.size() * 2, CompShard::FastSlot{});
+    const std::size_t grown_mask = comp.fast_table.size() - 1;
+    for (const auto& slot : old) {
+      if (slot.index == kInvalidIndex) continue;
+      std::size_t j = static_cast<std::size_t>(mix_key(slot.key)) & grown_mask;
+      while (comp.fast_table[j].index != kInvalidIndex) {
+        j = (j + 1) & grown_mask;
+      }
+      comp.fast_table[j] = slot;
+    }
+  }
+  return index;
+}
+
 std::uint64_t ConcurrentStateStore::encode_entry_locked(
     Shard& shard, std::span<const ta::Slot> slots,
     std::span<const std::byte> packed, std::vector<std::byte>& entry,
@@ -169,11 +228,21 @@ std::uint64_t ConcurrentStateStore::encode_entry_locked(
       indices[c] = 0;
       continue;
     }
+    if (comp.key_bits <= 64) {
+      indices[c] =
+          comp_intern_fast(shard, c, codec_->pack_component_key(c, slots));
+      continue;
+    }
     key.resize(comp.key_bytes);
     codec_->pack_component(c, slots, key.data());
     indices[c] = comp_intern(shard, c, {key.data(), comp.key_bytes});
   }
   entry.resize(entry_bytes_);
+  if (root_fast_) {
+    const std::uint64_t root_key = codec_->pack_root_key(indices, slots);
+    std::memcpy(entry.data(), &root_key, sizeof root_key);
+    return mix_key(root_key);
+  }
   codec_->pack_root(indices, slots, entry.data());
   return hash_bytes({entry.data(), entry_bytes_});
 }
@@ -182,14 +251,17 @@ std::pair<std::uint32_t, bool> ConcurrentStateStore::intern(
     std::span<const ta::Slot> slots, std::uint32_t parent) {
   AHB_EXPECTS(slots.size() == stride_);
   // Shard selection must be independent of shard-local encoding, so it
-  // always hashes the canonical image: raw slot bytes (None) or the
-  // codec's bit-packed image (Pack/Collapse). Both are injective.
+  // hashes an injective shard-independent image: the raw slot bytes for
+  // None and Collapse (Collapse used to pay a full bit-pack here just
+  // for the shard hash — a measurable part of its wall-time overhead),
+  // or the bit-packed image for Pack, where packing doubles as the
+  // entry encoding.
   std::uint64_t shard_hash;
-  if (mode_ == ta::Compression::None) {
-    shard_hash = hash_span(slots);
-  } else {
+  if (mode_ == ta::Compression::Pack) {
     tl_packed.resize(codec_->packed_bytes());
     shard_hash = codec_->packed_hash(slots, tl_packed);
+  } else {
+    shard_hash = hash_span(slots);
   }
   const auto shard_id =
       static_cast<std::uint32_t>(shard_hash >> (64 - kShardBits));
@@ -269,9 +341,24 @@ void ConcurrentStateStore::load(std::uint32_t index, ta::State& out) const {
     }
     case ta::Compression::Collapse: {
       tl_indices.resize(codec_->component_count());
-      codec_->unpack_root(entry, tl_indices, out.slots_mut());
+      if (root_fast_) {
+        std::uint64_t root_key;
+        std::memcpy(&root_key, entry, sizeof root_key);
+        codec_->unpack_root_key(root_key, tl_indices, out.slots_mut());
+      } else {
+        codec_->unpack_root(entry, tl_indices, out.slots_mut());
+      }
       for (std::size_t c = 0; c < codec_->component_count(); ++c) {
         const auto& comp = codec_->component(c);
+        if (comp.index_bits != 0 && comp.key_bits <= 64) {
+          std::uint64_t fast_key;
+          std::memcpy(&fast_key,
+                      shard.comps[c].keys.entry(tl_indices[c],
+                                                sizeof(std::uint64_t)),
+                      sizeof(std::uint64_t));
+          codec_->unpack_component_key(c, fast_key, out.slots_mut());
+          continue;
+        }
         // Constant components store nothing: all member fields are
         // zero-width, so the decode never dereferences the key pointer.
         const std::byte* key =
@@ -300,7 +387,8 @@ std::size_t ConcurrentStateStore::memory_bytes() const {
              shard.table.capacity() * sizeof(std::uint32_t);
     for (const auto& comp : shard.comps) {
       bytes += comp.keys.allocated_bytes +
-               comp.table.capacity() * sizeof(std::uint32_t);
+               comp.table.capacity() * sizeof(std::uint32_t) +
+               comp.fast_table.capacity() * sizeof(CompShard::FastSlot);
     }
   }
   return bytes;

@@ -16,12 +16,14 @@
 // StateStore: None stores raw slot bytes plus per-entry hashes
 // (byte-identical to the PR-1 store), Pack stores the codec's bit-packed
 // image, Collapse stores component-index roots with *per-shard*
-// component tables. Shard selection always uses the hash of the
-// bit-packed image (injective, shard-independent), computed before any
-// shard-local encoding; Collapse roots are then encoded and probed under
-// the shard lock against that shard's own component tables, whose key
-// arenas are segmented and never move — so lock-free decode of published
-// states follows the exact same discipline as the state arena itself.
+// component tables. Shard selection hashes a shard-independent injective
+// image of the state before any shard-local encoding: the raw slot bytes
+// for None and Collapse, the codec's bit-packed image for Pack (where it
+// doubles as the stored entry). Collapse roots are then encoded and
+// probed under the shard lock against that shard's own component tables,
+// whose key arenas are segmented and never move — so lock-free decode of
+// published states follows the exact same discipline as the state arena
+// itself.
 //
 // Parent links for shortest-counterexample reconstruction are recorded
 // at intern time, under the same shard lock as the insertion: the first
@@ -125,9 +127,19 @@ class ConcurrentStateStore {
 
   /// Per-shard component intern table (Collapse): guarded by the shard
   /// mutex for writes; key reads of published entries are lock-free.
+  /// Components with a <= 64-bit packed key use the fast path: probe
+  /// slots hold the key inline (one multiply-shift hash, uint64
+  /// compares) and `keys` stores 8-byte entries so published keys still
+  /// decode lock-free out of the never-moving arena. Wider components
+  /// keep the byte path (key_bytes-sized entries, hashed probes).
   struct CompShard {
-    Arena keys;
-    std::vector<std::uint32_t> table;
+    struct FastSlot {
+      std::uint64_t key = 0;
+      std::uint32_t index = kInvalidIndex;  ///< kInvalidIndex = empty
+    };
+    Arena keys;  ///< entry size: 8 (fast path) or key_bytes (spill)
+    std::vector<FastSlot> fast_table;   ///< fast path, guarded by mu
+    std::vector<std::uint32_t> table;   ///< spill path, guarded by mu
     std::uint32_t count = 0;
   };
 
@@ -149,9 +161,14 @@ class ConcurrentStateStore {
 
   std::uint32_t probe(const Shard& shard, std::span<const std::byte> entry,
                       std::uint64_t hash, bool& found) const;
+  /// Table hash of an encoded entry (compressed modes): the inline-key
+  /// mix when the root takes the fast path, the byte hash otherwise.
+  std::uint64_t entry_hash(const std::byte* entry) const;
   void grow_table(Shard& shard);
   std::uint32_t comp_intern(Shard& shard, std::size_t c,
                             std::span<const std::byte> key);
+  std::uint32_t comp_intern_fast(Shard& shard, std::size_t c,
+                                 std::uint64_t key);
 
   /// Encodes `slots` into the caller's buffers per mode_. Must hold the
   /// shard lock in Collapse mode (interns components).
@@ -166,6 +183,11 @@ class ConcurrentStateStore {
   ta::Compression mode_ = ta::Compression::None;
   std::size_t stride_;
   std::size_t entry_bytes_ = 0;  ///< bytes per state entry in the arenas
+  /// Collapse roots of <= 64 bits are stored as inline uint64 entries
+  /// (entry_bytes_ == 8): shift/or packing and a multiply-shift table
+  /// hash replace the bit-window memcpys and byte-wise hashing. Mirrors
+  /// StateStore::root_fast_.
+  bool root_fast_ = false;
   std::atomic<std::size_t> total_{0};
   std::array<Shard, kShardCount> shards_;
 };

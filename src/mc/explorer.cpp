@@ -22,6 +22,12 @@ bool lex_less(std::span<const ta::Slot> a, std::span<const ta::Slot> b) {
   return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
 }
 
+// Committed-chain fusion bound: a chain longer than this interns an
+// intermediate canonical state, which both bounds the recursion and acts
+// as the POR cycle proviso (a committed cycle re-enters the store and
+// terminates through duplicate detection).
+constexpr std::uint32_t kFusionDepthCap = 64;
+
 }  // namespace
 
 Explorer::Explorer(const ta::Network& net) : net_(&net) {
@@ -30,6 +36,13 @@ Explorer::Explorer(const ta::Network& net) : net_(&net) {
 
 SearchResult Explorer::run(const StopFn& stop, const SearchLimits& limits) {
   const unsigned threads = resolve_threads(limits.threads);
+  const bool reduced =
+      limits.por || (limits.symmetry == ta::Symmetry::Participants &&
+                     net_->codec().has_canonicalization());
+  if (reduced) {
+    if (threads == 1) return run_sequential_reduced(stop, limits);
+    return run_parallel_reduced(stop, limits, threads);
+  }
   if (threads == 1) return run_sequential(stop, limits);
   return run_parallel(stop, limits, threads);
 }
@@ -277,6 +290,389 @@ SearchResult Explorer::run_parallel(const StopFn& stop,
   return finish(complete);
 }
 
+SearchResult Explorer::run_sequential_reduced(const StopFn& stop,
+                                              const SearchLimits& limits) {
+  const auto start_time = std::chrono::steady_clock::now();
+  Core core{StateStore{net_->codec(), limits.compression}, {}, 0, 0};
+  const ta::StateCodec& codec = net_->codec();
+  const bool canon = limits.symmetry == ta::Symmetry::Participants &&
+                     codec.has_canonicalization();
+  const bool por = limits.por;
+  std::uint64_t fused = 0;
+
+  SearchResult result;
+  const auto finish = [&](bool complete) {
+    result.complete = complete;
+    result.stats.states = core.store.size();
+    result.stats.transitions = core.transitions;
+    result.stats.depth = core.depth;
+    result.stats.fused = fused;
+    result.stats.store_bytes = core.store.memory_bytes();
+    result.stats.elapsed = std::chrono::steady_clock::now() - start_time;
+    return result;
+  };
+
+  ta::SuccessorScratch scratch;
+  ta::SuccessorScratch stop_scratch;
+  ta::State state_buf;
+  ta::State test_buf;
+  ta::State cur_fused;
+  // Fused-transient worklist: a swap-out stack of reusable State
+  // buffers, so committed-chain expansion allocates only on high-water
+  // growth.
+  std::vector<ta::State> pending_states;
+  std::vector<std::uint32_t> pending_depths;
+  std::size_t pending_top = 0;
+  const auto push_pending = [&](std::span<const ta::Slot> target,
+                                std::uint32_t depth) {
+    if (pending_top < pending_states.size()) {
+      pending_states[pending_top].assign(target);
+      pending_depths[pending_top] = depth;
+    } else {
+      pending_states.emplace_back(target);
+      pending_depths.push_back(depth);
+    }
+    ++pending_top;
+  };
+
+  const ta::State init = net_->initial_state();
+  test_buf.assign(init.slots());
+  if (canon) codec.canonicalize(test_buf.slots_mut());
+  auto [init_index, inserted] = core.store.intern(test_buf);
+  AHB_ASSERT(inserted);
+  core.parent.push_back(StateStore::kInvalidIndex);
+
+  if (stop(init, stop_scratch)) {
+    result.found = true;
+    result.trace.push_back(TraceStep{"", init});
+    return finish(true);
+  }
+
+  enum class Outcome { kRunning, kFound, kLimit };
+  std::deque<std::uint32_t> frontier{init_index};
+  while (!frontier.empty()) {
+    if (limits.max_depth != 0 && core.depth >= limits.max_depth) {
+      return finish(false);
+    }
+    ++core.depth;
+    std::deque<std::uint32_t> next_frontier;
+    for (const std::uint32_t index : frontier) {
+      core.store.load(index, state_buf);
+      Outcome outcome = Outcome::kRunning;
+      std::uint32_t found_index = 0;
+      bool found_transient = false;
+      ta::State found_canon;
+
+      const auto on_target = [&](std::span<const ta::Slot> target,
+                                 std::uint32_t fuse_depth) -> bool {
+        ++core.transitions;
+        if (core.store.size() >= limits.max_states) {
+          outcome = Outcome::kLimit;
+          return false;
+        }
+        test_buf.assign(target);
+        if (por && fuse_depth < kFusionDepthCap &&
+            net_->committed_location_active(test_buf)) {
+          // Transient: evaluate the predicate (fusion must not skip
+          // error states), then expand through it without interning.
+          if (stop(test_buf, stop_scratch)) {
+            outcome = Outcome::kFound;
+            found_transient = true;
+            found_canon.assign(target);
+            if (canon) codec.canonicalize(found_canon.slots_mut());
+            return false;
+          }
+          ++fused;
+          push_pending(target, fuse_depth + 1);
+          return true;
+        }
+        if (canon) codec.canonicalize(test_buf.slots_mut());
+        auto [child, is_new] = core.store.intern(test_buf);
+        if (!is_new) return true;
+        core.parent.push_back(index);
+        if (stop(test_buf, stop_scratch)) {
+          outcome = Outcome::kFound;
+          found_index = child;
+          return false;
+        }
+        next_frontier.push_back(child);
+        return true;
+      };
+      const auto expand_one = [&](const ta::State& s, std::uint32_t depth) {
+        if (por) {
+          net_->for_each_successor_reduced(
+              s, scratch, [&](const ta::SuccessorView& v) {
+                return on_target(v.target, depth);
+              });
+        } else {
+          net_->for_each_successor(
+              s, scratch, [&](const ta::SuccessorView& v) {
+                return on_target(v.target, depth);
+              });
+        }
+      };
+
+      pending_top = 0;
+      expand_one(state_buf, 0);
+      while (outcome == Outcome::kRunning && pending_top > 0) {
+        // Swap the item out of its slot: its own expansion pushes new
+        // pending entries into the slot just vacated.
+        --pending_top;
+        std::swap(cur_fused, pending_states[pending_top]);
+        const std::uint32_t depth = pending_depths[pending_top];
+        expand_one(cur_fused, depth);
+      }
+
+      if (outcome == Outcome::kFound) {
+        result.found = true;
+        std::vector<ta::State> chain;
+        for (std::uint32_t i = found_transient ? index : found_index;
+             i != StateStore::kInvalidIndex; i = core.parent[i]) {
+          chain.push_back(core.store.get(i));
+        }
+        std::reverse(chain.begin(), chain.end());
+        if (found_transient) chain.push_back(std::move(found_canon));
+        result.trace = rebuild_trace_replay(chain, canon, por);
+        return finish(false);
+      }
+      if (outcome == Outcome::kLimit) return finish(false);
+    }
+    frontier = std::move(next_frontier);
+  }
+  return finish(true);
+}
+
+SearchResult Explorer::run_parallel_reduced(const StopFn& stop,
+                                            const SearchLimits& limits,
+                                            unsigned threads) {
+  const auto start_time = std::chrono::steady_clock::now();
+  ConcurrentStateStore store{net_->codec(), limits.compression};
+  const ta::StateCodec& codec = net_->codec();
+  const bool canon = limits.symmetry == ta::Symmetry::Participants &&
+                     codec.has_canonicalization();
+  const bool por = limits.por;
+  std::uint64_t depth = 0;
+  std::uint64_t transitions = 0;
+  std::uint64_t fused = 0;
+
+  SearchResult result;
+  const auto finish = [&](bool complete) {
+    result.complete = complete;
+    result.stats.states = store.size();
+    result.stats.transitions = transitions;
+    result.stats.depth = depth;
+    result.stats.fused = fused;
+    result.stats.store_bytes = store.memory_bytes();
+    result.stats.elapsed = std::chrono::steady_clock::now() - start_time;
+    return result;
+  };
+
+  // Per-worker state mirrors the unreduced parallel loop plus the fused
+  // worklist and the canonical image of its best target hit. Which
+  // worker finds which hit depends on scheduling; the per-layer
+  // lexicographic minimum over canonical images does not, so verdicts,
+  // state counts and depths stay thread-count-invariant (the replayed
+  // trace path through a fused gap may differ between runs).
+  struct Worker {
+    ta::SuccessorScratch scratch;
+    ta::SuccessorScratch stop_scratch;
+    ta::State state_buf;
+    ta::State test_buf;
+    ta::State cur_fused;
+    std::vector<ta::State> pending_states;
+    std::vector<std::uint32_t> pending_depths;
+    std::size_t pending_top = 0;
+    std::vector<std::uint32_t> next;
+    std::uint64_t transitions = 0;
+    std::uint64_t fused = 0;
+    bool found = false;
+    bool found_transient = false;
+    std::uint32_t found_index = 0;   ///< interned hit
+    std::uint32_t found_parent = 0;  ///< stored ancestor of a transient hit
+    ta::State found_canon;           ///< canonical image of the hit
+  };
+  std::vector<Worker> workers(threads);
+
+  const ta::State init = net_->initial_state();
+  workers[0].test_buf.assign(init.slots());
+  if (canon) codec.canonicalize(workers[0].test_buf.slots_mut());
+  auto [init_index, inserted] =
+      store.intern(workers[0].test_buf, ConcurrentStateStore::kInvalidIndex);
+  AHB_ASSERT(inserted);
+
+  if (stop(init, workers[0].stop_scratch)) {
+    result.found = true;
+    result.trace.push_back(TraceStep{"", init});
+    return finish(true);
+  }
+
+  std::vector<std::uint32_t> frontier{init_index};
+  std::vector<std::uint32_t> next_frontier;
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<bool> limit_hit{false};
+  std::atomic<bool> done{false};
+  std::size_t chunk = 1;
+  std::barrier<> sync(static_cast<std::ptrdiff_t>(threads));
+
+  const auto expand = [&](Worker& w) {
+    const auto record_hit = [&](const ta::State& hit_canon, bool transient,
+                                std::uint32_t hit_index,
+                                std::uint32_t parent_index) {
+      if (!w.found || lex_less(hit_canon.slots(), w.found_canon.slots())) {
+        w.found = true;
+        w.found_transient = transient;
+        w.found_index = hit_index;
+        w.found_parent = parent_index;
+        w.found_canon.assign(hit_canon.slots());
+      }
+    };
+    const auto push_pending = [&](std::span<const ta::Slot> target,
+                                  std::uint32_t fuse_depth) {
+      if (w.pending_top < w.pending_states.size()) {
+        w.pending_states[w.pending_top].assign(target);
+        w.pending_depths[w.pending_top] = fuse_depth;
+      } else {
+        w.pending_states.emplace_back(target);
+        w.pending_depths.push_back(fuse_depth);
+      }
+      ++w.pending_top;
+    };
+    ta::State hit_scratch;
+    while (!limit_hit.load(std::memory_order_relaxed)) {
+      const std::size_t begin =
+          cursor.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= frontier.size()) return;
+      const std::size_t end = std::min(begin + chunk, frontier.size());
+      for (std::size_t i = begin; i < end; ++i) {
+        const std::uint32_t index = frontier[i];
+        store.load(index, w.state_buf);
+
+        const auto on_target = [&](std::span<const ta::Slot> target,
+                                   std::uint32_t fuse_depth) -> bool {
+          ++w.transitions;
+          if (store.size() >= limits.max_states) {
+            limit_hit.store(true, std::memory_order_relaxed);
+            return false;
+          }
+          w.test_buf.assign(target);
+          if (por && fuse_depth < kFusionDepthCap &&
+              net_->committed_location_active(w.test_buf)) {
+            if (stop(w.test_buf, w.stop_scratch)) {
+              hit_scratch.assign(target);
+              if (canon) codec.canonicalize(hit_scratch.slots_mut());
+              record_hit(hit_scratch, /*transient=*/true, 0, index);
+              return true;  // finish the layer regardless
+            }
+            ++w.fused;
+            push_pending(target, fuse_depth + 1);
+            return true;
+          }
+          if (canon) codec.canonicalize(w.test_buf.slots_mut());
+          auto [child, is_new] = store.intern(w.test_buf, index);
+          if (!is_new) return true;
+          if (stop(w.test_buf, w.stop_scratch)) {
+            record_hit(w.test_buf, /*transient=*/false, child, index);
+            return true;  // finish the layer regardless
+          }
+          w.next.push_back(child);
+          return true;
+        };
+        const auto expand_one = [&](const ta::State& s, std::uint32_t d) {
+          if (por) {
+            net_->for_each_successor_reduced(
+                s, w.scratch, [&](const ta::SuccessorView& v) {
+                  return on_target(v.target, d);
+                });
+          } else {
+            net_->for_each_successor(
+                s, w.scratch, [&](const ta::SuccessorView& v) {
+                  return on_target(v.target, d);
+                });
+          }
+        };
+
+        w.pending_top = 0;
+        expand_one(w.state_buf, 0);
+        while (!limit_hit.load(std::memory_order_relaxed) &&
+               w.pending_top > 0) {
+          --w.pending_top;
+          std::swap(w.cur_fused, w.pending_states[w.pending_top]);
+          expand_one(w.cur_fused, w.pending_depths[w.pending_top]);
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads - 1);
+  for (unsigned t = 1; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      while (true) {
+        sync.arrive_and_wait();  // layer start (or shutdown)
+        if (done.load(std::memory_order_relaxed)) return;
+        expand(workers[t]);
+        sync.arrive_and_wait();  // layer end
+      }
+    });
+  }
+
+  bool complete = false;
+  const Worker* best = nullptr;
+  while (true) {
+    if (limit_hit.load(std::memory_order_relaxed)) break;
+    if (frontier.empty()) {
+      complete = true;
+      break;
+    }
+    if (limits.max_depth != 0 && depth >= limits.max_depth) break;
+    ++depth;
+    cursor.store(0, std::memory_order_relaxed);
+    chunk = std::clamp<std::size_t>(
+        frontier.size() / (static_cast<std::size_t>(threads) * 8), 1, 1024);
+    sync.arrive_and_wait();  // release the layer
+    expand(workers[0]);
+    sync.arrive_and_wait();  // wait for stragglers
+
+    for (const auto& w : workers) {
+      if (!w.found) continue;
+      if (best == nullptr ||
+          lex_less(w.found_canon.slots(), best->found_canon.slots())) {
+        best = &w;
+      }
+    }
+    if (best != nullptr) break;
+    next_frontier.clear();
+    for (auto& w : workers) {
+      next_frontier.insert(next_frontier.end(), w.next.begin(), w.next.end());
+      w.next.clear();
+    }
+    frontier.swap(next_frontier);
+  }
+
+  done.store(true, std::memory_order_relaxed);
+  sync.arrive_and_wait();  // let the pool observe `done` and exit
+  for (auto& t : pool) t.join();
+  for (const auto& w : workers) {
+    transitions += w.transitions;
+    fused += w.fused;
+  }
+
+  if (best != nullptr) {
+    result.found = true;
+    std::vector<ta::State> chain;
+    for (std::uint32_t i =
+             best->found_transient ? best->found_parent : best->found_index;
+         i != ConcurrentStateStore::kInvalidIndex; i = store.parent_of(i)) {
+      chain.push_back(store.get(i));
+    }
+    std::reverse(chain.begin(), chain.end());
+    if (best->found_transient) chain.push_back(best->found_canon);
+    result.trace = rebuild_trace_replay(chain, canon, por);
+    return finish(false);
+  }
+  return finish(complete);
+}
+
 SearchResult Explorer::reach(const Pred& target, const SearchLimits& limits) {
   AHB_EXPECTS(target != nullptr);
   return run(
@@ -361,6 +757,64 @@ std::vector<TraceStep> Explorer::rebuild_trace(
     std::string action =
         net_->action_between(parent_state, step_state.slots(), scratch);
     trace.push_back(TraceStep{std::move(action), std::move(step_state)});
+  }
+  return trace;
+}
+
+std::vector<TraceStep> Explorer::rebuild_trace_replay(
+    const std::vector<ta::State>& canonical_chain, bool canon,
+    bool por) const {
+  std::vector<TraceStep> trace;
+  if (canonical_chain.empty()) return trace;
+  const ta::StateCodec& codec = net_->codec();
+  ta::State canon_buf;
+  const auto matches = [&](const ta::State& real, const ta::State& image) {
+    canon_buf.assign(real.slots());
+    if (canon) codec.canonicalize(canon_buf.slots_mut());
+    return std::ranges::equal(canon_buf.slots(), image.slots());
+  };
+
+  // Replay starts from the *real* initial state, whose canonical image
+  // is canonical_chain[0]; every appended state is then a real
+  // successor, so participant ids in the rendered trace are genuine.
+  trace.push_back(TraceStep{"", net_->initial_state()});
+
+  // Per stored step, a bounded DFS over real successors: match directly
+  // first (shortest extension), then descend through transient states —
+  // fusion only ever skipped transients, so gaps close within the
+  // fusion depth cap. This is the cold counterexample path; the
+  // allocating successors() API keeps it simple.
+  const std::uint32_t budget0 = 1 + (por ? kFusionDepthCap : 0);
+  const auto extend = [&](auto&& self, const ta::State& from,
+                          const ta::State& image,
+                          std::uint32_t budget) -> bool {
+    if (budget == 0) return false;
+    const std::vector<ta::Transition> succs = net_->successors(from);
+    for (const auto& t : succs) {
+      if (matches(t.target, image)) {
+        trace.push_back(TraceStep{net_->label_of(t), t.target});
+        return true;
+      }
+    }
+    if (!por) return false;
+    for (const auto& t : succs) {
+      if (!net_->committed_location_active(t.target)) continue;
+      trace.push_back(TraceStep{net_->label_of(t), t.target});
+      if (self(self, t.target, image, budget - 1)) return true;
+      trace.pop_back();
+    }
+    return false;
+  };
+
+  for (std::size_t i = 1; i < canonical_chain.size(); ++i) {
+    // Copy: extend() grows `trace`, which would invalidate a reference
+    // into it.
+    const ta::State cur = trace.back().state;
+    if (!extend(extend, cur, canonical_chain[i], budget0)) {
+      // Unreachable when the model honors the equivariance contract;
+      // keep the canonical image so a broken trace stays inspectable.
+      trace.push_back(TraceStep{"<unreplayed>", canonical_chain[i]});
+    }
   }
   return trace;
 }

@@ -41,12 +41,28 @@ struct SearchLimits {
   /// preserved, so verdicts, state counts, depths and counterexample
   /// lengths are the same in every mode; only store_bytes changes.
   ta::Compression compression = ta::Compression::None;
+  /// Orbit canonicalization: Participants interns one representative
+  /// per orbit of the network's declared participant symmetry (plus
+  /// dead-slot reduction). Sound for permutation-invariant predicates;
+  /// verdicts are preserved while states/transitions shrink by up to
+  /// the orbit sizes. No-op when the network declared no symmetry.
+  ta::Symmetry symmetry = ta::Symmetry::None;
+  /// Ample-set partial-order reduction + committed-chain fusion:
+  /// committed (transient) states are expanded through without being
+  /// interned — the target predicate is still evaluated on every one of
+  /// them — and at committed states only an ample automaton's invisible
+  /// records are followed. A fusion depth cap acts as the cycle
+  /// proviso: chains longer than the cap intern an intermediate state,
+  /// so committed cycles cannot be silently skipped.
+  bool por = false;
 };
 
 struct SearchStats {
   std::uint64_t states = 0;       ///< distinct states interned
   std::uint64_t transitions = 0;  ///< transitions generated
   std::uint64_t depth = 0;        ///< deepest BFS layer reached
+  std::uint64_t fused = 0;        ///< transient states expanded through
+                                  ///< without interning (por only)
   std::size_t store_bytes = 0;
   std::chrono::duration<double> elapsed{};
 };
@@ -102,16 +118,35 @@ class Explorer {
       std::function<bool(const ta::State&, ta::SuccessorScratch&)>;
 
   /// Shared BFS entry: dispatches to the sequential or the parallel
-  /// layer-synchronous loop depending on `limits.threads`.
+  /// layer-synchronous loop depending on `limits.threads`, and to the
+  /// reduced variants when symmetry or POR is requested. The unreduced
+  /// paths are untouched by reduction support, so default-flag runs
+  /// stay bit-for-bit identical to the historical explorer.
   SearchResult run(const StopFn& stop, const SearchLimits& limits);
   SearchResult run_sequential(const StopFn& stop, const SearchLimits& limits);
   SearchResult run_parallel(const StopFn& stop, const SearchLimits& limits,
                             unsigned threads);
+  SearchResult run_sequential_reduced(const StopFn& stop,
+                                      const SearchLimits& limits);
+  SearchResult run_parallel_reduced(const StopFn& stop,
+                                    const SearchLimits& limits,
+                                    unsigned threads);
 
   std::vector<TraceStep> rebuild_trace(const Core& core,
                                        std::uint32_t target_index) const;
   std::vector<TraceStep> rebuild_trace(const ConcurrentStateStore& store,
                                        std::uint32_t target_index) const;
+
+  /// Reduced-mode counterexamples: the store holds canonical orbit
+  /// representatives with fused gaps, so the real trace is recovered by
+  /// forward replay from the real initial state — per stored step, a
+  /// bounded DFS over real successors (descending only through
+  /// transient states) finds a real path whose endpoint canonicalizes
+  /// to the stored image. The rendered states carry genuine participant
+  /// ids throughout.
+  std::vector<TraceStep> rebuild_trace_replay(
+      const std::vector<ta::State>& canonical_chain, bool canon,
+      bool por) const;
 
   const ta::Network* net_;
 };

@@ -31,6 +31,10 @@ LivenessResult find_accepting_cycle(const ta::Network& net,
   std::uint64_t transitions = 0;
   ta::SuccessorScratch scratch;
   ta::State state_buf;
+  ta::State canon_buf;
+  const ta::StateCodec& codec = net.codec();
+  const bool canon = limits.symmetry == ta::Symmetry::Participants &&
+                     codec.has_canonicalization();
 
   const auto is_accepting = [&](std::uint32_t index) {
     const ta::State s = store.get(index);
@@ -42,7 +46,14 @@ LivenessResult find_accepting_cycle(const ta::Network& net,
     state_buf.assign(store.raw(index));
     net.for_each_successor(state_buf, scratch, [&](const ta::SuccessorView& v) {
       ++transitions;
-      auto [child, _] = store.intern(v.target);
+      std::uint32_t child;
+      if (canon) {
+        canon_buf.assign(v.target);
+        codec.canonicalize(canon_buf.slots_mut());
+        child = store.intern(canon_buf).first;
+      } else {
+        child = store.intern(v.target).first;
+      }
       if (color.size() < store.size()) {
         color.resize(store.size(), kWhite);
         red.resize(store.size(), false);
@@ -87,13 +98,32 @@ LivenessResult find_accepting_cycle(const ta::Network& net,
       const ta::State s = store.get(path[i]);
       std::string action;
       if (i > 0) {
-        action = net.action_between(store.get(path[i - 1]), s.slots(), scratch);
+        const ta::State prev = store.get(path[i - 1]);
+        if (!canon) {
+          action = net.action_between(prev, s.slots(), scratch);
+        } else {
+          // Quotient edges connect canonical representatives: the label
+          // belongs to whichever real successor canonicalizes onto the
+          // stored child.
+          action = "<unknown>";
+          net.for_each_successor(
+              prev, scratch, [&](const ta::SuccessorView& v) {
+                canon_buf.assign(v.target);
+                codec.canonicalize(canon_buf.slots_mut());
+                if (std::ranges::equal(canon_buf.slots(), s.slots())) {
+                  action = net.label_of(v);
+                  return false;
+                }
+                return true;
+              });
+        }
       }
       result.lasso.push_back(TraceStep{std::move(action), s});
     }
   };
 
-  const ta::State init = net.initial_state();
+  ta::State init = net.initial_state();
+  if (canon) codec.canonicalize(init.slots_mut());
   auto [init_index, inserted] = store.intern(init);
   AHB_ASSERT(inserted);
   color.resize(store.size(), kWhite);

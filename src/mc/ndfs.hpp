@@ -25,6 +25,14 @@ struct LivenessResult {
 /// Courcoubetis-Vardi-Wolper-Yannakakis nested DFS: searches for a cycle
 /// through a state satisfying `accepting` that is reachable from the
 /// initial state.
+///
+/// Reductions: `limits.symmetry` is honored — the search runs on the
+/// orbit quotient, which preserves the existence of accepting cycles
+/// for permutation-invariant `accepting` (a quotient lasso unrolls to a
+/// real lasso and vice versa); the witness lasso renders canonical
+/// representatives. `limits.por` is intentionally ignored: the nested
+/// search expands every state fully, so the POR cycle proviso is
+/// trivially satisfied and liveness verdicts stay sound.
 LivenessResult find_accepting_cycle(const ta::Network& net,
                                     const Pred& accepting,
                                     const SearchLimits& limits = {});

@@ -76,21 +76,36 @@ class StateStore {
   std::size_t memory_bytes() const;
 
  private:
-  /// Per-component intern table (Collapse mode): packed member keys of
-  /// key_bytes each, deduplicated through open addressing.
+  /// Per-component intern table (Collapse mode). Components whose packed
+  /// key fits 64 bits (all of them in the heartbeat models) use the fast
+  /// path: the key is stored inline in the probe slot, so a lookup is one
+  /// multiply-shift hash plus uint64 compares — no byte packing, no
+  /// memcmp, no second cache line. Wider components spill to the byte
+  /// path (packed keys of key_bytes each, open addressing over hashes).
   struct CompTable {
-    std::vector<std::byte> keys;
-    std::vector<std::uint32_t> table;
+    struct FastSlot {
+      std::uint64_t key = 0;
+      std::uint32_t index = kInvalidIndex;  ///< kInvalidIndex = empty
+    };
+    std::vector<FastSlot> fast_table;       ///< fast path: probe slots
+    std::vector<std::uint64_t> fast_keys;   ///< fast path: key by index
+    std::vector<std::byte> keys;            ///< spill path: key by index
+    std::vector<std::uint32_t> table;       ///< spill path: probe slots
     std::uint32_t count = 0;
   };
 
   void grow_table();
+  /// Table hash of an encoded entry (compressed modes): the inline-key
+  /// mix when the root takes the fast path, the byte hash otherwise.
+  std::uint64_t entry_hash(const std::byte* entry) const;
   std::uint32_t probe(std::span<const ta::Slot> slots, std::uint64_t hash,
                       bool& found) const;
   std::uint32_t probe_bytes(std::span<const std::byte> key,
                             std::uint64_t hash, bool& found) const;
   std::uint32_t comp_intern(std::size_t c, std::span<const std::byte> key);
   std::uint32_t comp_find(std::size_t c, std::span<const std::byte> key) const;
+  std::uint32_t comp_intern_fast(std::size_t c, std::uint64_t key);
+  std::uint32_t comp_find_fast(std::size_t c, std::uint64_t key) const;
 
   /// Encodes `slots` into entry_scratch_ per mode_, interning components
   /// (Collapse). With `insert_components` false, unknown components make
@@ -106,6 +121,11 @@ class StateStore {
   ta::Compression mode_ = ta::Compression::None;
   std::size_t stride_;
   std::size_t entry_bytes_ = 0;  ///< bytes per state in `bytes_`
+  /// Collapse roots of <= 64 bits are stored as inline uint64 keys
+  /// (entry_bytes_ == 8): packing is shift/or arithmetic and the table
+  /// hash is a multiply-shift mix instead of a byte-wise pass — this is
+  /// what keeps collapse wall-time within ~1.1x of the raw store.
+  bool root_fast_ = false;
 
   std::vector<ta::Slot> arena_;        // None: raw slots, index * stride
   std::vector<std::uint64_t> hashes_;  // None: per interned state

@@ -144,6 +144,7 @@ class Builder {
       for (int i = 0; i < n; ++i) build_monitor(i);
     }
 
+    declare_reductions(n);
     net_.freeze();
   }
 
@@ -484,13 +485,22 @@ class Builder {
                                .chan = deliver_p_[idx],
                                .dir = SyncDir::Recv,
                                .label = "recv_beat"});
-    // Immediate reply from the committed location.
+    // Immediate reply from the committed location. The reply and leave
+    // edges (both sides of the handshake) are POR-invisible: they write
+    // only p[i]'s own wfb/wtj/left, which no other automaton and no
+    // predicate reads, and the locations they move through are never
+    // tested by a predicate (Rcvd/Alive/Left are not the NV sinks).
+    // Receive-priority guards read the channel locations they change,
+    // but those guards sit on non-committed sources, which cannot fire
+    // before the committed Rcvd location is vacated — so deferring them
+    // past the reply is exactly the engine's instantaneous-reply order.
     net_.add_edge(p.proc, Edge{.src = p.l_rcvd,
                                .dst = p.l_alive,
                                .chan = reply_true_[idx],
                                .dir = SyncDir::Send,
                                .effect = [wfb](StateMut& m) { m.reset(wfb); },
-                               .label = "send_reply"});
+                               .label = "send_reply",
+                               .invisible = true});
     if (leaves()) {
       // Alternatively, reply with a leave beat and depart gracefully.
       p.l_left = net_.add_location(p.proc, "Left");
@@ -507,7 +517,8 @@ class Builder {
                                        m.set(left, 1);
                                        m.reset(wtj_leave);
                                      },
-                                 .label = "send_leave"});
+                                 .label = "send_leave",
+                                 .invisible = true});
       if (options_.rejoin != BuildOptions::Rejoin::None) {
         // Future-work extension: a departed process may decide to
         // participate again; it restarts the join phase from scratch.
@@ -620,7 +631,8 @@ class Builder {
                              .dst = p.ch_t1,
                              .chan = reply_true_[idx],
                              .dir = SyncDir::Recv,
-                             .label = "accept_reply"});
+                             .label = "accept_reply",
+                             .invisible = true});
     net_.add_edge(p.ch, Edge{.src = p.ch_w1,
                              .dst = p.ch_idle,
                              .guard =
@@ -644,7 +656,8 @@ class Builder {
                                .dst = p.ch_t1f,
                                .chan = reply_false_[idx],
                                .dir = SyncDir::Recv,
-                               .label = "accept_leave"});
+                               .label = "accept_leave",
+                               .invisible = true});
       net_.add_edge(p.ch,
                     Edge{.src = p.ch_t1f,
                          .dst = p.ch_idle,
@@ -815,6 +828,91 @@ class Builder {
                                            v.clk(mdelay) > bound;
                                   },
                               .label = "error_r1"});
+  }
+
+  /// Reduction declarations, consumed only when a search opts in via
+  /// SearchLimits::symmetry; the default semantics and state counts are
+  /// untouched. Soundness rests on two facts about this builder:
+  /// every participant is built by the same code (so the blocks are
+  /// congruent), and every shared guard (min_next,
+  /// any_delivery_pending, forced_join_pending) and every verification
+  /// predicate (r1, r2_violation_any, r3) quantifies symmetrically over
+  /// the participants. r2_violation(i) for a fixed i is the one
+  /// asymmetric predicate in this file; it must not be combined with
+  /// Symmetry::Participants.
+  void declare_reductions(int n) {
+    // Full symmetry (scalarset) over the participants: everything a
+    // participant owns travels in its block — its process, channel,
+    // join-channel and monitor automata, its clocks, and p[0]'s
+    // per-participant bookkeeping (rcvd/tm/jnd) — so permuting blocks
+    // is exactly renaming participants. With n == 1 the single block is
+    // ignored at freeze (no symmetry to exploit).
+    for (int i = 0; i < n; ++i) {
+      const auto& p = h_.parts[static_cast<std::size_t>(i)];
+      ta::Network::SymmetryMember m;
+      m.automata.push_back(p.proc);
+      m.automata.push_back(p.ch);
+      if (has_join_phase()) m.automata.push_back(p.jch);
+      if (options_.r1_monitor) m.automata.push_back(p.mon);
+      m.vars.push_back(p.active);
+      m.vars.push_back(p.rcvd0);
+      if (is_multi(flavor_)) m.vars.push_back(p.tm);
+      if (has_join_phase()) m.vars.push_back(p.jnd);
+      if (leaves()) m.vars.push_back(p.left);
+      m.clocks.push_back(p.wfb);
+      m.clocks.push_back(p.delay);
+      if (has_join_phase()) {
+        m.clocks.push_back(p.wtj);
+        m.clocks.push_back(p.jdelay);
+      }
+      if (options_.r1_monitor) m.clocks.push_back(p.mdelay);
+      net_.add_symmetry_block(std::move(m));
+    }
+
+    // Dead-slot rules: each slot below is rewritten on every path from
+    // the given location to its next read, so canonicalization may zero
+    // it there without changing any guard or predicate outcome.
+    for (const auto& p : h_.parts) {
+      // wfb is read only by the Alive/Joining invariants and deadline
+      // guards; send_reply and rejoin reset it before re-entry.
+      net_.declare_dead_clock(p.proc, p.l_rcvd, p.wfb);
+      net_.declare_dead_clock(p.proc, p.l_v, p.wfb);
+      net_.declare_dead_clock(p.proc, p.l_nv, p.wfb);
+      if (p.l_left >= 0) net_.declare_dead_clock(p.proc, p.l_left, p.wfb);
+      if (has_join_phase()) {
+        // wtj is read only by the Joining invariant, the join_beat
+        // guard and the Left rejoin guard; send_leave and rejoin reset
+        // it on the way into those locations.
+        net_.declare_dead_clock(p.proc, p.l_alive, p.wtj);
+        net_.declare_dead_clock(p.proc, p.l_rcvd, p.wtj);
+        net_.declare_dead_clock(p.proc, p.l_v, p.wtj);
+        net_.declare_dead_clock(p.proc, p.l_nv, p.wtj);
+        if (p.l_left >= 0 && options_.rejoin == BuildOptions::Rejoin::None) {
+          net_.declare_dead_clock(p.proc, p.l_left, p.wtj);
+        }
+      }
+      // Channel delay clocks are reset by every accept edge.
+      net_.declare_dead_clock(p.ch, p.ch_idle, p.delay);
+      if (has_join_phase()) {
+        net_.declare_dead_clock(p.jch, p.jch_idle, p.jdelay);
+      }
+      if (options_.r1_monitor) {
+        // mdelay is reset by arm; ErrorR1 is a sink location.
+        net_.declare_dead_clock(p.mon, p.mon_wait, p.mdelay);
+        net_.declare_dead_clock(p.mon, p.mon_error, p.mdelay);
+      }
+    }
+    // Once p[0] is inactivated its round bookkeeping is unreachable: no
+    // edge leaves V/NV, and the predicates read only active0, lost,
+    // stale_join and the participants' active/jnd flags.
+    for (const int loc : {h_.l_v, h_.l_nv}) {
+      net_.declare_dead_clock(h_.p0, loc, h_.waiting);
+      net_.declare_dead_var(h_.p0, loc, h_.t, 0);
+      for (const auto& p : h_.parts) {
+        net_.declare_dead_var(h_.p0, loc, p.rcvd0, 0);
+        if (is_multi(flavor_)) net_.declare_dead_var(h_.p0, loc, p.tm, 0);
+      }
+    }
   }
 
   Flavor flavor_;

@@ -66,6 +66,16 @@ const char* to_string(Compression mode) {
   return "?";
 }
 
+const char* to_string(Symmetry mode) {
+  switch (mode) {
+    case Symmetry::None:
+      return "none";
+    case Symmetry::Participants:
+      return "participants";
+  }
+  return "?";
+}
+
 // ---- Builder ----
 
 void StateCodec::Builder::add_location_slot(int location_count) {
@@ -120,6 +130,7 @@ StateCodec StateCodec::Builder::build() && {
       }
     }
     comp.key_bytes = (key_bits + 7) / 8;
+    comp.key_bits = key_bits;
     if (product > 1) {
       product = std::min(product, std::uint64_t{1} << kMaxFieldBits);
       comp.index_bits = static_cast<std::uint8_t>(
@@ -203,6 +214,109 @@ void StateCodec::unpack_component(std::size_t c, const std::byte* in,
   }
 }
 
+std::uint64_t StateCodec::pack_component_key(
+    std::size_t c, std::span<const Slot> state) const {
+  const Component& comp = components_[c];
+  AHB_ASSERT(comp.key_bits <= 64);
+  std::uint64_t key = 0;
+  unsigned bit = 0;
+  for (const auto slot : comp.slots) {
+    const Field& f = fields_[slot];
+    AHB_ASSERT(state[slot] >= f.base);
+    key |= static_cast<std::uint64_t>(static_cast<std::int32_t>(state[slot]) -
+                                      static_cast<std::int32_t>(f.base))
+           << bit;
+    bit += f.width;
+  }
+  return key;
+}
+
+void StateCodec::unpack_component_key(std::size_t c, std::uint64_t key,
+                                      std::span<Slot> state) const {
+  const Component& comp = components_[c];
+  unsigned bit = 0;
+  for (const auto slot : comp.slots) {
+    const Field& f = fields_[slot];
+    const std::uint64_t value =
+        f.width == 0 ? 0
+                     : (key >> bit) & ((std::uint64_t{1} << f.width) - 1);
+    state[slot] = static_cast<Slot>(static_cast<std::int32_t>(f.base) +
+                                    static_cast<std::int32_t>(value));
+    bit += f.width;
+  }
+}
+
+// ---- orbit canonicalization ----
+
+void StateCodec::set_symmetry(std::size_t stride,
+                              std::vector<std::uint32_t> block_slots) {
+  AHB_EXPECTS(stride > 0);
+  AHB_EXPECTS(block_slots.size() % stride == 0);
+  // Congruence: corresponding slots of every block share base and width,
+  // otherwise swapping block values could leave a slot out of range.
+  for (std::size_t b = 1; b * stride < block_slots.size(); ++b) {
+    for (std::size_t k = 0; k < stride; ++k) {
+      const Field& ref = fields_[block_slots[k]];
+      const Field& f = fields_[block_slots[b * stride + k]];
+      AHB_EXPECTS(ref.base == f.base && ref.width == f.width);
+    }
+  }
+  sym_stride_ = stride;
+  sym_slots_ = std::move(block_slots);
+}
+
+void StateCodec::add_dead_rule(std::uint32_t loc_slot, Slot loc_value,
+                               std::uint32_t target_slot, Slot value) {
+  AHB_EXPECTS(loc_slot < fields_.size());
+  AHB_EXPECTS(target_slot < fields_.size());
+  AHB_EXPECTS(loc_value >= 0);
+  const Field& f = fields_[target_slot];
+  AHB_EXPECTS(value >= f.base);
+  AHB_EXPECTS(f.width == kMaxFieldBits ||
+              static_cast<std::uint64_t>(value - f.base) <
+                  (std::uint64_t{1} << f.width));
+  if (dead_rules_.size() <= loc_slot) dead_rules_.resize(loc_slot + 1);
+  auto& by_loc = dead_rules_[loc_slot];
+  const auto loc = static_cast<std::size_t>(loc_value);
+  if (by_loc.size() <= loc) by_loc.resize(loc + 1);
+  by_loc[loc].push_back(DeadAction{target_slot, value});
+}
+
+void StateCodec::canonicalize(std::span<Slot> state) const {
+  // Dead-slot reset first: dead values travel with their block, so each
+  // block is normalized against its own location before blocks compare.
+  for (std::size_t a = 0; a < dead_rules_.size(); ++a) {
+    const auto& by_loc = dead_rules_[a];
+    const auto loc = static_cast<std::size_t>(state[a]);
+    if (loc >= by_loc.size()) continue;
+    for (const auto& act : by_loc[loc]) state[act.slot] = act.value;
+  }
+  if (sym_stride_ == 0) return;
+
+  const std::size_t blocks = sym_slots_.size() / sym_stride_;
+  const auto block_less = [&](std::size_t x, std::size_t y) {
+    const std::uint32_t* xs = sym_slots_.data() + x * sym_stride_;
+    const std::uint32_t* ys = sym_slots_.data() + y * sym_stride_;
+    for (std::size_t k = 0; k < sym_stride_; ++k) {
+      if (state[xs[k]] != state[ys[k]]) return state[xs[k]] < state[ys[k]];
+    }
+    return false;
+  };
+  const auto block_swap = [&](std::size_t x, std::size_t y) {
+    const std::uint32_t* xs = sym_slots_.data() + x * sym_stride_;
+    const std::uint32_t* ys = sym_slots_.data() + y * sym_stride_;
+    for (std::size_t k = 0; k < sym_stride_; ++k) {
+      std::swap(state[xs[k]], state[ys[k]]);
+    }
+  };
+  // Insertion sort: block counts are tiny (the participant count).
+  for (std::size_t i = 1; i < blocks; ++i) {
+    for (std::size_t j = i; j > 0 && block_less(j, j - 1); --j) {
+      block_swap(j, j - 1);
+    }
+  }
+}
+
 // ---- collapse root ----
 
 void StateCodec::pack_root(std::span<const std::uint32_t> indices,
@@ -224,6 +338,52 @@ void StateCodec::pack_root(std::span<const std::uint32_t> indices,
              static_cast<std::uint64_t>(
                  static_cast<std::int32_t>(state[slot]) -
                  static_cast<std::int32_t>(f.base)));
+    bit += f.width;
+  }
+}
+
+std::uint64_t StateCodec::pack_root_key(
+    std::span<const std::uint32_t> indices, std::span<const Slot> state) const {
+  AHB_ASSERT(root_bits_ <= 64);
+  std::uint64_t key = 0;
+  unsigned bit = 0;
+  for (std::size_t c = 0; c < components_.size(); ++c) {
+    const auto width = components_[c].index_bits;
+    AHB_ASSERT(width == kMaxFieldBits ||
+               indices[c] < (std::uint64_t{1} << width));
+    key |= static_cast<std::uint64_t>(indices[c]) << bit;
+    bit += width;
+  }
+  for (const auto slot : residue_slots_) {
+    const Field& f = fields_[slot];
+    AHB_ASSERT(state[slot] >= f.base);
+    key |= static_cast<std::uint64_t>(static_cast<std::int32_t>(state[slot]) -
+                                      static_cast<std::int32_t>(f.base))
+           << bit;
+    bit += f.width;
+  }
+  return key;
+}
+
+void StateCodec::unpack_root_key(std::uint64_t key,
+                                 std::span<std::uint32_t> indices,
+                                 std::span<Slot> state) const {
+  unsigned bit = 0;
+  for (std::size_t c = 0; c < components_.size(); ++c) {
+    const auto width = components_[c].index_bits;
+    indices[c] =
+        width == 0 ? 0
+                   : static_cast<std::uint32_t>(
+                         (key >> bit) & ((std::uint64_t{1} << width) - 1));
+    bit += width;
+  }
+  for (const auto slot : residue_slots_) {
+    const Field& f = fields_[slot];
+    const std::uint64_t value =
+        f.width == 0 ? 0
+                     : (key >> bit) & ((std::uint64_t{1} << f.width) - 1);
+    state[slot] = static_cast<Slot>(static_cast<std::int32_t>(f.base) +
+                                    static_cast<std::int32_t>(value));
     bit += f.width;
   }
 }

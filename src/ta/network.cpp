@@ -82,6 +82,54 @@ void Network::add_edge(AutomatonId a, Edge edge) {
   automaton.edges.push_back(std::move(edge));
 }
 
+void Network::add_symmetry_block(SymmetryMember member) {
+  AHB_EXPECTS(!frozen_);
+  if (!symmetry_blocks_.empty()) {
+    const auto& first = symmetry_blocks_.front();
+    AHB_EXPECTS(member.automata.size() == first.automata.size());
+    AHB_EXPECTS(member.vars.size() == first.vars.size());
+    AHB_EXPECTS(member.clocks.size() == first.clocks.size());
+  }
+  for (const auto a : member.automata) {
+    AHB_EXPECTS(a.value >= 0 && a.value < static_cast<int>(automata_.size()));
+  }
+  for (const auto v : member.vars) {
+    AHB_EXPECTS(v.value >= 0 && v.value < static_cast<int>(vars_.size()));
+  }
+  for (const auto c : member.clocks) {
+    AHB_EXPECTS(c.value >= 0 && c.value < static_cast<int>(clocks_.size()));
+  }
+  symmetry_blocks_.push_back(std::move(member));
+}
+
+void Network::declare_dead_var(AutomatonId a, int loc_index, VarId v,
+                               int value) {
+  AHB_EXPECTS(!frozen_);
+  AHB_EXPECTS(a.value >= 0 && a.value < static_cast<int>(automata_.size()));
+  AHB_EXPECTS(v.value >= 0 && v.value < static_cast<int>(vars_.size()));
+  const auto& automaton = automata_[static_cast<std::size_t>(a.value)];
+  AHB_EXPECTS(loc_index >= 0 &&
+              loc_index < static_cast<int>(automaton.locations.size()));
+  dead_decls_.push_back(
+      DeadDecl{static_cast<std::uint32_t>(loc_slot(a.value)),
+               static_cast<Slot>(loc_index),
+               static_cast<std::uint32_t>(var_slot(v.value)),
+               static_cast<Slot>(value)});
+}
+
+void Network::declare_dead_clock(AutomatonId a, int loc_index, ClockId c) {
+  AHB_EXPECTS(!frozen_);
+  AHB_EXPECTS(a.value >= 0 && a.value < static_cast<int>(automata_.size()));
+  AHB_EXPECTS(c.value >= 0 && c.value < static_cast<int>(clocks_.size()));
+  const auto& automaton = automata_[static_cast<std::size_t>(a.value)];
+  AHB_EXPECTS(loc_index >= 0 &&
+              loc_index < static_cast<int>(automaton.locations.size()));
+  dead_decls_.push_back(
+      DeadDecl{static_cast<std::uint32_t>(loc_slot(a.value)),
+               static_cast<Slot>(loc_index),
+               static_cast<std::uint32_t>(clock_slot(c.value)), 0});
+}
+
 void Network::freeze() {
   AHB_EXPECTS(!frozen_);
   AHB_EXPECTS(!automata_.empty());
@@ -100,6 +148,28 @@ void Network::freeze() {
     builder.add_clock_slot(c.cap);
   }
   codec_ = std::move(builder).build();
+  if (symmetry_blocks_.size() >= 2) {
+    const std::size_t stride = symmetry_blocks_.front().automata.size() +
+                               symmetry_blocks_.front().vars.size() +
+                               symmetry_blocks_.front().clocks.size();
+    std::vector<std::uint32_t> block_slots;
+    block_slots.reserve(stride * symmetry_blocks_.size());
+    for (const auto& b : symmetry_blocks_) {
+      for (const auto a : b.automata) {
+        block_slots.push_back(static_cast<std::uint32_t>(loc_slot(a.value)));
+      }
+      for (const auto v : b.vars) {
+        block_slots.push_back(static_cast<std::uint32_t>(var_slot(v.value)));
+      }
+      for (const auto c : b.clocks) {
+        block_slots.push_back(static_cast<std::uint32_t>(clock_slot(c.value)));
+      }
+    }
+    codec_.set_symmetry(stride, std::move(block_slots));
+  }
+  for (const auto& d : dead_decls_) {
+    codec_.add_dead_rule(d.loc_slot, d.loc_value, d.target_slot, d.value);
+  }
   frozen_ = true;
   // The initial state must satisfy every invariant, otherwise the model
   // is ill-formed and exploration would start from an impossible state.
@@ -314,17 +384,77 @@ bool Network::collect_discrete_into(const State& s, bool committed_active,
   return !scratch.records.empty();
 }
 
+int Network::select_ample(const SuccessorScratch& scratch, int max_priority,
+                          bool have_nonzero) const {
+  // The ample candidate must lead every record it participates in with
+  // only invisible edges, and those records must share no automaton
+  // with the remaining records (so the pruned interleavings commute
+  // into the kept ones). Bitmask bookkeeping caps at 64 automata; the
+  // heartbeat networks stay far below that.
+  if (automata_.size() > 64) return -1;
+  const auto surviving = [&](const SuccessorScratch::Record& rec) {
+    return !have_nonzero || rec.priority >= max_priority;
+  };
+  const auto involves = [&](const SuccessorScratch::Record& rec, int a) {
+    for (std::uint32_t i = 0; i < rec.parts_count; ++i) {
+      if (scratch.parts[rec.parts_begin + i].automaton == a) return true;
+    }
+    return false;
+  };
+  // Candidate automata, in ascending order for determinism.
+  std::uint64_t candidates = 0;
+  for (const auto& rec : scratch.records) {
+    if (!surviving(rec)) continue;
+    for (std::uint32_t i = 0; i < rec.parts_count; ++i) {
+      candidates |= std::uint64_t{1}
+                    << scratch.parts[rec.parts_begin + i].automaton;
+    }
+  }
+  for (int a = 0; a < static_cast<int>(automata_.size()); ++a) {
+    if ((candidates & (std::uint64_t{1} << a)) == 0) continue;
+    bool ok = true;
+    bool has_other = false;
+    std::uint64_t in_mask = 0;
+    std::uint64_t out_mask = 0;
+    for (const auto& rec : scratch.records) {
+      if (!surviving(rec)) continue;
+      std::uint64_t mask = 0;
+      bool all_invisible = true;
+      for (std::uint32_t i = 0; i < rec.parts_count; ++i) {
+        const auto& part = scratch.parts[rec.parts_begin + i];
+        mask |= std::uint64_t{1} << part.automaton;
+        const auto& edge = automata_[static_cast<std::size_t>(part.automaton)]
+                               .edges[static_cast<std::size_t>(part.edge)];
+        all_invisible = all_invisible && edge.invisible;
+      }
+      if (involves(rec, a)) {
+        if (!all_invisible) {
+          ok = false;
+          break;
+        }
+        in_mask |= mask;
+      } else {
+        has_other = true;
+        out_mask |= mask;
+      }
+    }
+    if (ok && has_other && (in_mask & out_mask) == 0) return a;
+  }
+  return -1;
+}
+
 void Network::for_each_successor_impl(const State& s,
                                       SuccessorScratch& scratch,
                                       bool (*f)(void*, const SuccessorView&),
-                                      void* ctx) const {
+                                      void* ctx, bool reduced) const {
   AHB_EXPECTS(frozen_);
   AHB_EXPECTS(s.size() == slot_count_);
   scratch.targets.clear();
   scratch.parts.clear();
   scratch.records.clear();
 
-  collect_discrete_into(s, committed_location_active(s), scratch,
+  const bool committed_active = committed_location_active(s);
+  collect_discrete_into(s, committed_active, scratch,
                         /*first_only=*/false);
 
   // Priority filtering: only maximal-priority discrete transitions may
@@ -336,8 +466,26 @@ void Network::for_each_successor_impl(const State& s,
     max_priority = std::max(max_priority, rec.priority);
   }
 
+  // Ample-set reduction, only attempted at committed states: time is
+  // frozen there (no tick to account for) and committed chains are
+  // transient, so the caller's fusion depth bound doubles as the cycle
+  // proviso.
+  const int ample = reduced && committed_active && scratch.records.size() >= 2
+                        ? select_ample(scratch, max_priority, have_nonzero)
+                        : -1;
+
   for (const auto& rec : scratch.records) {
     if (have_nonzero && rec.priority < max_priority) continue;
+    if (ample >= 0) {
+      bool in_ample = false;
+      for (std::uint32_t i = 0; i < rec.parts_count; ++i) {
+        if (scratch.parts[rec.parts_begin + i].automaton == ample) {
+          in_ample = true;
+          break;
+        }
+      }
+      if (!in_ample) continue;
+    }
     SuccessorView v;
     v.target = std::span<const Slot>{scratch.targets}.subspan(rec.target_begin,
                                                               slot_count_);

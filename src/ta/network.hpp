@@ -87,6 +87,12 @@ struct Edge {
   std::string label;        ///< action name used in counterexample traces
   int priority = 0;         ///< among enabled discrete transitions, only
                             ///< those of maximal priority may fire
+  /// Partial-order-reduction contract: the edge's effect writes only
+  /// slots that no other automaton's guard, invariant or effect reads,
+  /// and no verification predicate depends on those slots or on the
+  /// participating locations. Declaring an edge invisible when this
+  /// does not hold makes the ample reduction unsound.
+  bool invisible = false;
 };
 
 /// One discrete or delay step of the network.
@@ -184,6 +190,32 @@ class Network {
 
   void add_edge(AutomatonId a, Edge edge);
 
+  // ---- reduction declarations (before freeze) ----
+
+  /// One symmetric participant: the automata, variables and clocks that
+  /// make up its block, in a fixed role order shared by every block.
+  struct SymmetryMember {
+    std::vector<AutomatonId> automata;
+    std::vector<VarId> vars;
+    std::vector<ClockId> clocks;
+  };
+
+  /// Declares one block of the full-symmetry (scalarset) group. All
+  /// blocks must be congruent: same member counts in the same role
+  /// order, with identical location counts / ranges / caps position by
+  /// position (checked at freeze). Soundness contract: the model must
+  /// be equivariant under permuting the blocks — congruent edge
+  /// structure and permutation-invariant shared guards and predicates.
+  void add_symmetry_block(SymmetryMember member);
+
+  /// Declares that `v` is never read while automaton `a` occupies
+  /// location `loc_index` before being rewritten, so canonicalization
+  /// may reset it to `value` there (dead-variable reduction).
+  void declare_dead_var(AutomatonId a, int loc_index, VarId v, int value);
+
+  /// Same for a clock; dead clocks reset to 0.
+  void declare_dead_clock(AutomatonId a, int loc_index, ClockId c);
+
   /// Validates the model and fixes the state layout. Must be called
   /// exactly once, before any semantic query.
   void freeze();
@@ -210,21 +242,25 @@ class Network {
   template <typename F>
   void for_each_successor(const State& s, SuccessorScratch& scratch,
                           F&& f) const {
-    for_each_successor_impl(
-        s, scratch,
-        [](void* ctx, const SuccessorView& v) -> bool {
-          auto& fn =
-              *static_cast<std::remove_const_t<std::remove_reference_t<F>>*>(
-                  ctx);
-          if constexpr (std::is_void_v<decltype(fn(v))>) {
-            fn(v);
-            return true;
-          } else {
-            return fn(v);
-          }
-        },
-        const_cast<std::remove_const_t<std::remove_reference_t<F>>*>(
-            std::addressof(f)));
+    for_each_successor_dispatch(s, scratch, /*reduced=*/false,
+                                std::forward<F>(f));
+  }
+
+  /// Like for_each_successor, but applies the ample-set partial-order
+  /// reduction at committed states: when one committed automaton's
+  /// enabled records are all invisible and share no automaton with the
+  /// other enabled records, only that automaton's records are emitted.
+  /// Sound for any property over the declared-visible state because the
+  /// pruned interleavings reach the same set of visible states (the
+  /// caller's cycle proviso — committed chains are expanded with a
+  /// bounded depth, see mc::Explorer — keeps repeated-state reasoning
+  /// sound). At non-committed states this is exactly
+  /// for_each_successor.
+  template <typename F>
+  void for_each_successor_reduced(const State& s, SuccessorScratch& scratch,
+                                  F&& f) const {
+    for_each_successor_dispatch(s, scratch, /*reduced=*/true,
+                                std::forward<F>(f));
   }
 
   /// True iff `s` has at least one successor. Early-exits on the first
@@ -246,6 +282,12 @@ class Network {
 
   /// True iff every location invariant holds in `s`.
   bool invariants_hold(const State& s) const;
+
+  /// True iff some automaton occupies a committed location in `s`.
+  /// Committed states are transient (time is frozen and only
+  /// committed-source edges may fire); the explorer's committed-chain
+  /// fusion expands through them without interning.
+  bool committed_location_active(const State& s) const;
 
   // ---- introspection ----
 
@@ -331,10 +373,40 @@ class Network {
                            std::span<const Transition::Part> parts,
                            State& out) const;
 
-  /// Non-template core of for_each_successor.
+  /// Non-template core of for_each_successor. With `reduced`, the
+  /// ample-set filter runs after priority filtering (see
+  /// for_each_successor_reduced).
   void for_each_successor_impl(const State& s, SuccessorScratch& scratch,
                                bool (*f)(void*, const SuccessorView&),
-                               void* ctx) const;
+                               void* ctx, bool reduced) const;
+
+  template <typename F>
+  void for_each_successor_dispatch(const State& s, SuccessorScratch& scratch,
+                                   bool reduced, F&& f) const {
+    for_each_successor_impl(
+        s, scratch,
+        [](void* ctx, const SuccessorView& v) -> bool {
+          auto& fn =
+              *static_cast<std::remove_const_t<std::remove_reference_t<F>>*>(
+                  ctx);
+          if constexpr (std::is_void_v<decltype(fn(v))>) {
+            fn(v);
+            return true;
+          } else {
+            return fn(v);
+          }
+        },
+        const_cast<std::remove_const_t<std::remove_reference_t<F>>*>(
+            std::addressof(f)),
+        reduced);
+  }
+
+  /// Ample-set selection over the priority-surviving records: returns
+  /// the chosen automaton id, or -1 when no sound ample subset exists
+  /// (full expansion). `max_priority`/`have_nonzero` replicate the
+  /// emission filter.
+  int select_ample(const SuccessorScratch& scratch, int max_priority,
+                   bool have_nonzero) const;
 
   /// Generates discrete candidates of `s` into scratch.records (priority
   /// filtering happens at emission time). With `first_only` it stops at
@@ -343,12 +415,19 @@ class Network {
                              SuccessorScratch& scratch,
                              bool first_only) const;
 
-  bool committed_location_active(const State& s) const;
+  struct DeadDecl {
+    std::uint32_t loc_slot = 0;
+    Slot loc_value = 0;
+    std::uint32_t target_slot = 0;
+    Slot value = 0;
+  };
 
   std::vector<Automaton> automata_;
   std::vector<VarDecl> vars_;
   std::vector<ClockDecl> clocks_;
   std::vector<ChanDecl> chans_;
+  std::vector<SymmetryMember> symmetry_blocks_;  ///< pending until freeze
+  std::vector<DeadDecl> dead_decls_;             ///< pending until freeze
   StateCodec codec_;
   std::size_t slot_count_ = 0;
   bool frozen_ = false;
