@@ -5,6 +5,7 @@
 //   bench_chaos_campaign [--json] [--runs=N] [--threads=N]
 //                        [--participants=N] [--out-of-spec] [--no-shrink]
 //                        [--artifacts=DIR] [--replay=FILE]
+//                        [--mission] [--ticks=N] [--corrupt=P]
 //
 // The default (in-spec) campaign keeps every fault inside the channel
 // assumptions, so any reported violation is a real protocol bug and the
@@ -12,6 +13,11 @@
 // delay/drift injection beyond the spec, where the monitors are
 // *expected* to fire (exit is nonzero if they stay silent). --replay
 // re-executes one serialized schedule and reports its violations.
+// --mission runs one long-mission chaos run per variant (--ticks long,
+// multi-phase setup/storm/recovery schedule, payload corruption armed
+// at --corrupt) and reports integrity counters plus the wall seconds
+// each simulated hour (3.6M ticks) costs.
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -25,6 +31,7 @@
 
 #include "bench_util.hpp"
 #include "chaos/campaign.hpp"
+#include "chaos/mission.hpp"
 #include "chaos/runner.hpp"
 #include "rv/suspicion.hpp"
 
@@ -36,9 +43,12 @@ struct Args {
   bool json = false;
   bool out_of_spec = false;
   bool shrink = true;
+  bool mission = false;
   int runs = 30;
   int participants = 2;
   unsigned threads = 1;
+  long long ticks = 10'000'000;
+  double corrupt = 0.0;
   std::string artifacts_dir;
   std::string replay_file;
 };
@@ -60,13 +70,20 @@ Args parse_args(int argc, char** argv) {
           args.artifacts_dir = arg + 12;
         } else if (std::strncmp(arg, "--replay=", 9) == 0) {
           args.replay_file = arg + 9;
+        } else if (std::strcmp(arg, "--mission") == 0) {
+          args.mission = true;
+        } else if (std::strncmp(arg, "--ticks=", 8) == 0) {
+          args.ticks = std::atoll(arg + 8);
+        } else if (std::strncmp(arg, "--corrupt=", 10) == 0) {
+          args.corrupt = std::atof(arg + 10);
         } else {
           return false;
         }
         return true;
       },
       "[--out-of-spec] [--no-shrink] [--runs=N] [--participants=N] "
-      "[--artifacts=DIR] [--replay=FILE]");
+      "[--artifacts=DIR] [--replay=FILE] [--mission] [--ticks=N] "
+      "[--corrupt=P]");
   args.json = common.json;
   if (common.threads > 0) args.threads = common.threads;
   if (common.participants > 0) args.participants = common.participants;
@@ -178,11 +195,85 @@ double measure_monitor_ns_per_event(int participants) {
   return events > 0 ? seconds * 1e9 / static_cast<double>(events) : 0;
 }
 
+constexpr double kTicksPerSimHour = 3'600'000.0;
+
+// One long mission per variant: multi-phase generated schedule, all
+// monitors streaming, corruption armed when requested. Exits nonzero if
+// any in-spec mission reports a violation or fails the integrity
+// fail-safe check (corrupted payloads must all be rejected).
+int run_missions(const Args& args) {
+  constexpr chaos::Variant kVariants[] = {
+      chaos::Variant::Binary,   chaos::Variant::RevisedBinary,
+      chaos::Variant::TwoPhase, chaos::Variant::Static,
+      chaos::Variant::Expanding, chaos::Variant::Dynamic,
+  };
+  int exit_code = 0;
+  for (const chaos::Variant variant : kVariants) {
+    chaos::MissionOptions options;
+    options.spec.variant = variant;
+    options.spec.tmin = 4;
+    options.spec.tmax = 10;
+    options.spec.participants =
+        proto::variant_is_multi(variant) ? args.participants : 1;
+    options.spec.seed = 1;
+    options.spec.horizon = static_cast<chaos::Time>(args.ticks);
+    options.profile.cycles =
+        static_cast<int>(std::max<long long>(args.ticks / 1'000'000, 1));
+    options.profile.corrupt = args.corrupt;
+
+    const auto start = std::chrono::steady_clock::now();
+    const chaos::MissionResult result = chaos::run_mission(options);
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    const double wall_s_per_sim_hour =
+        wall_s * kTicksPerSimHour / static_cast<double>(args.ticks);
+
+    const auto& integ = result.integrity;
+    const bool clean = result.violations_total == 0 && integ.fail_safe();
+    if (!result.out_of_spec && !clean) exit_code = 1;
+    if (args.json) {
+      std::printf(
+          "{\"bench\": \"chaos/mission\", \"variant\": \"%s\", "
+          "\"ticks\": %" PRId64 ", \"violations\": %" PRIu64
+          ", \"out_of_spec\": %s, \"corrupted\": %" PRIu64
+          ", \"corrupted_delivered\": %" PRIu64 ", \"rejected\": %" PRIu64
+          ", \"accepted\": %" PRIu64 ", \"spurious_rejections\": %" PRIu64
+          ", \"integrity_high_water\": %zu, \"checkpoints\": %zu"
+          ", \"fingerprint\": \"%016" PRIx64
+          "\", \"wall_s_per_sim_hour\": %.3f}\n",
+          proto::to_string(variant), result.spec.horizon,
+          result.violations_total, result.out_of_spec ? "true" : "false",
+          integ.corrupted, integ.corrupted_delivered, integ.rejected_corrupted,
+          integ.accepted, integ.spurious_rejections,
+          result.integrity_high_water, result.checkpoints.size(),
+          result.fingerprint, wall_s_per_sim_hour);
+    } else {
+      std::printf("mission %-13s %" PRId64 " ticks: %" PRIu64
+                  " violation(s), %" PRIu64 " corrupted / %" PRIu64
+                  " rejected / %" PRIu64
+                  " accepted, fingerprint %016" PRIx64
+                  ", %.3f wall s per sim hour\n",
+                  proto::to_string(variant), result.spec.horizon,
+                  result.violations_total, integ.corrupted,
+                  integ.rejected_corrupted, integ.accepted, result.fingerprint,
+                  wall_s_per_sim_hour);
+    }
+    for (const auto& violation : result.violations) {
+      std::printf("violation R%d node %d at %" PRId64 ": %s\n",
+                  violation.requirement, violation.node, violation.at,
+                  violation.detail.c_str());
+    }
+  }
+  return exit_code;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Args args = parse_args(argc, argv);
   if (!args.replay_file.empty()) return replay(args);
+  if (args.mission) return run_missions(args);
 
   chaos::CampaignOptions options;
   options.runs_per_config = args.runs;
@@ -191,7 +282,16 @@ int main(int argc, char** argv) {
   options.threads = args.threads;
   options.shrink = args.shrink;
 
+  const auto campaign_start = std::chrono::steady_clock::now();
   const chaos::CampaignResult result = chaos::run_campaign(options);
+  const double campaign_wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    campaign_start)
+          .count();
+  const double wall_s_per_sim_hour =
+      result.sim_ticks > 0 ? campaign_wall_s * kTicksPerSimHour /
+                                 static_cast<double>(result.sim_ticks)
+                           : 0;
   const char* profile = args.out_of_spec ? "out-of-spec" : "in-spec";
   const double monitor_ns = measure_monitor_ns_per_event(args.participants);
   const auto& avail = result.availability;
@@ -210,13 +310,18 @@ int main(int argc, char** argv) {
         ", \"availability_up_fraction\": %.4f, \"recoveries\": %" PRIu64
         ", \"detections\": %" PRIu64 ", \"detection_mean\": %.1f"
         ", \"detection_max\": %" PRId64 ", \"monitor_ns_per_event\": %.1f"
+        ", \"corrupted\": %" PRIu64 ", \"rejected\": %" PRIu64
+        ", \"integrity_violations\": %" PRIu64
+        ", \"wall_s_per_sim_hour\": %.3f"
         ", \"threads\": %u, \"fingerprint\": \"%016" PRIx64 "\"}\n",
         profile, result.runs, result.violating_runs, result.totals.sent,
         result.totals.delivered, result.totals.lost, result.totals.blocked,
         result.totals.duplicated, result.totals.reordered,
         result.totals.out_of_spec_delay, avail.up_fraction(),
         avail.recoveries, avail.detections, detection_mean,
-        avail.detection_max, monitor_ns, args.threads, result.fingerprint);
+        avail.detection_max, monitor_ns, result.integrity.corrupted,
+        result.integrity.rejected_corrupted, result.integrity.violations,
+        wall_s_per_sim_hour, args.threads, result.fingerprint);
   } else {
     std::printf("chaos campaign (%s): %" PRIu64 " runs, %" PRIu64
                 " violating, fingerprint %016" PRIx64 "\n",

@@ -66,6 +66,8 @@ void add_stats(sim::NetworkStats& total, const sim::NetworkStats& one) {
   total.duplicated += one.duplicated;
   total.reordered += one.reordered;
   total.out_of_spec_delay += one.out_of_spec_delay;
+  total.corrupted += one.corrupted;
+  total.rejected += one.rejected;
 }
 
 FaultAction out_of_spec_action(Rng& rng, const RunSpec& spec, Time lo,
@@ -90,6 +92,270 @@ FaultAction out_of_spec_action(Rng& rng, const RunSpec& spec, Time lo,
     action.d2 = rate[1];
   }
   return action;
+}
+
+/// One action of the legacy mixed profile, drawn into [lo, hi]. The
+/// draw sequence is exactly the pre-refactor generator body, so the
+/// bool-profile overload of generate_schedule keeps every historical
+/// seed's schedule byte for byte.
+void push_mixed_action(Rng& rng, const RunSpec& spec, Time lo, Time hi,
+                       bool leaves, FaultSchedule& schedule) {
+  FaultAction action;
+  action.at = rnd_time(rng, lo, hi);
+  const std::uint64_t roll = rng.below(100);
+  if (roll < 20) {
+    action.kind = FaultKind::SetLoss;
+    pick_link(rng, spec.participants, action.a, action.b);
+    action.p = rng.uniform01();
+  } else if (roll < 35) {
+    action.kind = FaultKind::SetBurst;
+    pick_link(rng, spec.participants, action.a, action.b);
+    action.p = 0.05 + 0.4 * rng.uniform01();   // p_enter
+    action.q = 0.1 + 0.6 * rng.uniform01();    // p_exit
+    action.r = 0.5 + 0.5 * rng.uniform01();    // burst loss
+  } else if (roll < 45) {
+    action.kind = FaultKind::SetDuplication;
+    pick_link(rng, spec.participants, action.a, action.b);
+    action.p = rng.uniform01();
+  } else if (roll < 55) {
+    action.kind = FaultKind::LinkDown;
+    pick_link(rng, spec.participants, action.a, action.b);
+    FaultAction up = action;
+    up.kind = FaultKind::LinkUp;
+    up.at = std::min<Time>(action.at + 1 + rnd_time(rng, 0, 3 * spec.tmax),
+                           hi);
+    schedule.actions.push_back(up);
+  } else if (roll < 65) {
+    action.kind = FaultKind::Partition;
+    action.a = 1;
+    action.b = 1 + static_cast<int>(rng.below(
+                       static_cast<std::uint64_t>(spec.participants)));
+    FaultAction heal = action;
+    heal.kind = FaultKind::Heal;
+    heal.at = std::min<Time>(action.at + 1 + rnd_time(rng, 0, 3 * spec.tmax),
+                             hi);
+    schedule.actions.push_back(heal);
+  } else if (roll < 80) {
+    action.kind = FaultKind::CrashParticipant;
+    action.a = 1 + static_cast<int>(rng.below(
+                       static_cast<std::uint64_t>(spec.participants)));
+  } else if (roll < 88) {
+    action.kind = FaultKind::CrashCoordinator;
+  } else if (roll < 94 && leaves) {
+    action.kind = FaultKind::Leave;
+    action.a = 1 + static_cast<int>(rng.below(
+                       static_cast<std::uint64_t>(spec.participants)));
+    if (rng.below(2) == 0) {
+      FaultAction rejoin = action;
+      rejoin.kind = FaultKind::Rejoin;
+      rejoin.at = std::min<Time>(
+          action.at + 2 * spec.tmin + 1 + rnd_time(rng, 0, 3 * spec.tmax),
+          hi);
+      schedule.actions.push_back(rejoin);
+    }
+  } else if (roll < 94) {
+    // Non-leaving variant: spend the leave slot on another crash.
+    action.kind = FaultKind::CrashParticipant;
+    action.a = 1 + static_cast<int>(rng.below(
+                       static_cast<std::uint64_t>(spec.participants)));
+  } else {
+    // In-spec delay: one-way bound stays within tmin/2.
+    action.kind = FaultKind::SetDelay;
+    pick_link(rng, spec.participants, action.a, action.b);
+    action.d1 = 0;
+    action.d2 = static_cast<Time>(rng.below(
+        static_cast<std::uint64_t>(spec.tmin / 2) + 1));
+  }
+  schedule.actions.push_back(action);
+}
+
+/// One action of the setup mix: gentle channel-parameter weather only,
+/// so a multi-cycle mission's cluster is still fully alive when the
+/// storm hits (the legacy mixed profile's crashes are permanent and
+/// would leave later cycles running on a dead cluster).
+void push_setup_action(Rng& rng, const RunSpec& spec, Time lo, Time hi,
+                       FaultSchedule& schedule) {
+  FaultAction action;
+  action.at = rnd_time(rng, lo, hi);
+  const std::uint64_t roll = rng.below(4);
+  if (roll == 0) {
+    // Sustained loss of any rate eventually exhausts the acceleration
+    // ladder, so even gentle loss auto-reverts after a few rounds.
+    action.kind = FaultKind::SetLoss;
+    pick_link(rng, spec.participants, action.a, action.b);
+    action.p = 0.3 * rng.uniform01();
+    FaultAction reset = action;
+    reset.p = 0.0;
+    reset.at = std::min<Time>(action.at + 1 + rnd_time(rng, 0, 4 * spec.tmax),
+                              hi);
+    schedule.actions.push_back(reset);
+  } else if (roll == 1) {
+    action.kind = FaultKind::SetDuplication;
+    pick_link(rng, spec.participants, action.a, action.b);
+    action.p = rng.uniform01();
+  } else if (roll == 2) {
+    action.kind = FaultKind::SetBurst;
+    pick_link(rng, spec.participants, action.a, action.b);
+    action.p = 0.05 + 0.2 * rng.uniform01();
+    action.q = 0.3 + 0.5 * rng.uniform01();
+    action.r = 0.5 + 0.4 * rng.uniform01();
+    FaultAction reset = action;
+    reset.p = 0.0;
+    reset.q = 1.0;
+    reset.r = 0.0;
+    reset.at = std::min<Time>(action.at + 1 + rnd_time(rng, 0, 4 * spec.tmax),
+                              hi);
+    schedule.actions.push_back(reset);
+  } else {
+    action.kind = FaultKind::SetDelay;
+    pick_link(rng, spec.participants, action.a, action.b);
+    action.d1 = 0;
+    action.d2 = static_cast<Time>(rng.below(
+        static_cast<std::uint64_t>(spec.tmin / 2) + 1));
+  }
+  schedule.actions.push_back(action);
+}
+
+/// One action of the storm mix: survivable heavy weather (no permanent
+/// crashes — long missions must outlive every cycle).
+void push_storm_action(Rng& rng, const RunSpec& spec,
+                       const ScheduleProfile& profile, Time lo, Time hi,
+                       FaultSchedule& schedule) {
+  const bool leaves = proto::variant_leaves(spec.variant);
+  FaultAction action;
+  action.at = rnd_time(rng, lo, hi);
+  const std::uint64_t roll = rng.below(100);
+  if (roll < 25) {
+    // Asymmetric burst storm on one direction of the whole star; the
+    // action self-reverts at at + d1, always inside the phase.
+    // Kept short: the accelerated ladder inactivates after a couple of
+    // silent rounds, so a storm much longer than tmax is a death
+    // sentence and the rest of the mission would be dead air.
+    action.kind = FaultKind::AsymmetricStorm;
+    action.a = 1;
+    action.b = spec.participants;
+    action.p = 0.1 + 0.5 * rng.uniform01();  // p_enter
+    action.q = 0.1 + 0.6 * rng.uniform01();  // p_exit
+    action.r = 0.6 + 0.4 * rng.uniform01();  // burst loss
+    action.d1 = 1 + rnd_time(rng, 0, 2 * spec.tmax);
+    action.d2 = static_cast<Time>(rng.below(2));
+  } else if (roll < 45 && leaves) {
+    // Churn wave: a staggered leave front with rejoins trailing it.
+    action.kind = FaultKind::ChurnStorm;
+    action.a = 1;
+    action.b = 1 + static_cast<int>(rng.below(
+                       static_cast<std::uint64_t>(spec.participants)));
+    action.d1 = rnd_time(rng, 0, 2 * spec.tmax);
+    action.d2 = 2 * spec.tmin + 1 + rnd_time(rng, 0, 3 * spec.tmax);
+  } else if (roll < 45) {
+    // Non-leaving variant: spend the churn slot on a loss spike
+    // (auto-reverting, same lifetime logic as the storms).
+    action.kind = FaultKind::SetLoss;
+    pick_link(rng, spec.participants, action.a, action.b);
+    action.p = 0.3 + 0.6 * rng.uniform01();
+    FaultAction reset = action;
+    reset.p = 0.0;
+    reset.at = std::min<Time>(action.at + 1 + rnd_time(rng, 0, 2 * spec.tmax),
+                              hi);
+    schedule.actions.push_back(reset);
+  } else if (roll < 60) {
+    action.kind = FaultKind::Partition;
+    action.a = 1;
+    action.b = 1 + static_cast<int>(rng.below(
+                       static_cast<std::uint64_t>(spec.participants)));
+    FaultAction heal = action;
+    heal.kind = FaultKind::Heal;
+    heal.at = std::min<Time>(action.at + 1 + rnd_time(rng, 0, 2 * spec.tmax),
+                             hi);
+    schedule.actions.push_back(heal);
+  } else if (roll < 75) {
+    action.kind = FaultKind::SetLoss;
+    pick_link(rng, spec.participants, action.a, action.b);
+    action.p = 0.3 + 0.6 * rng.uniform01();
+    FaultAction reset = action;
+    reset.p = 0.0;
+    reset.at = std::min<Time>(action.at + 1 + rnd_time(rng, 0, 2 * spec.tmax),
+                              hi);
+    schedule.actions.push_back(reset);
+  } else if (roll < 90 && profile.corrupt > 0) {
+    action.kind = FaultKind::CorruptPayload;
+    pick_link(rng, spec.participants, action.a, action.b);
+    action.p = profile.corrupt;
+  } else if (roll < 90) {
+    action.kind = FaultKind::SetBurst;
+    pick_link(rng, spec.participants, action.a, action.b);
+    action.p = 0.05 + 0.4 * rng.uniform01();
+    action.q = 0.1 + 0.6 * rng.uniform01();
+    action.r = 0.5 + 0.5 * rng.uniform01();
+  } else if (profile.clock_faults) {
+    if (rng.below(2) == 0) {
+      action.kind = FaultKind::SetClockOffset;
+      action.a = static_cast<int>(rng.below(
+          static_cast<std::uint64_t>(spec.participants) + 1));
+      action.d1 = 1 + rnd_time(rng, 0, 4 * spec.tmax);
+      if (rng.below(2) == 0) action.d1 = -action.d1;
+    } else {
+      action.kind = FaultKind::WrapClock;
+      action.a = static_cast<int>(rng.below(
+          static_cast<std::uint64_t>(spec.participants) + 1));
+      action.d1 = rnd_time(rng, 0, 4 * spec.tmax);
+    }
+  } else {
+    action.kind = FaultKind::SetDuplication;
+    pick_link(rng, spec.participants, action.a, action.b);
+    action.p = rng.uniform01();
+  }
+  schedule.actions.push_back(action);
+}
+
+/// Deterministic cleanup opening a recovery phase: heal the star and
+/// reset loss, burst and corruption on every directed link, so an
+/// in-spec mission is back on a quiet channel before the next cycle.
+void push_recovery_cleanup(const RunSpec& spec, Time at,
+                           FaultSchedule& schedule) {
+  FaultAction heal;
+  heal.kind = FaultKind::Heal;
+  heal.at = at;
+  heal.a = 1;
+  heal.b = spec.participants;
+  schedule.actions.push_back(heal);
+  for (int i = 1; i <= spec.participants; ++i) {
+    for (const bool up : {true, false}) {
+      const int from = up ? i : 0;
+      const int to = up ? 0 : i;
+      FaultAction reset;
+      reset.at = at;
+      reset.a = from;
+      reset.b = to;
+      reset.kind = FaultKind::SetLoss;
+      schedule.actions.push_back(reset);
+      reset.kind = FaultKind::SetBurst;
+      reset.q = 1.0;  // p_enter = loss = 0, exit immediately
+      schedule.actions.push_back(reset);
+      reset.q = 0.0;
+      reset.kind = FaultKind::CorruptPayload;
+      schedule.actions.push_back(reset);
+    }
+  }
+}
+
+/// One action of the gentle recovery mix.
+void push_recovery_action(Rng& rng, const RunSpec& spec, Time lo, Time hi,
+                          FaultSchedule& schedule) {
+  FaultAction action;
+  action.at = rnd_time(rng, lo, hi);
+  if (rng.below(2) == 0) {
+    action.kind = FaultKind::SetLoss;
+    pick_link(rng, spec.participants, action.a, action.b);
+    action.p = 0.1 * rng.uniform01();
+  } else {
+    action.kind = FaultKind::SetDelay;
+    pick_link(rng, spec.participants, action.a, action.b);
+    action.d1 = 0;
+    action.d2 = static_cast<Time>(rng.below(
+        static_cast<std::uint64_t>(spec.tmin / 2) + 1));
+  }
+  schedule.actions.push_back(action);
 }
 
 }  // namespace
@@ -120,76 +386,85 @@ FaultSchedule generate_schedule(const RunSpec& spec, bool out_of_spec_profile) {
   FaultSchedule schedule;
   const int count = 1 + static_cast<int>(rng.below(4));
   for (int k = 0; k < count; ++k) {
-    FaultAction action;
-    action.at = rnd_time(rng, 1, active_end);
-    const std::uint64_t roll = rng.below(100);
-    if (roll < 20) {
-      action.kind = FaultKind::SetLoss;
-      pick_link(rng, spec.participants, action.a, action.b);
-      action.p = rng.uniform01();
-    } else if (roll < 35) {
-      action.kind = FaultKind::SetBurst;
-      pick_link(rng, spec.participants, action.a, action.b);
-      action.p = 0.05 + 0.4 * rng.uniform01();   // p_enter
-      action.q = 0.1 + 0.6 * rng.uniform01();    // p_exit
-      action.r = 0.5 + 0.5 * rng.uniform01();    // burst loss
-    } else if (roll < 45) {
-      action.kind = FaultKind::SetDuplication;
-      pick_link(rng, spec.participants, action.a, action.b);
-      action.p = rng.uniform01();
-    } else if (roll < 55) {
-      action.kind = FaultKind::LinkDown;
-      pick_link(rng, spec.participants, action.a, action.b);
-      FaultAction up = action;
-      up.kind = FaultKind::LinkUp;
-      up.at = std::min<Time>(action.at + 1 + rnd_time(rng, 0, 3 * spec.tmax),
-                             active_end);
-      schedule.actions.push_back(up);
-    } else if (roll < 65) {
-      action.kind = FaultKind::Partition;
-      action.a = 1;
-      action.b = 1 + static_cast<int>(rng.below(
-                         static_cast<std::uint64_t>(spec.participants)));
-      FaultAction heal = action;
-      heal.kind = FaultKind::Heal;
-      heal.at = std::min<Time>(action.at + 1 + rnd_time(rng, 0, 3 * spec.tmax),
-                               active_end);
-      schedule.actions.push_back(heal);
-    } else if (roll < 80) {
-      action.kind = FaultKind::CrashParticipant;
-      action.a = 1 + static_cast<int>(rng.below(
-                         static_cast<std::uint64_t>(spec.participants)));
-    } else if (roll < 88) {
-      action.kind = FaultKind::CrashCoordinator;
-    } else if (roll < 94 && leaves) {
-      action.kind = FaultKind::Leave;
-      action.a = 1 + static_cast<int>(rng.below(
-                         static_cast<std::uint64_t>(spec.participants)));
-      if (rng.below(2) == 0) {
-        FaultAction rejoin = action;
-        rejoin.kind = FaultKind::Rejoin;
-        rejoin.at = std::min<Time>(
-            action.at + 2 * spec.tmin + 1 + rnd_time(rng, 0, 3 * spec.tmax),
-            active_end);
-        schedule.actions.push_back(rejoin);
-      }
-    } else if (roll < 94) {
-      // Non-leaving variant: spend the leave slot on another crash.
-      action.kind = FaultKind::CrashParticipant;
-      action.a = 1 + static_cast<int>(rng.below(
-                         static_cast<std::uint64_t>(spec.participants)));
-    } else {
-      // In-spec delay: one-way bound stays within tmin/2.
-      action.kind = FaultKind::SetDelay;
-      pick_link(rng, spec.participants, action.a, action.b);
-      action.d1 = 0;
-      action.d2 = static_cast<Time>(rng.below(
-          static_cast<std::uint64_t>(spec.tmin / 2) + 1));
-    }
-    schedule.actions.push_back(action);
+    push_mixed_action(rng, spec, 1, active_end, leaves, schedule);
   }
 
   if (out_of_spec_profile && !schedule.out_of_spec(spec.timing())) {
+    schedule.actions.push_back(out_of_spec_action(rng, spec, 1, active_end));
+  }
+
+  std::stable_sort(schedule.actions.begin(), schedule.actions.end(),
+                   [](const FaultAction& x, const FaultAction& y) {
+                     return x.at < y.at;
+                   });
+  return schedule;
+}
+
+FaultSchedule generate_schedule(const RunSpec& spec,
+                                const ScheduleProfile& profile) {
+  // A distinct stream salt keeps profile schedules independent of the
+  // legacy generator's at the same seed.
+  std::uint64_t mix = spec.seed;
+  mix = mix * 0x9e3779b97f4a7c15ULL +
+        (static_cast<std::uint64_t>(spec.variant) + 1);
+  mix ^= static_cast<std::uint64_t>(spec.tmin) << 40;
+  mix ^= static_cast<std::uint64_t>(spec.tmax) << 20;
+  mix ^= 0x4d15510eULL;
+  Rng rng(mix);
+
+  const Time settle =
+      settle_margin(spec.timing(), spec.variant, spec.fixed_bounds);
+  const Time active_end = std::max<Time>(spec.horizon - settle, 1);
+  const int cycles = std::max(profile.cycles, 1);
+  const Time cycle_len = std::max<Time>(active_end / cycles, 4);
+
+  FaultSchedule schedule;
+  for (int c = 0; c < cycles; ++c) {
+    const Time c0 = 1 + static_cast<Time>(c) * cycle_len;
+    if (c0 > active_end) break;
+    const Time setup_end = std::min(c0 + cycle_len / 4, active_end);
+    const Time storm_end = std::min(c0 + (3 * cycle_len) / 4, active_end);
+    const Time cycle_end = std::min(c0 + cycle_len - 1, active_end);
+
+    // Armed corruption runs through setup and storm of every cycle
+    // deterministically (the recovery cleanup disarms it), so even a
+    // mission whose cluster dies in its first storm exercises the wire
+    // validation while the protocol is still alive.
+    if (profile.corrupt > 0) {
+      for (int i = 1; i <= spec.participants; ++i) {
+        for (const bool up : {true, false}) {
+          FaultAction arm;
+          arm.kind = FaultKind::CorruptPayload;
+          arm.at = c0;
+          arm.a = up ? i : 0;
+          arm.b = up ? 0 : i;
+          arm.p = profile.corrupt;
+          schedule.actions.push_back(arm);
+        }
+      }
+    }
+    const int setup = 1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(
+                              std::max(profile.setup_budget, 1))));
+    for (int k = 0; k < setup; ++k) {
+      push_setup_action(rng, spec, c0, setup_end, schedule);
+    }
+    const int storm = 1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(
+                              std::max(profile.storm_budget, 1))));
+    for (int k = 0; k < storm; ++k) {
+      push_storm_action(rng, spec, profile, setup_end + 1, storm_end, schedule);
+    }
+    push_recovery_cleanup(spec, storm_end + 1, schedule);
+    if (profile.recovery_budget > 0) {
+      const int recovery =
+          static_cast<int>(rng.below(
+              static_cast<std::uint64_t>(profile.recovery_budget) + 1));
+      for (int k = 0; k < recovery; ++k) {
+        push_recovery_action(rng, spec, storm_end + 1, cycle_end, schedule);
+      }
+    }
+  }
+
+  if (profile.out_of_spec && !schedule.out_of_spec(spec.timing())) {
     schedule.actions.push_back(out_of_spec_action(rng, spec, 1, active_end));
   }
 
@@ -331,8 +606,10 @@ CampaignResult run_campaign(const CampaignOptions& options) {
   std::uint64_t fingerprint = 1469598103934665603ULL;
   for (std::size_t i = 0; i < specs.size(); ++i) {
     ++result.runs;
+    result.sim_ticks += static_cast<std::uint64_t>(specs[i].horizon);
     add_stats(result.totals, slots[i].result.net_stats);
     result.availability += slots[i].result.availability;
+    result.integrity += slots[i].result.integrity;
     fingerprint = (fingerprint ^ slots[i].hash) * 1099511628211ULL;
     if (slots[i].result.violations.empty()) continue;
     ++result.violating_runs;

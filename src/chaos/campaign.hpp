@@ -57,10 +57,15 @@ struct ViolatingRun {
 struct CampaignResult {
   std::uint64_t runs = 0;
   std::uint64_t violating_runs = 0;
+  /// Summed horizons of every run — the campaign's simulated ticks
+  /// (the denominator of wall-time-per-simulated-hour reporting).
+  std::uint64_t sim_ticks = 0;
   sim::NetworkStats totals;  ///< summed over every run
   /// Availability score summed over every run (rv::AvailabilityStats):
   /// node up/down time, recoveries, detection-latency histogram.
   rv::AvailabilitySummary availability;
+  /// Payload-integrity counters summed over every run.
+  rv::IntegritySummary integrity;
   std::vector<ViolatingRun> violating;
   /// FNV-1a over every run's serialized spec + protocol trace, folded
   /// in run order; byte-equal across repeats and thread counts.
@@ -70,6 +75,34 @@ struct CampaignResult {
 /// Deterministic schedule generation for `spec` (whose seed, variant,
 /// timing and horizon select the faults). Exposed for tests.
 FaultSchedule generate_schedule(const RunSpec& spec, bool out_of_spec_profile);
+
+/// Multi-phase generation profile: the active window splits into
+/// `cycles` equal cycles, each a setup (first quarter) -> storm (middle
+/// half) -> recovery (last quarter) sequence with its own action
+/// budget. Storms draw from the heavy mix (asymmetric burst storms,
+/// churn waves, partitions, loss spikes, payload corruption when
+/// armed); every recovery opens with a deterministic cleanup (heal +
+/// loss/burst/corruption reset on every star link) so an in-spec
+/// mission returns to a quiet channel before the next cycle. This
+/// lifts the legacy generator's 4-action cap: the bool-profile
+/// overload above keeps its original stream byte for byte, missions
+/// use this one.
+struct ScheduleProfile {
+  int cycles = 1;
+  int setup_budget = 2;     ///< max actions per setup phase (min 1)
+  int storm_budget = 4;     ///< max actions per storm phase (min 1)
+  int recovery_budget = 2;  ///< max actions per recovery phase (min 0)
+  /// > 0 arms CorruptPayload storms with this per-message probability.
+  double corrupt = 0.0;
+  /// Storms may inject clock faults (SetClockOffset is out of spec;
+  /// WrapClock is in spec only under the modular-clock guard).
+  bool clock_faults = false;
+  /// Also guarantee one legacy out-of-spec action (delay/drift).
+  bool out_of_spec = false;
+};
+
+FaultSchedule generate_schedule(const RunSpec& spec,
+                                const ScheduleProfile& profile);
 
 /// The horizon a generated run needs: an active fault window followed
 /// by a settle margin long enough that every monitor deadline armed in

@@ -28,6 +28,11 @@ constexpr KindName kKindNames[] = {
     {FaultKind::Leave, "leave"},
     {FaultKind::Rejoin, "rejoin"},
     {FaultKind::SetDrift, "set-drift"},
+    {FaultKind::CorruptPayload, "corrupt-payload"},
+    {FaultKind::SetClockOffset, "set-clock-offset"},
+    {FaultKind::WrapClock, "wrap-clock"},
+    {FaultKind::AsymmetricStorm, "asymmetric-storm"},
+    {FaultKind::ChurnStorm, "churn-storm"},
 };
 
 constexpr Variant kVariants[] = {
@@ -137,6 +142,11 @@ bool FaultAction::out_of_spec(const proto::Timing& timing) const {
       return d2 > timing.tmin / 2;
     case FaultKind::SetDrift:
       return d1 != d2;
+    case FaultKind::SetClockOffset:
+      // Any register jump breaks the rate-1 clock assumption; the
+      // guard only makes the *reaction* fail-safe (fence), it cannot
+      // make the resulting inactivation an explained one.
+      return d1 != 0;
     default:
       return false;
   }
@@ -149,18 +159,49 @@ bool FaultSchedule::out_of_spec(const proto::Timing& timing) const {
   return false;
 }
 
+bool RunSpec::out_of_spec() const {
+  for (const auto& action : schedule.actions) {
+    switch (action.kind) {
+      case FaultKind::CorruptPayload:
+        // With validation the receiver turns corruption into message
+        // destruction (in spec); without it, corrupted payloads reach
+        // the engine.
+        if (!wire_validation && action.p > 0) return true;
+        break;
+      case FaultKind::WrapClock:
+        // The wrap preserves ages, so only the guard-off ordered
+        // comparison misreads it.
+        if (!clock_guard) return true;
+        break;
+      default:
+        if (action.out_of_spec(timing())) return true;
+        break;
+    }
+  }
+  return false;
+}
+
 std::string serialize_run(const RunSpec& spec) {
-  char header[320];
+  // The guard fields are emitted only when off so every pre-existing
+  // artifact — and its campaign fingerprint — stays byte-identical.
+  char guards[96] = "";
+  if (!spec.wire_validation || !spec.clock_guard) {
+    std::snprintf(guards, sizeof guards,
+                  ", \"wire_validation\": %s, \"clock_guard\": %s",
+                  spec.wire_validation ? "true" : "false",
+                  spec.clock_guard ? "true" : "false");
+  }
+  char header[400];
   std::snprintf(header, sizeof header,
                 "{\"schedule\": \"ahb-chaos\", \"variant\": \"%s\", "
                 "\"tmin\": %" PRId64 ", \"tmax\": %" PRId64
                 ", \"fixed_bounds\": %s, \"receive_priority\": %s, "
                 "\"participants\": %d, \"seed\": %" PRIu64
-                ", \"horizon\": %" PRId64 "}",
+                ", \"horizon\": %" PRId64 "%s}",
                 proto::to_string(spec.variant), spec.tmin, spec.tmax,
                 spec.fixed_bounds ? "true" : "false",
                 spec.receive_priority ? "true" : "false", spec.participants,
-                spec.seed, spec.horizon);
+                spec.seed, spec.horizon, guards);
   std::string out = header;
   out += '\n';
   for (const auto& action : spec.schedule.actions) {
@@ -198,6 +239,9 @@ std::optional<RunSpec> parse_run(const std::string& text) {
           !read_int(line, "horizon", spec.horizon)) {
         return std::nullopt;
       }
+      // Optional guard fields (absent in pre-corruption artifacts).
+      read_bool(line, "wire_validation", spec.wire_validation);
+      read_bool(line, "clock_guard", spec.clock_guard);
       const auto variant = variant_from_string(variant_name);
       if (!variant || participants < 1 || !spec.timing().valid()) {
         return std::nullopt;

@@ -40,6 +40,13 @@ enum class FaultKind {
   Leave,            ///< participant a leaves gracefully (dynamic variant)
   Rejoin,           ///< participant a re-enters the join phase
   SetDrift,         ///< node a's clock rate := d1/d2 local units per global
+  CorruptPayload,   ///< a->b: in-flight bit-flip probability := p
+  SetClockOffset,   ///< node a's hardware clock register jumps by d1 ticks
+  WrapClock,        ///< node a's register repositioned d1 ticks before 2^64
+  AsymmetricStorm,  ///< burst (p,q,r) on one direction only for members
+                    ///< a..b — d2 = 0 uplinks, 1 downlinks — for d1 ticks
+  ChurnStorm,       ///< members a..b leave in a wave staggered d1 apart,
+                    ///< each rejoining d2 after its leave (d2 = 0: no rejoin)
 };
 
 const char* to_string(FaultKind kind);
@@ -65,10 +72,15 @@ struct FaultAction {
 
   /// True when this action steps outside the protocol's channel/clock
   /// assumptions at the given timing: a one-way delay bound above
-  /// tmin/2 (breaking the round-trip <= tmin premise) or a clock rate
-  /// other than 1. Everything else — loss, bursts, partitions,
-  /// duplication, crashes, leaves — is within spec, so any monitor
-  /// violation under it is a genuine protocol bug.
+  /// tmin/2 (breaking the round-trip <= tmin premise), a clock rate
+  /// other than 1, or a clock-register jump. Everything else — loss,
+  /// bursts, partitions, duplication, crashes, leaves, churn,
+  /// asymmetric storms, payload corruption (the boundary validation
+  /// turns it into message destruction) — is within spec, so any
+  /// monitor violation under it is a genuine protocol bug. Some kinds
+  /// are guard-dependent (a WrapClock is harmless only under the
+  /// modular-clock guard): RunSpec::out_of_spec() accounts for the
+  /// run's guard configuration, this per-action form assumes guards on.
   bool out_of_spec(const proto::Timing& timing) const;
 };
 
@@ -92,9 +104,19 @@ struct RunSpec {
   int participants = 1;
   std::uint64_t seed = 1;
   Time horizon = 1000;
+  /// Receiver guards. Both default on (the fail-safe configuration);
+  /// turning one off is itself an out-of-spec experiment — the mutation
+  /// canaries that prove the monitors would catch a missing guard.
+  bool wire_validation = true;
+  bool clock_guard = true;
   FaultSchedule schedule;
 
   proto::Timing timing() const { return proto::Timing{tmin, tmax}; }
+
+  /// Schedule out-of-spec accounting for *this run's* guard
+  /// configuration: payload corruption is in spec only under wire
+  /// validation, a clock wrap only under the modular-clock guard.
+  bool out_of_spec() const;
 
   friend bool operator==(const RunSpec&, const RunSpec&) = default;
 };

@@ -57,10 +57,30 @@ void apply_link_change(hb::Cluster& cluster, const FaultAction& action) {
     case FaultKind::SetDuplication:
       params.duplicate_probability = std::clamp(action.p, 0.0, 1.0);
       break;
+    case FaultKind::CorruptPayload:
+      params.corrupt_probability = std::clamp(action.p, 0.0, 1.0);
+      break;
     default:
       return;
   }
   net.set_link(action.a, action.b, params);
+}
+
+/// One directed half of an asymmetric storm: burst (p,q,r) on the
+/// uplink (member -> coordinator, d2 == 0) or downlink of every member
+/// in [lo, hi], reverting to burst-off when the storm ends.
+void apply_storm(hb::Cluster& cluster, const FaultAction& action, int lo,
+                 int hi, bool start) {
+  auto& net = cluster.network();
+  for (int i = lo; i <= hi; ++i) {
+    const int from = action.d2 == 0 ? i : 0;
+    const int to = action.d2 == 0 ? 0 : i;
+    auto params = net.link_params(from, to);
+    params.burst.p_enter = start ? std::clamp(action.p, 0.0, 1.0) : 0.0;
+    params.burst.p_exit = start ? std::clamp(action.q, 0.0, 1.0) : 1.0;
+    params.burst.loss = start ? std::clamp(action.r, 0.0, 1.0) : 0.0;
+    net.set_link(from, to, params);
+  }
 }
 
 /// Schedules one action. Malformed operands (node ids outside the
@@ -75,6 +95,7 @@ void schedule_action(hb::Cluster& cluster, const RunSpec& spec,
     case FaultKind::SetBurst:
     case FaultKind::SetDelay:
     case FaultKind::SetDuplication:
+    case FaultKind::CorruptPayload:
       if (!valid_node(spec, action.a) || !valid_node(spec, action.b)) return;
       sim.at(action.at,
              [&cluster, action] { apply_link_change(cluster, action); });
@@ -124,10 +145,48 @@ void schedule_action(hb::Cluster& cluster, const RunSpec& spec,
         cluster.set_drift(action.a, action.d1, action.d2);
       });
       break;
+    case FaultKind::SetClockOffset:
+      if (!valid_node(spec, action.a) || action.d1 == 0) return;
+      cluster.corrupt_clock_at(action.a, action.at, action.d1);
+      break;
+    case FaultKind::WrapClock:
+      if (!valid_node(spec, action.a) || action.d1 < 0) return;
+      cluster.wrap_clock_at(action.a, action.at,
+                            static_cast<std::uint64_t>(action.d1));
+      break;
+    case FaultKind::AsymmetricStorm: {
+      const int lo = std::max(action.a, 1);
+      const int hi = std::min(action.b, spec.participants);
+      if (lo > hi || action.d1 <= 0) return;
+      sim.at(action.at, [&cluster, action, lo, hi] {
+        apply_storm(cluster, action, lo, hi, true);
+      });
+      sim.at(action.at + action.d1, [&cluster, action, lo, hi] {
+        apply_storm(cluster, action, lo, hi, false);
+      });
+      break;
+    }
+    case FaultKind::ChurnStorm: {
+      const int lo = std::max(action.a, 1);
+      const int hi = std::min(action.b, spec.participants);
+      if (lo > hi || action.d1 < 0 || action.d2 < 0) return;
+      for (int i = lo; i <= hi; ++i) {
+        const Time leave = action.at + static_cast<Time>(i - lo) * action.d1;
+        cluster.leave_at(i, leave);
+        if (action.d2 > 0) cluster.rejoin_at(i, leave + action.d2);
+      }
+      break;
+    }
   }
 }
 
 }  // namespace
+
+void schedule_actions(hb::Cluster& cluster, const RunSpec& spec) {
+  for (const auto& action : spec.schedule.actions) {
+    schedule_action(cluster, spec, action);
+  }
+}
 
 hb::ClusterConfig cluster_config_for(const RunSpec& spec) {
   hb::ClusterConfig config;
@@ -136,6 +195,8 @@ hb::ClusterConfig cluster_config_for(const RunSpec& spec) {
   config.participants = spec.participants;
   config.seed = spec.seed;
   config.receive_priority = spec.receive_priority;
+  config.wire_validation = spec.wire_validation;
+  config.clock_guard = spec.clock_guard;
   return config;
 }
 
@@ -161,6 +222,7 @@ RunResult run_chaos(const RunSpec& spec, const MonitorBounds* bounds,
   suspicion_config.participants = spec.participants;
   rv::SuspicionMonitor suspicion(suspicion_config, monitor_bounds);
   rv::AvailabilityStats availability(spec.participants);
+  rv::IntegrityMonitor integrity;
 
   // The whole monitor stack rides the sink chain; the trace/event
   // recorder is the legacy callback adapter, which the cluster
@@ -168,9 +230,10 @@ RunResult run_chaos(const RunSpec& spec, const MonitorBounds* bounds,
   monitor.attach(cluster);
   suspicion.attach(cluster);
   cluster.add_sink(&availability);
+  integrity.attach(cluster);
 
   RunResult result;
-  result.out_of_spec = spec.schedule.out_of_spec(spec.timing());
+  result.out_of_spec = spec.out_of_spec();
 
   if (record_trace || record_events) {
     cluster.on_protocol_event([&](const hb::ProtocolEvent& event) {
@@ -185,12 +248,7 @@ RunResult run_chaos(const RunSpec& spec, const MonitorBounds* bounds,
     });
   }
 
-  // Fault actions are scheduled before start() in schedule order, so
-  // same-instant actions fire FIFO exactly as listed — replay order is
-  // part of the schedule's meaning.
-  for (const auto& action : spec.schedule.actions) {
-    schedule_action(cluster, spec, action);
-  }
+  schedule_actions(cluster, spec);
 
   cluster.start();
   cluster.run_until(spec.horizon);
@@ -200,7 +258,11 @@ RunResult run_chaos(const RunSpec& spec, const MonitorBounds* bounds,
   result.violations.insert(result.violations.end(),
                            suspicion.violations().begin(),
                            suspicion.violations().end());
+  result.violations.insert(result.violations.end(),
+                           integrity.violations().begin(),
+                           integrity.violations().end());
   result.availability = availability.summary();
+  result.integrity = integrity.summary();
   result.net_stats = cluster.network_stats();
   result.all_inactive = cluster.all_inactive();
   return result;

@@ -14,15 +14,19 @@
 #include "chaos/monitor.hpp"
 #include "hb/cluster.hpp"
 #include "rv/availability.hpp"
+#include "rv/integrity.hpp"
 
 namespace ahb::chaos {
 
 struct RunResult {
-  /// R1–R3 violations first (in detection order), then any suspicion-
-  /// ladder (requirement 4) violations.
+  /// R1–R3 violations first (in detection order), then suspicion-
+  /// ladder (requirement 4) and payload-integrity (requirement 5)
+  /// violations.
   std::vector<Violation> violations;
   /// Availability score of the run (rv::AvailabilityStats).
   rv::AvailabilitySummary availability;
+  /// Payload-integrity counters (rv::IntegrityMonitor).
+  rv::IntegritySummary integrity;
   sim::NetworkStats net_stats;
   /// The schedule stepped outside the channel/clock assumptions, so
   /// violations are expected rather than bugs.
@@ -51,5 +55,11 @@ RunResult run_chaos(const RunSpec& spec, const MonitorBounds* bounds = nullptr,
 /// conformance layer can replay a recorded chaos trace through the model
 /// built for exactly this configuration).
 hb::ClusterConfig cluster_config_for(const RunSpec& spec);
+
+/// Schedules every action of `spec.schedule` on `cluster` (before
+/// start(), in schedule order — same-instant actions fire FIFO exactly
+/// as listed). Exposed so the mission runner applies schedules to its
+/// own long-lived clusters through the one shared interpreter.
+void schedule_actions(hb::Cluster& cluster, const RunSpec& spec);
 
 }  // namespace ahb::chaos

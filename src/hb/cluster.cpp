@@ -7,11 +7,14 @@ namespace ahb::hb {
 Cluster::Cluster(const ClusterConfig& config)
     : config_(config),
       sim_(config.seed),
-      net_(sim_, sim::Network<Message>::LinkParams{
-                     config.loss_probability, config.min_delay,
-                     config.max_delay >= 0 ? config.max_delay
-                                           : std::max<sim::Time>(
-                                                 config.protocol.tmin / 2, 0),
+      net_(sim_, sim::LinkParams{
+                     .loss_probability = config.loss_probability,
+                     .min_delay = config.min_delay,
+                     .max_delay = config.max_delay >= 0
+                                      ? config.max_delay
+                                      : std::max<sim::Time>(
+                                            config.protocol.tmin / 2, 0),
+                     .corrupt_probability = config.corrupt_probability,
                  }) {
   AHB_EXPECTS(config.protocol.valid());
   AHB_EXPECTS(config.participants >= 1);
@@ -50,31 +53,62 @@ Cluster::Cluster(const ClusterConfig& config)
     if (sinks_.wants(event.kind)) sinks_.emit(event);
   });
 
-  net_.attach(0, [this](int from, const Message& msg, std::uint64_t id) {
+  net_.attach(0, [this](int from, const WireMessage& wire, std::uint64_t id) {
     ++node_stats_[0].received;
+    // Boundary validation before the engine sees anything: a corrupted
+    // image is rejected and counted, never acted on (fail-safe).
+    const std::optional<Message> msg = decode_wire(from, wire);
+    if (!msg) {
+      reject_wire(from, 0, id);
+      return;
+    }
     // A delivery to a crashed/inactive coordinator is absorbed silently
     // (the model aborts the channel wait instead of delivering).
     if (coordinator_->status() == Status::Active) {
-      emit(msg.flag ? ProtocolEvent::Kind::CoordinatorReceivedBeat
-                    : ProtocolEvent::Kind::CoordinatorReceivedLeave,
+      emit(msg->flag ? ProtocolEvent::Kind::CoordinatorReceivedBeat
+                     : ProtocolEvent::Kind::CoordinatorReceivedLeave,
            from, id);
     }
-    dispatch(0, coordinator_->on_message(local_now(0), msg));
+    dispatch(0, coordinator_->on_message(local_now(0), *msg));
     arm_timer(0);
   });
   for (int i = 1; i <= config.participants; ++i) {
-    net_.attach(i, [this, i](int from, const Message& msg, std::uint64_t id) {
-      (void)from;
+    net_.attach(i, [this, i](int from, const WireMessage& wire,
+                             std::uint64_t id) {
       ++node_stats_[static_cast<std::size_t>(i)].received;
-      if (msg.flag &&
+      const std::optional<Message> msg = decode_wire(from, wire);
+      if (!msg) {
+        reject_wire(from, i, id);
+        return;
+      }
+      if (msg->flag &&
           parts_[static_cast<std::size_t>(i) - 1]->status() ==
               Status::Active) {
         emit(ProtocolEvent::Kind::ParticipantReceivedBeat, i, id);
       }
       dispatch(i, parts_[static_cast<std::size_t>(i) - 1]->on_message(
-                      local_now(i), msg));
+                      local_now(i), *msg));
       arm_timer(i);
     });
+  }
+}
+
+std::optional<Message> Cluster::decode_wire(int from,
+                                            const WireMessage& wire) const {
+  if (!config_.wire_validation) return wire_decode_unchecked(wire);
+  std::optional<Message> msg = wire_decode(wire);
+  // The checksum cannot catch a flip that lands a *different* valid
+  // image; the transport-level origin does: the sender field must match
+  // the link the image arrived on.
+  if (msg && msg->sender != from) return std::nullopt;
+  return msg;
+}
+
+void Cluster::reject_wire(int from, int to, std::uint64_t id) {
+  net_.count_rejection();
+  if (sinks_.wants(sim::ChannelEvent::Kind::Rejected)) {
+    sinks_.emit(sim::ChannelEvent{sim::ChannelEvent::Kind::Rejected, from, to,
+                                  id, sim_.now(), 0});
   }
 }
 
@@ -157,12 +191,111 @@ void Cluster::set_drift(int id, std::int64_t num, std::int64_t den) {
   AHB_EXPECTS(num > 0 && den > 0);
   auto& clock = clocks_[static_cast<std::size_t>(id)];
   const sim::Time now = sim_.now();
-  clock.base_local = clock.local(now);
+  // Close the old affine segment (register and engine anchor stay
+  // continuous across the rate change).
+  clock.hw_base = clock.hw(now);
+  clock.base_engine =
+      clock.base_engine + (now - clock.base_global) * clock.num / clock.den;
   clock.base_global = now;
   clock.num = num;
   clock.den = den;
   // Timers were armed under the old rate; re-arm at the new one.
   if (started_) arm_timer(id);
+}
+
+sim::Time Cluster::advance_clock(int node_id) {
+  auto& clock = clocks_[static_cast<std::size_t>(node_id)];
+  const std::uint64_t hw_now = clock.hw(sim_.now());
+  if (hw_now == clock.hw_last) return clock.engine_local;
+  if (config_.clock_guard) {
+    // Modular-time idiom: only the age between two reads is meaningful,
+    // and only when it fits the half range. An invalid age is never
+    // acted on — the fault latches and the caller fences the node.
+    const std::uint64_t age = hw_now - clock.hw_last;
+    clock.hw_last = hw_now;
+    if (age < (1ULL << 63)) {
+      clock.engine_local += static_cast<sim::Time>(age);
+    } else {
+      clock.fault = true;
+    }
+    return clock.engine_local;
+  }
+  // Guard off (the historical bug): absolute register values compared
+  // raw, so a wrap or backward jump makes local time leap backwards.
+  // Saturating arithmetic keeps the leap itself well-defined.
+  static constexpr sim::Time kClamp = kNever / 4;
+  const auto clamped = [](__int128 value) {
+    if (value > kClamp) return kClamp;
+    if (value < -kClamp) return -kClamp;
+    return static_cast<sim::Time>(value);
+  };
+  if (hw_now >= clock.hw_last) {
+    clock.engine_local = clamped(static_cast<__int128>(clock.engine_local) +
+                                 (hw_now - clock.hw_last));
+  } else {
+    clock.engine_local = clamped(static_cast<__int128>(clock.engine_local) -
+                                 (clock.hw_last - hw_now));
+    // The reconstruction left the affine track timers were mapped on;
+    // re-anchor so future deadlines translate from the leaped clock.
+    clock.hw_base = hw_now;
+    clock.base_global = sim_.now();
+    clock.base_engine = clock.engine_local;
+  }
+  clock.hw_last = hw_now;
+  return clock.engine_local;
+}
+
+void Cluster::fence_node(int node_id, sim::Time local) {
+  dispatch(node_id,
+           node_id == 0
+               ? coordinator_->fence(local)
+               : parts_[static_cast<std::size_t>(node_id) - 1]->fence(local));
+  arm_timer(node_id);  // engine is inactive: cancels any pending timer
+}
+
+void Cluster::corrupt_clock_at(int id, sim::Time when, std::int64_t delta) {
+  AHB_EXPECTS(id >= 0 && id <= participant_count());
+  sim_.at(when, [this, id, delta] {
+    auto& clock = clocks_[static_cast<std::size_t>(id)];
+    const sim::Time now = sim_.now();
+    // Jump the register (rebasing the rate segment at the injection
+    // instant) and force a clock read right away, so the node's
+    // reaction — fail-safe fence on a backward jump, conservative
+    // timeout on a forward one — is deterministic.
+    clock.hw_base = clock.hw(now) + static_cast<std::uint64_t>(delta);
+    clock.base_global = now;
+    const sim::Time local = advance_clock(id);
+    clock.base_engine = local;  // re-anchor the timer mapping
+    clock.base_global = now;
+    if (clock.fault) {
+      fence_node(id, local);
+      return;
+    }
+    // A forward jump may have blown straight past engine deadlines.
+    dispatch(id, node_elapsed(id, local));
+    arm_timer(id);
+  });
+}
+
+void Cluster::wrap_clock_at(int id, sim::Time when, std::uint64_t margin) {
+  AHB_EXPECTS(id >= 0 && id <= participant_count());
+  sim_.at(when, [this, id, margin] {
+    auto& clock = clocks_[static_cast<std::size_t>(id)];
+    const sim::Time now = sim_.now();
+    const std::uint64_t hw_now = clock.hw(now);
+    // Reposition the register `margin` ticks before the 2^64 boundary,
+    // translating the read history by the same shift: no age changes,
+    // only the absolute position — which the modular idiom never looks
+    // at, and the raw comparison fatally does once the wrap crosses.
+    // The engine<->global affine segment closes here like on a rate
+    // change: the reposition must not move any armed deadline.
+    const std::uint64_t shift = (0 - margin) - hw_now;
+    clock.hw_base = hw_now + shift;
+    clock.base_engine =
+        clock.base_engine + (now - clock.base_global) * clock.num / clock.den;
+    clock.base_global = now;
+    clock.hw_last += shift;
+  });
 }
 
 bool Cluster::all_inactive() const {
@@ -182,7 +315,8 @@ void Cluster::dispatch(int node_id, const Actions& actions) {
   std::uint32_t beat_fanout = 0;
   for (const auto& out : actions.messages) {
     ++node_stats_[static_cast<std::size_t>(node_id)].sent;
-    const std::uint64_t id = net_.send(node_id, out.to, out.message);
+    const std::uint64_t id =
+        net_.send(node_id, out.to, wire_encode(out.message));
     if (node_id == 0) {
       coordinator_beat = coordinator_beat || out.message.flag;
       if (out.message.flag) {

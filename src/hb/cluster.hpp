@@ -7,12 +7,14 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "hb/coordinator.hpp"
 #include "hb/participant.hpp"
 #include "hb/protocol_event.hpp"
+#include "hb/wire.hpp"
 #include "rv/sink_chain.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
@@ -34,6 +36,18 @@ struct ClusterConfig {
   /// very anomaly (Figs. 11/12 of the analysis) the fix removes; it is
   /// essential when the tight `fixed_bounds` deadlines are used.
   bool receive_priority = true;
+  /// Per-send payload bit-flip probability on every link (the chaos
+  /// layer can also arm it per link via network().set_link).
+  double corrupt_probability = 0.0;
+  /// Receivers parse-or-drop the wire image (hb/wire.hpp). Disabling
+  /// this is the mutation canary: corrupted payloads reach the engines.
+  bool wire_validation = true;
+  /// Half-range rule on node clock reads: an age >= 2^63 between two
+  /// reads of the modular hardware clock is invalid and fences the node
+  /// (fail-safe non-voluntary inactivation) instead of being acted on.
+  /// Disabling it models the historical bug — raw ordered comparison of
+  /// absolute register values, which a wrap or backward jump breaks.
+  bool clock_guard = true;
 };
 
 /// Per-node message counters (the overhead metric of the benchmarks).
@@ -73,13 +87,32 @@ class Cluster {
   /// Identity (1/1) is the default and leaves behaviour untouched.
   void set_drift(int id, std::int64_t num, std::int64_t den);
 
+  /// Clock corruption: at global time `when`, node `id`'s hardware
+  /// clock register jumps by `delta` ticks (negative = backwards). The
+  /// node observes the jump immediately. Under the half-range rule a
+  /// backward jump is an invalid age and fences the node; a forward
+  /// jump is indistinguishable from elapsed time, so the node
+  /// conservatively times out whatever deadlines the jump crossed.
+  void corrupt_clock_at(int id, sim::Time when, std::int64_t delta);
+
+  /// Clock wrap: at global time `when`, node `id`'s hardware clock
+  /// register is repositioned `margin` ticks before the 2^64 wrap
+  /// point, preserving all pending ages (only the absolute position
+  /// moves). With the modular-time idiom (clock_guard on) the
+  /// subsequent wrap is unobservable; with the guard off the raw
+  /// comparison sees time leap backwards at the crossing.
+  void wrap_clock_at(int id, sim::Time when, std::uint64_t margin);
+
+  /// The transport carries validated 8-byte wire images (hb/wire.hpp).
+  using Transport = sim::Network<WireMessage>;
+
   /// Direct access to the transport, for fault injection beyond the
-  /// convenience wrappers above (loss/burst/duplication/delay changes).
-  /// Node 0 is the coordinator. The network's single channel-event
-  /// observer slot is claimed by the cluster itself to feed the sink
-  /// chain — observe channel events via on_channel_event or add_sink,
-  /// not Network::on_channel_event.
-  sim::Network<Message>& network() { return net_; }
+  /// convenience wrappers above (loss/burst/duplication/corruption/
+  /// delay changes). Node 0 is the coordinator. The network's single
+  /// channel-event observer slot is claimed by the cluster itself to
+  /// feed the sink chain — observe channel events via on_channel_event
+  /// or add_sink, not Network::on_channel_event.
+  Transport& network() { return net_; }
 
   const ClusterConfig& config() const { return config_; }
 
@@ -128,24 +161,40 @@ class Cluster {
   bool all_inactive() const;
 
  private:
-  /// Piecewise-linear node clock: local = base_local + (global -
-  /// base_global) * num / den. Rebased whenever the rate changes so the
-  /// local clock is continuous and monotone.
+  /// Node clock, pulse-style: the *hardware* register is a free-running
+  /// modular uint64 advancing at rate num/den per global unit, and the
+  /// *engine* clock the protocol code sees is reconstructed from it one
+  /// age at a time — age(a, b) = (a - b) mod 2^64, valid iff < 2^63
+  /// (the half-range rule). Ages telescope, so in normal operation the
+  /// reconstruction is exactly the old piecewise-affine local clock;
+  /// the difference only shows when chaos jumps or wraps the register.
+  /// `base_engine`/`base_global` anchor the affine segment timers are
+  /// mapped through; they are rebased on rate changes, clock jumps, and
+  /// raw-mode divergence so engine deadlines stay translatable.
   struct NodeClock {
     std::int64_t num = 1;
     std::int64_t den = 1;
     sim::Time base_global = 0;
-    sim::Time base_local = 0;
+    std::uint64_t hw_base = 0;    ///< register value at base_global
+    std::uint64_t hw_last = 0;    ///< register value at the last read
+    sim::Time base_engine = 0;    ///< engine clock at base_global
+    sim::Time engine_local = 0;   ///< reconstructed engine clock
+    bool fault = false;           ///< latched half-range violation
 
-    sim::Time local(sim::Time global) const {
-      return base_local + (global - base_global) * num / den;
+    std::uint64_t hw(sim::Time global) const {
+      return hw_base +
+             static_cast<std::uint64_t>((global - base_global) * num / den);
     }
-    /// Earliest global instant whose local image is >= `local_when`.
+    /// Earliest global instant whose engine-clock image reaches
+    /// `local_when` (clamped to kNever when the affine segment cannot
+    /// reach it within the representable range).
     sim::Time global_for(sim::Time local_when) const {
       if (local_when == kNever) return kNever;
-      const sim::Time span = local_when - base_local;
+      const __int128 span =
+          static_cast<__int128>(local_when) - base_engine;
       if (span <= 0) return base_global;
-      return base_global + (span * den + num - 1) / num;  // ceil
+      const __int128 global = base_global + (span * den + num - 1) / num;
+      return global >= kNever ? kNever : static_cast<sim::Time>(global);
     }
   };
 
@@ -155,13 +204,21 @@ class Cluster {
   void arm_timer(int node_id);
   Actions node_elapsed(int node_id, sim::Time now);
   sim::Time node_next_event(int node_id) const;
-  sim::Time local_now(int node_id) const {
-    return clocks_[static_cast<std::size_t>(node_id)].local(sim_.now());
-  }
+  /// Reads node `node_id`'s clock: advances the reconstruction by the
+  /// age since the previous read (latching `fault` on a half-range
+  /// violation when the guard is on) and returns the engine clock.
+  sim::Time advance_clock(int node_id);
+  sim::Time local_now(int node_id) { return advance_clock(node_id); }
+  /// Parse-or-drop boundary validation of a delivered wire image.
+  std::optional<Message> decode_wire(int from, const WireMessage& wire) const;
+  /// Counts and reports a boundary rejection of message `id`.
+  void reject_wire(int from, int to, std::uint64_t id);
+  /// Fail-safe reaction to a latched clock fault: fence the engine.
+  void fence_node(int node_id, sim::Time local);
 
   ClusterConfig config_;
   sim::Simulator sim_;
-  sim::Network<Message> net_;
+  Transport net_;
   std::unique_ptr<Coordinator> coordinator_;
   std::vector<std::unique_ptr<Participant>> parts_;
   std::vector<sim::Simulator::EventId> timers_;  // index: node id

@@ -14,6 +14,7 @@ ScaleCluster::ScaleCluster(const ClusterConfig& config)
       timer_priority_(config.receive_priority ? 1 : 0),
       rng_(config.seed),
       loss_probability_(config.loss_probability),
+      corrupt_probability_(config.corrupt_probability),
       min_delay_(config.min_delay),
       delay_span_((config.max_delay >= 0
                        ? config.max_delay
@@ -123,6 +124,20 @@ void ScaleCluster::rejoin_at(int id, sim::Time when) {
   wheel_.arm(when, 0, Ev{Ev::Kind::Rejoin, true, 0, id, 0});
 }
 
+void ScaleCluster::corrupt_clock_at(int id, sim::Time when,
+                                    std::int64_t delta) {
+  AHB_EXPECTS(id >= 0 && id <= participants_);
+  wheel_.arm(when, 0,
+             Ev{Ev::Kind::ClockOffset, true, 0, id, 0,
+                static_cast<std::uint64_t>(delta)});
+}
+
+void ScaleCluster::wrap_clock_at(int id, sim::Time when,
+                                 std::uint64_t margin) {
+  AHB_EXPECTS(id >= 0 && id <= participants_);
+  wheel_.arm(when, 0, Ev{Ev::Kind::ClockWrap, true, 0, id, 0, margin});
+}
+
 bool ScaleCluster::is_member(int id) const {
   AHB_EXPECTS(id >= 1 && id <= participants_);
   return joined_.test(static_cast<std::size_t>(id));
@@ -155,9 +170,9 @@ void ScaleCluster::handle(const Ev& ev) {
   switch (ev.kind) {
     case Ev::Kind::Deliver:
       if (ev.node == 0) {
-        deliver_to_coordinator(ev.from, ev.flag, ev.msg_id);
+        deliver_to_coordinator(ev.from, ev.wire, ev.msg_id);
       } else {
-        deliver_to_participant(ev.node, ev.from, ev.flag, ev.msg_id);
+        deliver_to_participant(ev.node, ev.from, ev.wire, ev.msg_id);
       }
       break;
     case Ev::Kind::NodeTimer:
@@ -201,7 +216,100 @@ void ScaleCluster::handle(const Ev& ev) {
       arm_node_timer(ev.node);
       break;
     }
+    case Ev::Kind::ClockOffset:
+      apply_clock_offset(ev.node, static_cast<std::int64_t>(ev.wire));
+      break;
+    case Ev::Kind::ClockWrap:
+      // Modular idiom (guard on): only ages are ever compared, so the
+      // register's absolute position — wrap included — is unobservable.
+      // Guard off: the raw comparison breaks when the register crosses
+      // 2^64, i.e. `margin` ticks from now.
+      if (!config_.clock_guard) {
+        constexpr sim::Time kFar = kNever / 4;
+        const sim::Time margin =
+            ev.wire > static_cast<std::uint64_t>(kFar - now_)
+                ? kFar - now_
+                : static_cast<sim::Time>(ev.wire);
+        wheel_.arm(now_ + margin, 0,
+                   Ev{Ev::Kind::ClockWrapCross, true, 0, ev.node, 0, 0});
+      }
+      break;
+    case Ev::Kind::ClockWrapCross:
+      apply_wrap_cross(ev.node);
+      break;
   }
+}
+
+/// Deadline image of a register jump by `delta`: a forward jump pulls
+/// the deadline closer (clamped to fire immediately), a backward jump
+/// pushes it out (saturated well below the kNever sentinel).
+namespace {
+sim::Time shift_deadline(sim::Time deadline, std::int64_t delta,
+                         sim::Time now) {
+  if (deadline == kNever) return kNever;
+  static constexpr sim::Time kFar = kNever / 4;
+  const __int128 shifted = static_cast<__int128>(deadline) - delta;
+  if (shifted <= now) return now;
+  if (shifted >= kFar) return kFar;
+  return static_cast<sim::Time>(shifted);
+}
+}  // namespace
+
+void ScaleCluster::fence_node(int node) {
+  if (node == 0) {
+    if (coord_status_ != Status::Active) return;
+    coord_status_ = Status::InactiveNonVoluntarily;
+    coord_inactivated_at_ = now_;
+    emit(ProtocolEvent::Kind::CoordinatorInactivated, 0);
+  } else {
+    const auto idx = static_cast<std::size_t>(node);
+    if (p_status_[idx] != Status::Active) return;
+    p_status_[idx] = Status::InactiveNonVoluntarily;
+    p_inactivated_at_[idx] = now_;
+    emit(ProtocolEvent::Kind::ParticipantInactivated, node);
+  }
+  arm_node_timer(node);  // inactive: cancels the pending timer
+}
+
+void ScaleCluster::apply_clock_offset(int node, std::int64_t delta) {
+  if (delta < 0 && config_.clock_guard) {
+    // Half-range rule: a backward jump is an invalid age — fail-safe
+    // fence, never act (matches hb::Cluster's modular reconstruction).
+    fence_node(node);
+    return;
+  }
+  // Forward jump (or guard off): local time moved by `delta`, so every
+  // absolute deadline moves by -delta relative to it. Guard-off
+  // backward jumps leave the node silently over-waiting, which is
+  // exactly the bug the half-range rule removes.
+  if (node == 0) {
+    if (coord_status_ != Status::Active) return;
+    round_deadline_ = shift_deadline(round_deadline_, delta, now_);
+  } else {
+    const auto idx = static_cast<std::size_t>(node);
+    if (p_status_[idx] != Status::Active) return;
+    p_deadline_[idx] = shift_deadline(p_deadline_[idx], delta, now_);
+    p_next_join_[idx] = shift_deadline(p_next_join_[idx], delta, now_);
+  }
+  arm_node_timer(node);
+}
+
+void ScaleCluster::apply_wrap_cross(int node) {
+  // Guard off only (never armed otherwise): at the crossing the raw
+  // reconstruction leaps back ~2^64, so every armed deadline becomes
+  // unreachable. A later delivery re-arms participant deadlines
+  // relative to the leaped clock (transient recovery); the coordinator
+  // has no delivery-driven deadline refresh and stalls for good.
+  if (node == 0) {
+    if (coord_status_ != Status::Active) return;
+    round_deadline_ = kNever;
+  } else {
+    const auto idx = static_cast<std::size_t>(node);
+    if (p_status_[idx] != Status::Active) return;
+    p_deadline_[idx] = kNever;
+    p_next_join_[idx] = kNever;
+  }
+  arm_node_timer(node);
 }
 
 std::uint64_t ScaleCluster::send(int from, int to, bool flag) {
@@ -212,8 +320,9 @@ std::uint64_t ScaleCluster::send(int from, int to, bool flag) {
                                   now_, 0});
   }
   // Same per-send draw order as sim::Network: the loss Bernoulli first
-  // (a no-draw when the probability is zero), then the delay sample —
-  // this is what keeps the seeded stream identical to the legacy run.
+  // (a no-draw when the probability is zero), then the corruption roll
+  // (chance + bit index, only when armed), then the delay sample — this
+  // is what keeps the seeded stream identical to the legacy run.
   if (rng_.chance(loss_probability_)) {
     ++net_stats_.lost;
     if (sinks_.wants(sim::ChannelEvent::Kind::Lost)) {
@@ -222,6 +331,15 @@ std::uint64_t ScaleCluster::send(int from, int to, bool flag) {
     }
     return id;
   }
+  WireMessage wire = wire_encode(Message{from, flag});
+  if (corrupt_probability_ > 0 && rng_.chance(corrupt_probability_)) {
+    sim::corrupt_bit(wire, rng_.below(sizeof(WireMessage) * 8));
+    ++net_stats_.corrupted;
+    if (sinks_.wants(sim::ChannelEvent::Kind::Corrupted)) {
+      sinks_.emit(sim::ChannelEvent{sim::ChannelEvent::Kind::Corrupted, from,
+                                    to, id, now_, 0});
+    }
+  }
   const sim::Time delay =
       min_delay_ + static_cast<sim::Time>(rng_.below(
                        static_cast<std::uint64_t>(delay_span_) + 1));
@@ -229,7 +347,7 @@ std::uint64_t ScaleCluster::send(int from, int to, bool flag) {
     ++net_stats_.out_of_spec_delay;
   }
   wheel_.arm(now_ + delay, 0,
-             Ev{Ev::Kind::Deliver, flag, from, to, id});
+             Ev{Ev::Kind::Deliver, flag, from, to, id, wire.image});
   return id;
 }
 
@@ -243,7 +361,17 @@ void ScaleCluster::track_delivery(std::vector<std::uint64_t>& newest,
   }
 }
 
-void ScaleCluster::deliver_to_coordinator(int from, bool flag,
+std::optional<Message> ScaleCluster::decode_wire(
+    int from, const WireMessage& wire) const {
+  if (!config_.wire_validation) return wire_decode_unchecked(wire);
+  std::optional<Message> msg = wire_decode(wire);
+  // Origin check, same as the legacy engine: the sender field must
+  // match the link the image arrived on.
+  if (msg && msg->sender != from) return std::nullopt;
+  return msg;
+}
+
+void ScaleCluster::deliver_to_coordinator(int from, std::uint64_t wire,
                                           std::uint64_t id) {
   ++net_stats_.delivered;
   if (sinks_.wants(sim::ChannelEvent::Kind::Delivered)) {
@@ -251,6 +379,19 @@ void ScaleCluster::deliver_to_coordinator(int from, bool flag,
                                   id, now_, 0});
   }
   track_delivery(newest_to_coord_, from, id);
+  // Boundary validation, after the same delivery bookkeeping and before
+  // any protocol effect — the exact legacy receive path. A rejected
+  // image returns without re-arming the timer, like the legacy handler.
+  const std::optional<Message> msg = decode_wire(from, WireMessage{wire});
+  if (!msg) {
+    ++net_stats_.rejected;
+    if (sinks_.wants(sim::ChannelEvent::Kind::Rejected)) {
+      sinks_.emit(sim::ChannelEvent{sim::ChannelEvent::Kind::Rejected, from,
+                                    0, id, now_, 0});
+    }
+    return;
+  }
+  const bool flag = msg->flag;
   if (coord_status_ == Status::Active) {
     emit(flag ? ProtocolEvent::Kind::CoordinatorReceivedBeat
               : ProtocolEvent::Kind::CoordinatorReceivedLeave,
@@ -275,7 +416,8 @@ void ScaleCluster::deliver_to_coordinator(int from, bool flag,
   arm_node_timer(0);
 }
 
-void ScaleCluster::deliver_to_participant(int id, int from, bool flag,
+void ScaleCluster::deliver_to_participant(int id, int from,
+                                          std::uint64_t wire,
                                           std::uint64_t msg_id) {
   ++net_stats_.delivered;
   if (sinks_.wants(sim::ChannelEvent::Kind::Delivered)) {
@@ -284,10 +426,20 @@ void ScaleCluster::deliver_to_participant(int id, int from, bool flag,
   }
   track_delivery(newest_from_coord_, id, msg_id);
   const auto idx = static_cast<std::size_t>(id);
+  const std::optional<Message> msg = decode_wire(from, WireMessage{wire});
+  if (!msg) {
+    ++net_stats_.rejected;
+    if (sinks_.wants(sim::ChannelEvent::Kind::Rejected)) {
+      sinks_.emit(sim::ChannelEvent{sim::ChannelEvent::Kind::Rejected, from,
+                                    id, msg_id, now_, 0});
+    }
+    return;
+  }
+  const bool flag = msg->flag;
   if (flag && p_status_[idx] == Status::Active) {
     emit(ProtocolEvent::Kind::ParticipantReceivedBeat, id, msg_id);
   }
-  if (p_status_[idx] == Status::Active && from == 0 && flag) {
+  if (p_status_[idx] == Status::Active && msg->sender == 0 && flag) {
     if (!p_joined_.test(idx)) {
       p_joined_.set(idx);
       p_next_join_[idx] = kNever;

@@ -27,10 +27,23 @@
 // Deliberately unsupported (use hb::Cluster, which stays the chaos and
 // small-n harness): clock drift, per-link parameter overrides, link
 // up/down faults, burst loss, duplication. Channel events (Sent, Lost,
-// Delivered) are tapped inline in the flat transport and fanned out
-// through the sink chain when some sink subscribes; Delivered events
-// report delay 0 because the flat transport does not carry the sampled
-// delay to the delivery (Blocked/Duplicated never occur here).
+// Delivered, Corrupted, Rejected) are tapped inline in the flat
+// transport and fanned out through the sink chain when some sink
+// subscribes; Delivered events report delay 0 because the flat
+// transport does not carry the sampled delay to the delivery
+// (Blocked/Duplicated never occur here).
+//
+// Like the legacy engine the flat transport carries validated 8-byte
+// wire images (hb/wire.hpp): ClusterConfig::corrupt_probability arms
+// uniform payload corruption with the same per-send draw order as
+// sim::Network (loss, corruption chance + bit index, delay), so the
+// equivalence contract extends to corrupted runs. Clock faults
+// (corrupt_clock_at / wrap_clock_at) are emulated on the SoA deadline
+// table with the same externally observable reactions as hb::Cluster's
+// modular-clock reconstruction — fail-safe fence on an invalid age,
+// conservative timeout on a forward jump, silent stall in the
+// guard-off wrap control — but event streams under *clock* faults are
+// behaviourally, not bit-for-bit, matched across engines.
 #pragma once
 
 #include <cstdint>
@@ -67,6 +80,10 @@ class ScaleCluster {
   void crash_participant_at(int id, sim::Time when);
   void leave_at(int id, sim::Time when);
   void rejoin_at(int id, sim::Time when);
+  /// Clock corruption/wrap, mirroring hb::Cluster's semantics (see its
+  /// declarations); emulated on the flat deadline table.
+  void corrupt_clock_at(int id, sim::Time when, std::int64_t delta);
+  void wrap_clock_at(int id, sim::Time when, std::uint64_t margin);
 
   /// Registers a runtime-verification sink (not owned; must outlive the
   /// cluster). Install before start(). Event construction is gated on
@@ -133,21 +150,32 @@ class ScaleCluster {
       CrashParticipant,
       Leave,
       Rejoin,
+      ClockOffset,       ///< node's register jumps by (int64)wire
+      ClockWrap,         ///< node's register repositioned `wire` before 2^64
+      ClockWrapCross,    ///< guard-off wrap crossing (internal)
     };
     Kind kind{};
     bool flag = true;
     std::int32_t from = 0;
     std::int32_t node = 0;
     std::uint64_t msg_id = 0;
+    std::uint64_t wire = 0;  ///< Deliver: wire image; Clock*: operand
   };
   using Wheel = sim::TimerWheel<Ev>;
 
   void handle(const Ev& ev);
-  void deliver_to_coordinator(int from, bool flag, std::uint64_t id);
-  void deliver_to_participant(int id, int from, bool flag, std::uint64_t id_);
+  void deliver_to_coordinator(int from, std::uint64_t wire, std::uint64_t id);
+  void deliver_to_participant(int id, int from, std::uint64_t wire,
+                              std::uint64_t id_);
   void coordinator_elapsed();
   void participant_elapsed(int id);
   void close_round();
+  /// Parse-or-drop boundary validation of a delivered wire image.
+  std::optional<Message> decode_wire(int from, const WireMessage& wire) const;
+  void apply_clock_offset(int node, std::int64_t delta);
+  void apply_wrap_cross(int node);
+  /// Fail-safe reaction to an invalid clock age: fence the node.
+  void fence_node(int node);
 
   /// Sends one beat: assigns the next message id, applies the loss and
   /// delay draws in exactly the legacy per-send order, and arms the
@@ -177,6 +205,7 @@ class ScaleCluster {
 
   // Flat transport (homogeneous links).
   double loss_probability_;
+  double corrupt_probability_;
   sim::Time min_delay_;
   sim::Time delay_span_;  ///< max_delay - min_delay
   sim::Time spec_max_delay_;

@@ -104,6 +104,15 @@ void Coordinator::crash(Time now) {
   if (status_ == Status::Active) status_ = Status::CrashedVoluntarily;
 }
 
+Actions Coordinator::fence(Time now) {
+  Actions actions;
+  if (status_ != Status::Active) return actions;
+  status_ = Status::InactiveNonVoluntarily;
+  inactivated_at_ = now;
+  actions.inactivated = true;
+  return actions;
+}
+
 Time Coordinator::next_event_time() const {
   if (status_ != Status::Active || !started_) return kNever;
   return deadline_;

@@ -34,6 +34,12 @@ class Coordinator {
   /// Host-injected voluntary crash.
   void crash(Time now);
 
+  /// Fail-safe stop on detected local-clock corruption: the process
+  /// must never act on invalid time arithmetic, so it forces its own
+  /// non-voluntary inactivation instead (`now` is the last trusted
+  /// local time). Idempotent; a no-op unless Active.
+  Actions fence(Time now);
+
   Status status() const { return status_; }
   Time next_event_time() const;
   /// Time of non-voluntary self-inactivation, or kNever.

@@ -73,6 +73,15 @@ void Participant::crash(Time now) {
   if (status_ == Status::Active) status_ = Status::CrashedVoluntarily;
 }
 
+Actions Participant::fence(Time now) {
+  Actions actions;
+  if (status_ != Status::Active) return actions;
+  status_ = Status::InactiveNonVoluntarily;
+  inactivated_at_ = now;
+  actions.inactivated = true;
+  return actions;
+}
+
 void Participant::request_leave() {
   AHB_EXPECTS(proto::variant_leaves(config_.variant));
   leave_requested_ = true;

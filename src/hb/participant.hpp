@@ -29,6 +29,12 @@ class Participant {
   /// Host-injected voluntary crash.
   void crash(Time now);
 
+  /// Fail-safe stop on detected local-clock corruption: the process
+  /// must never act on invalid time arithmetic, so it forces its own
+  /// non-voluntary inactivation instead (`now` is the last trusted
+  /// local time). Idempotent; a no-op unless Active.
+  Actions fence(Time now);
+
   /// Dynamic variant: leave gracefully at the next beat (the departure
   /// is announced as the reply to the coordinator's next heartbeat).
   void request_leave();

@@ -1,0 +1,82 @@
+// Wire image of a heartbeat message, with boundary validation.
+//
+// Both engines put a fixed 8-byte image on the simulated channel
+// instead of the in-memory hb::Message, so the chaos layer's
+// CorruptPayload fault (sim::corrupt_bit on the object representation)
+// attacks exactly what a radiation-style bit flip would attack on a
+// real link. The receiver validates before the protocol engine ever
+// sees the payload — parse-or-drop, never act on a corrupted image
+// (the CONTRACT-1 fail-safe discipline: an invalid input forces a
+// rejection, not a guess).
+//
+// Layout (byte-addressed, low byte first):
+//   bytes 0..3  sender id (two's-complement 32-bit)
+//   byte  4     flag (0 or 1; any other value is invalid)
+//   byte  5     checksum: XOR of bytes 0..4, XOR 0xA5
+//   bytes 6..7  reserved, must be zero
+//
+// Every single-bit flip is detectable: flips in bytes 0..5 break the
+// checksum, a flip in byte 4 additionally leaves {0,1}, and flips in
+// bytes 6..7 break the must-be-zero rule. The encoder is injective on
+// valid messages, so decode(encode(m)) == m and a rejected image can
+// only come from in-flight corruption.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "hb/types.hpp"
+
+namespace ahb::hb {
+
+struct WireMessage {
+  std::uint64_t image = 0;
+};
+
+namespace wire_detail {
+inline std::uint8_t checksum(std::uint64_t image) {
+  std::uint8_t sum = 0xA5;
+  for (int byte = 0; byte < 5; ++byte) {
+    sum = static_cast<std::uint8_t>(sum ^ ((image >> (8 * byte)) & 0xFF));
+  }
+  return sum;
+}
+}  // namespace wire_detail
+
+inline WireMessage wire_encode(const Message& message) {
+  std::uint64_t image =
+      static_cast<std::uint32_t>(message.sender);
+  image |= static_cast<std::uint64_t>(message.flag ? 1 : 0) << 32;
+  image |= static_cast<std::uint64_t>(wire_detail::checksum(image)) << 40;
+  return WireMessage{image};
+}
+
+/// Parse-or-drop: nullopt means the image is not one wire_encode can
+/// produce and the delivery must be rejected at the boundary.
+inline std::optional<Message> wire_decode(const WireMessage& wire) {
+  if ((wire.image >> 48) != 0) return std::nullopt;  // reserved bytes
+  const std::uint8_t flag_byte =
+      static_cast<std::uint8_t>((wire.image >> 32) & 0xFF);
+  if (flag_byte > 1) return std::nullopt;
+  if (static_cast<std::uint8_t>((wire.image >> 40) & 0xFF) !=
+      wire_detail::checksum(wire.image & 0xFF'FFFF'FFFFULL)) {
+    return std::nullopt;
+  }
+  Message message;
+  message.sender = static_cast<std::int32_t>(
+      static_cast<std::uint32_t>(wire.image & 0xFFFF'FFFFULL));
+  message.flag = flag_byte == 1;
+  return message;
+}
+
+/// What a receiver without boundary validation acts on (the mutation
+/// canary in the chaos tests): raw field extraction, no checks.
+inline Message wire_decode_unchecked(const WireMessage& wire) {
+  Message message;
+  message.sender = static_cast<std::int32_t>(
+      static_cast<std::uint32_t>(wire.image & 0xFFFF'FFFFULL));
+  message.flag = ((wire.image >> 32) & 0xFF) != 0;
+  return message;
+}
+
+}  // namespace ahb::hb

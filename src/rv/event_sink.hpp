@@ -36,7 +36,7 @@ constexpr std::uint32_t channel_bit(sim::ChannelEvent::Kind kind) {
 inline constexpr std::uint32_t kAllProtocolEvents =
     (1u << hb::ProtocolEvent::kKindCount) - 1;
 inline constexpr std::uint32_t kAllChannelEvents =
-    (1u << (static_cast<int>(sim::ChannelEvent::Kind::Duplicated) + 1)) - 1;
+    (1u << (static_cast<int>(sim::ChannelEvent::Kind::Rejected) + 1)) - 1;
 
 class EventSink {
  public:

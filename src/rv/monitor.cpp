@@ -100,7 +100,8 @@ std::uint32_t RequirementMonitor::protocol_interest() const {
 
 std::uint32_t RequirementMonitor::channel_interest() const {
   return channel_bit(sim::ChannelEvent::Kind::Lost) |
-         channel_bit(sim::ChannelEvent::Kind::Blocked);
+         channel_bit(sim::ChannelEvent::Kind::Blocked) |
+         channel_bit(sim::ChannelEvent::Kind::Rejected);
 }
 
 void RequirementMonitor::on_channel_event(const sim::ChannelEvent& event) {
@@ -108,9 +109,12 @@ void RequirementMonitor::on_channel_event(const sim::ChannelEvent& event) {
   switch (event.kind) {
     case sim::ChannelEvent::Kind::Lost:
     case sim::ChannelEvent::Kind::Blocked:
+    case sim::ChannelEvent::Kind::Rejected:
       // A message the channel destroyed can explain any inactivation
       // that follows within the window (R2's notion of "a fault
-      // happened nearby").
+      // happened nearby"). A boundary rejection of a corrupted payload
+      // is the same fault class: the message was destroyed in flight,
+      // the receiver just proved it instead of the channel dropping it.
       check_deadlines(event.at);
       last_explanation_ = event.at;
       break;

@@ -16,9 +16,10 @@
 // that id (the raw material for runtime requirement monitors).
 //
 // Determinism: features draw from the simulator RNG only when enabled
-// (burst state only advances when p_enter > 0, duplication only rolls
-// when duplicate_probability > 0), so default-configured runs consume
-// the exact same random stream as before these models existed.
+// (burst state only advances when p_enter > 0, duplication and payload
+// corruption only roll when their probabilities are > 0), so
+// default-configured runs consume the exact same random stream as
+// before these models existed.
 //
 // Hot-path state is dense: handlers and per-link newest-delivered ids
 // live in vectors indexed by node id, node isolation is a bitset behind
@@ -31,6 +32,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <type_traits>
 #include <vector>
 
 #include "sim/simulator.hpp"
@@ -46,6 +48,8 @@ struct NetworkStats {
   std::uint64_t duplicated = 0;         ///< extra copies created
   std::uint64_t reordered = 0;          ///< deliveries that overtook a later id
   std::uint64_t out_of_spec_delay = 0;  ///< sampled delays above the spec bound
+  std::uint64_t corrupted = 0;  ///< payloads bit-flipped in flight
+  std::uint64_t rejected = 0;   ///< deliveries the receiver refused to parse
 };
 
 /// Gilbert–Elliott two-state loss model of a directed link: each send
@@ -60,14 +64,40 @@ struct BurstParams {
 
 /// One observable channel-level event, stamped with the message id its
 /// send was assigned. `delay` is meaningful for Delivered only.
+/// Corrupted fires at send time when the link flips a payload bit (the
+/// message still travels); Rejected fires at delivery time when the
+/// receiver's wire-image validation refuses the payload.
 struct ChannelEvent {
-  enum class Kind { Sent, Delivered, Lost, Blocked, Duplicated };
+  enum class Kind { Sent, Delivered, Lost, Blocked, Duplicated, Corrupted,
+                    Rejected };
   Kind kind{};
   int from = 0;
   int to = 0;
   std::uint64_t id = 0;
   Time at = 0;
   Time delay = 0;
+};
+
+/// Flips bit `bit` of the object representation of `value`. Addressed
+/// byte-first so both heartbeat engines corrupt identically regardless
+/// of the payload's integer layout.
+template <typename T>
+void corrupt_bit(T& value, std::uint64_t bit) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  auto* bytes = reinterpret_cast<unsigned char*>(&value);
+  bytes[bit >> 3] ^= static_cast<unsigned char>(1u << (bit & 7));
+}
+
+/// Parameters of a directed link. Shared across Network instantiations
+/// (it is payload-independent), so hosts can configure a
+/// Network<WireMessage> and a Network<Message> with the same struct.
+struct LinkParams {
+  double loss_probability = 0.0;
+  Time min_delay = 0;
+  Time max_delay = 1;  ///< inclusive; one-way delay bound
+  BurstParams burst;
+  double duplicate_probability = 0.0;
+  double corrupt_probability = 0.0;  ///< per-send payload bit-flip chance
 };
 
 template <typename MessageT>
@@ -80,13 +110,7 @@ class Network {
   using SimpleHandler = std::function<void(int from, const MessageT&)>;
   using Observer = std::function<void(const ChannelEvent&)>;
 
-  struct LinkParams {
-    double loss_probability = 0.0;
-    Time min_delay = 0;
-    Time max_delay = 1;  ///< inclusive; one-way delay bound
-    BurstParams burst;
-    double duplicate_probability = 0.0;
-  };
+  using LinkParams = sim::LinkParams;
 
   explicit Network(Simulator& sim, LinkParams defaults = {})
       : sim_(&sim), defaults_(defaults) {}
@@ -174,6 +198,13 @@ class Network {
       notify(ChannelEvent::Kind::Lost, from, to, id, 0);
       return id;
     }
+    if (params.corrupt_probability > 0 &&
+        sim_->rng().chance(params.corrupt_probability)) {
+      corrupt_bit(message,
+                  sim_->rng().below(sizeof(MessageT) * 8));
+      ++stats_.corrupted;
+      notify(ChannelEvent::Kind::Corrupted, from, to, id, 0);
+    }
     schedule_delivery(from, to, id, message, sample_delay(params));
     if (params.duplicate_probability > 0 &&
         sim_->rng().chance(params.duplicate_probability)) {
@@ -183,6 +214,11 @@ class Network {
     }
     return id;
   }
+
+  /// The receiver refused to parse a delivered payload (wire-image
+  /// validation); hosts report it here so the rejection shows up next
+  /// to the corruption counter it answers.
+  void count_rejection() { ++stats_.rejected; }
 
   const NetworkStats& stats() const { return stats_; }
 

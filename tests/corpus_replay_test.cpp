@@ -1,0 +1,97 @@
+// The standing conformance-regression corpus (tests/corpus/): shrunk
+// out-of-spec artifacts and their clamped in-spec controls, committed
+// as versioned JSONL RunSpecs and replayed here on every build.
+//
+// Contract per artifact, keyed by filename prefix:
+//   oos_*  — parses, classifies out of spec, reproduces at least one
+//            monitor violation, and its recorded trace is REJECTED by
+//            the timed-automata conformance model.
+//   ok_*   — parses, classifies in spec, runs clean, and its trace is
+//            ACCEPTED by the model.
+// Anything else in the corpus directory fails the suite: the corpus is
+// append-only and every file in it must carry its expectation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "chaos/runner.hpp"
+#include "proto/conformance.hpp"
+
+namespace ahb::chaos {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<fs::path> corpus_files() {
+  std::vector<fs::path> files;
+  const fs::path root{AHB_CORPUS_DIR};
+  if (!fs::exists(root)) return files;
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".jsonl") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in{path};
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(CorpusReplay, CorpusIsPresentAndCoversBothExpectations) {
+  const auto files = corpus_files();
+  ASSERT_FALSE(files.empty()) << "no corpus artifacts under " << AHB_CORPUS_DIR;
+  bool has_oos = false;
+  bool has_ok = false;
+  for (const auto& file : files) {
+    const std::string name = file.filename().string();
+    has_oos |= name.starts_with("oos_");
+    has_ok |= name.starts_with("ok_");
+  }
+  EXPECT_TRUE(has_oos);
+  EXPECT_TRUE(has_ok);
+}
+
+TEST(CorpusReplay, EveryArtifactParsesAndMeetsItsExpectation) {
+  for (const auto& file : corpus_files()) {
+    const std::string name = file.filename().string();
+    SCOPED_TRACE(name);
+    const auto spec = parse_run(slurp(file));
+    ASSERT_TRUE(spec.has_value()) << "artifact does not parse";
+
+    const bool expect_violation = name.starts_with("oos_");
+    ASSERT_TRUE(expect_violation || name.starts_with("ok_"))
+        << "corpus artifacts must be named oos_* or ok_*";
+    EXPECT_EQ(spec->out_of_spec(), expect_violation);
+
+    const RunResult run = run_chaos(*spec, nullptr, false, true);
+    ASSERT_FALSE(run.events.empty());
+    const auto replay =
+        proto::replay_cluster_trace(cluster_config_for(*spec), run.events);
+    if (expect_violation) {
+      EXPECT_FALSE(run.violations.empty())
+          << "out-of-spec artifact no longer reproduces a violation";
+      EXPECT_FALSE(replay.ok)
+          << "model accepted an out-of-spec trace: matched " << replay.matched
+          << "/" << replay.events;
+    } else {
+      EXPECT_TRUE(run.violations.empty())
+          << run.violations.front().detail;
+      EXPECT_TRUE(replay.ok)
+          << "model rejected an in-spec trace: matched " << replay.matched
+          << "/" << replay.events << ": " << replay.diagnostic;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ahb::chaos

@@ -128,6 +128,8 @@ void expect_equivalent(const Scenario& scenario) {
   EXPECT_EQ(ln.lost, sn.lost);
   EXPECT_EQ(ln.reordered, sn.reordered);
   EXPECT_EQ(ln.out_of_spec_delay, sn.out_of_spec_delay);
+  EXPECT_EQ(ln.corrupted, sn.corrupted);
+  EXPECT_EQ(ln.rejected, sn.rejected);
   EXPECT_EQ(lc.all_inactive(), sc.all_inactive());
   EXPECT_EQ(lc.coordinator().status(), sc.coordinator_status());
   EXPECT_EQ(lc.coordinator().inactivated_at(), sc.coordinator_inactivated_at());
@@ -214,6 +216,30 @@ TEST(ScaleEquivalence, RandomLossMatchesAcrossSeeds) {
       scenario.config = base_config(variant, 4, 10);
       scenario.config.participants = 3;
       scenario.config.loss_probability = 0.2;
+      scenario.config.max_delay = -1;
+      scenario.config.seed = seed;
+      scenario.horizon = 40 * 10;
+      expect_equivalent(scenario);
+    }
+  }
+}
+
+TEST(ScaleEquivalence, PayloadCorruptionMatchesAcrossSeeds) {
+  // Armed corruption draws an extra Bernoulli (and, on a hit, a bit
+  // index) per send, and every rejected image destroys a message mid-
+  // round; identical event streams prove both engines consume the
+  // corruption draws in the same order and validate at the same
+  // boundary.
+  for (const auto variant :
+       {hb::Variant::Binary, hb::Variant::Static, hb::Variant::Dynamic}) {
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      SCOPED_TRACE(testing::Message()
+                   << to_string(variant) << " seed=" << seed);
+      Scenario scenario;
+      scenario.config = base_config(variant, 4, 10);
+      scenario.config.participants =
+          proto::variant_is_multi(variant) ? 3 : 1;
+      scenario.config.corrupt_probability = 0.05;
       scenario.config.max_delay = -1;
       scenario.config.seed = seed;
       scenario.horizon = 40 * 10;

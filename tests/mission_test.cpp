@@ -1,0 +1,270 @@
+// Long-mission tests (chaos/mission.hpp): in-spec 10^7-tick missions
+// staying clean on every variant with bounded monitor memory, the
+// payload-integrity fail-safe under armed corruption, checkpoint
+// determinism across cadences, spec replayability, the multi-phase
+// generator lifting the legacy 4-action cap, serialization of the new
+// fault kinds, and the guard canaries: disabled wire validation must
+// trip the integrity monitor plus at least one R1–R3 requirement, a
+// clock wrap must be unobservable under the modular-clock guard and
+// fatal without it.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "chaos/mission.hpp"
+#include "chaos/runner.hpp"
+#include "proto/rules.hpp"
+
+namespace ahb::chaos {
+namespace {
+
+constexpr Variant kAllVariants[] = {
+    Variant::Binary,   Variant::RevisedBinary, Variant::TwoPhase,
+    Variant::Static,   Variant::Expanding,     Variant::Dynamic};
+
+RunSpec mission_spec(Variant variant, Time horizon) {
+  RunSpec spec;
+  spec.variant = variant;
+  spec.tmin = 4;
+  spec.tmax = 10;
+  spec.participants = proto::variant_is_multi(variant) ? 3 : 1;
+  spec.seed = 1;
+  spec.horizon = horizon;
+  return spec;
+}
+
+// --- long missions --------------------------------------------------------
+
+TEST(Mission, InSpecTenMillionTickMissionIsCleanOnEveryVariant) {
+  for (const auto variant : kAllVariants) {
+    SCOPED_TRACE(to_string(variant));
+    MissionOptions options;
+    options.spec = mission_spec(variant, 10'000'000);
+    options.profile.cycles = 10;
+    const MissionResult result = run_mission(options);
+    EXPECT_FALSE(result.out_of_spec);
+    EXPECT_EQ(result.violations_total, 0u)
+        << (result.violations.empty() ? std::string{}
+                                      : result.violations.front().detail);
+    EXPECT_TRUE(result.integrity.fail_safe());
+    EXPECT_EQ(result.checkpoints.size(), 10u);
+    EXPECT_GT(result.net_stats.sent, 0u);
+    // Bounded-memory witness: the integrity tracking set never grows
+    // past a handful of in-flight ids, whatever the horizon.
+    EXPECT_LE(result.integrity_high_water, 64u);
+  }
+}
+
+TEST(Mission, CorruptionArmedMissionNeverAcceptsACorruptedPayload) {
+  for (const auto variant : kAllVariants) {
+    SCOPED_TRACE(to_string(variant));
+    MissionOptions options;
+    options.spec = mission_spec(variant, 2'000'000);
+    options.profile.cycles = 2;
+    options.profile.corrupt = 0.02;
+    const MissionResult result = run_mission(options);
+    // Corruption under wire validation is in-spec message destruction:
+    // the mission stays clean and every corrupted delivery bounces off
+    // the receive boundary.
+    EXPECT_FALSE(result.out_of_spec);
+    EXPECT_EQ(result.violations_total, 0u);
+    EXPECT_GT(result.integrity.corrupted, 0u);
+    EXPECT_EQ(result.integrity.accepted, 0u);
+    EXPECT_EQ(result.integrity.spurious_rejections, 0u);
+    EXPECT_EQ(result.integrity.corrupted_delivered,
+              result.integrity.rejected_corrupted);
+    EXPECT_TRUE(result.integrity.fail_safe());
+    EXPECT_EQ(result.net_stats.rejected, result.integrity.rejected_corrupted);
+    EXPECT_LE(result.integrity_high_water, 64u);
+  }
+}
+
+// --- checkpoint determinism ----------------------------------------------
+
+TEST(Mission, RepeatedMissionsFingerprintIdentically) {
+  MissionOptions options;
+  options.spec = mission_spec(Variant::Dynamic, 2'000'000);
+  options.profile.cycles = 2;
+  options.profile.corrupt = 0.02;
+  const MissionResult a = run_mission(options);
+  const MissionResult b = run_mission(options);
+  ASSERT_EQ(a.checkpoints.size(), b.checkpoints.size());
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.violations_total, b.violations_total);
+  EXPECT_EQ(a.net_stats.sent, b.net_stats.sent);
+}
+
+TEST(Mission, CheckpointDigestsAgreeAtCoincidingInstants) {
+  // The digest stream is a property of the execution, not of the
+  // chunking that drove it: a 250k cadence and a 500k cadence must
+  // agree at every shared instant.
+  MissionOptions coarse;
+  coarse.spec = mission_spec(Variant::Static, 2'000'000);
+  coarse.profile.cycles = 2;
+  coarse.checkpoint_interval = 500'000;
+  MissionOptions fine = coarse;
+  fine.checkpoint_interval = 250'000;
+  const MissionResult a = run_mission(coarse);
+  const MissionResult b = run_mission(fine);
+  ASSERT_EQ(a.checkpoints.size(), 4u);
+  ASSERT_EQ(b.checkpoints.size(), 8u);
+  for (std::size_t i = 0; i < a.checkpoints.size(); ++i) {
+    EXPECT_EQ(a.checkpoints[i].at, b.checkpoints[2 * i + 1].at);
+    EXPECT_EQ(a.checkpoints[i].state, b.checkpoints[2 * i + 1].state);
+  }
+}
+
+TEST(Mission, GeneratedMissionReplaysFromItsSerializedSpec) {
+  MissionOptions options;
+  options.spec = mission_spec(Variant::Expanding, 1'000'000);
+  options.profile.cycles = 2;
+  options.profile.corrupt = 0.05;
+  const MissionResult original = run_mission(options);
+
+  const std::string artifact = serialize_run(original.spec);
+  const auto parsed = parse_run(artifact);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, original.spec);
+
+  MissionOptions replay;
+  replay.spec = *parsed;
+  replay.generate = false;
+  const MissionResult replayed = run_mission(replay);
+  EXPECT_EQ(replayed.fingerprint, original.fingerprint);
+  EXPECT_EQ(replayed.violations_total, original.violations_total);
+  EXPECT_EQ(replayed.integrity.corrupted, original.integrity.corrupted);
+}
+
+// --- schedule generation --------------------------------------------------
+
+TEST(Mission, ProfileGeneratorLiftsTheLegacyFourActionCap) {
+  RunSpec spec = mission_spec(Variant::Dynamic, 1'000'000);
+  // The legacy generator is capped at 4 actions (5 with the guaranteed
+  // out-of-spec control) — the profile path schedules full cycles.
+  EXPECT_LE(generate_schedule(spec, false).actions.size(), 4u);
+  EXPECT_LE(generate_schedule(spec, true).actions.size(), 5u);
+  ScheduleProfile profile;
+  profile.cycles = 4;
+  const FaultSchedule schedule = generate_schedule(spec, profile);
+  EXPECT_GT(schedule.actions.size(), 4u);
+  // Actions are emitted in schedule order.
+  for (std::size_t i = 1; i < schedule.actions.size(); ++i) {
+    EXPECT_LE(schedule.actions[i - 1].at, schedule.actions[i].at);
+  }
+}
+
+TEST(Mission, NewFaultKindsSerializeRoundTrip) {
+  RunSpec spec = mission_spec(Variant::Dynamic, 4'000);
+  spec.schedule.actions = {
+      {FaultKind::CorruptPayload, 10, 1, 0, 0.25, 0, 0, 0, 0},
+      {FaultKind::SetClockOffset, 20, 2, 0, 0, 0, 0, -40, 0},
+      {FaultKind::WrapClock, 30, 0, 0, 0, 0, 0, 64, 0},
+      {FaultKind::AsymmetricStorm, 40, 1, 3, 0.9, 0.1, 0.95, 25, 0},
+      {FaultKind::ChurnStorm, 60, 1, 3, 0, 0, 0, 8, 30},
+  };
+  const auto parsed = parse_run(serialize_run(spec));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, spec);
+}
+
+TEST(Mission, GuardFlagsSerializeOnlyWhenDisabled) {
+  // Default-guard specs serialize byte-identically to the legacy
+  // header — the standing corpus and the pinned campaign fingerprints
+  // depend on it.
+  RunSpec spec = mission_spec(Variant::Binary, 1'000);
+  EXPECT_EQ(serialize_run(spec).find("wire_validation"), std::string::npos);
+  EXPECT_EQ(serialize_run(spec).find("clock_guard"), std::string::npos);
+
+  spec.wire_validation = false;
+  spec.clock_guard = false;
+  const auto parsed = parse_run(serialize_run(spec));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->wire_validation);
+  EXPECT_FALSE(parsed->clock_guard);
+  EXPECT_EQ(*parsed, spec);
+}
+
+// --- guard canaries -------------------------------------------------------
+
+RunSpec corruption_canary_spec(bool wire_validation) {
+  // Full-rate single-bit corruption on both directions of the one star
+  // link. With validation the corrupted images are destroyed at the
+  // boundary (in-spec); without it they reach the engines.
+  RunSpec spec = mission_spec(Variant::Binary, 600);
+  spec.participants = 1;
+  spec.seed = 5;
+  spec.wire_validation = wire_validation;
+  spec.schedule.actions = {
+      {FaultKind::CorruptPayload, 1, 0, 1, 1.0, 0, 0, 0, 0},
+      {FaultKind::CorruptPayload, 1, 1, 0, 1.0, 0, 0, 0, 0},
+  };
+  return spec;
+}
+
+TEST(MutationCanary, DisabledWireValidationTripsIntegrityAndRequirements) {
+  const RunSpec spec = corruption_canary_spec(false);
+  EXPECT_TRUE(spec.out_of_spec());
+  const RunResult result = run_chaos(spec);
+  EXPECT_TRUE(result.out_of_spec);
+  // Corrupted payloads were accepted — the integrity monitor must say
+  // so, and the garbage the engines acted on must break R1–R3 too.
+  EXPECT_GT(result.integrity.accepted, 0u);
+  bool integrity_fired = false;
+  bool requirement_fired = false;
+  for (const auto& violation : result.violations) {
+    integrity_fired |= violation.requirement == 5;
+    requirement_fired |= violation.requirement >= 1 && violation.requirement <= 3;
+  }
+  EXPECT_TRUE(integrity_fired);
+  EXPECT_TRUE(requirement_fired);
+  EXPECT_FALSE(result.integrity.fail_safe());
+}
+
+TEST(MutationCanary, WireValidationTurnsCorruptionIntoCleanDestruction) {
+  const RunSpec spec = corruption_canary_spec(true);
+  EXPECT_FALSE(spec.out_of_spec());
+  const RunResult result = run_chaos(spec);
+  EXPECT_FALSE(result.out_of_spec);
+  EXPECT_TRUE(result.violations.empty())
+      << result.violations.front().detail;
+  EXPECT_GT(result.integrity.corrupted, 0u);
+  EXPECT_EQ(result.integrity.accepted, 0u);
+  EXPECT_EQ(result.integrity.corrupted_delivered,
+            result.integrity.rejected_corrupted);
+  EXPECT_TRUE(result.integrity.fail_safe());
+}
+
+RunSpec wrap_spec(bool clock_guard, bool with_wrap) {
+  RunSpec spec = mission_spec(Variant::Static, 800);
+  spec.seed = 3;
+  spec.clock_guard = clock_guard;
+  if (with_wrap) {
+    // Coordinator's register repositioned 64 ticks before 2^64 at t=50:
+    // the wrap crossing lands mid-mission.
+    spec.schedule.actions = {{FaultKind::WrapClock, 50, 0, 0, 0, 0, 0, 64, 0}};
+  }
+  return spec;
+}
+
+TEST(MutationCanary, ClockWrapIsUnobservableUnderTheModularGuard) {
+  const RunSpec wrapped = wrap_spec(true, true);
+  EXPECT_FALSE(wrapped.out_of_spec());
+  const RunResult a = run_chaos(wrapped, nullptr, true);
+  const RunResult b = run_chaos(wrap_spec(true, false), nullptr, true);
+  EXPECT_TRUE(a.violations.empty()) << a.violations.front().detail;
+  // Byte-identical trace with and without the wrap: under modular time
+  // the absolute register position carries no information.
+  EXPECT_EQ(a.trace, b.trace);
+}
+
+TEST(MutationCanary, ClockWrapWithoutTheGuardViolates) {
+  const RunSpec spec = wrap_spec(false, true);
+  EXPECT_TRUE(spec.out_of_spec());
+  const RunResult result = run_chaos(spec);
+  EXPECT_TRUE(result.out_of_spec);
+  EXPECT_FALSE(result.violations.empty());
+}
+
+}  // namespace
+}  // namespace ahb::chaos
