@@ -4,7 +4,7 @@
 //
 //   bench_chaos_campaign [--json] [--runs=N] [--threads=N]
 //                        [--participants=N] [--out-of-spec] [--no-shrink]
-//                        [--artifacts=DIR] [--replay=FILE]
+//                        [--artifacts=DIR] [--replay=FILE] [--formulas]
 //                        [--mission] [--ticks=N] [--corrupt=P]
 //
 // The default (in-spec) campaign keeps every fault inside the channel
@@ -16,7 +16,9 @@
 // --mission runs one long-mission chaos run per variant (--ticks long,
 // multi-phase setup/storm/recovery schedule, payload corruption armed
 // at --corrupt) and reports integrity counters plus the wall seconds
-// each simulated hour (3.6M ticks) costs.
+// each simulated hour (3.6M ticks) costs. --formulas attaches the
+// shipped pLTL monitors (r1/r2/r3/s2) next to the hand-written ones and
+// reports their verdict counters; the default output is unchanged.
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
@@ -33,6 +35,7 @@
 #include "chaos/campaign.hpp"
 #include "chaos/mission.hpp"
 #include "chaos/runner.hpp"
+#include "rv/pltl/formulas.hpp"
 #include "rv/suspicion.hpp"
 
 namespace {
@@ -44,6 +47,7 @@ struct Args {
   bool out_of_spec = false;
   bool shrink = true;
   bool mission = false;
+  bool formulas = false;
   int runs = 30;
   int participants = 2;
   unsigned threads = 1;
@@ -72,6 +76,8 @@ Args parse_args(int argc, char** argv) {
           args.replay_file = arg + 9;
         } else if (std::strcmp(arg, "--mission") == 0) {
           args.mission = true;
+        } else if (std::strcmp(arg, "--formulas") == 0) {
+          args.formulas = true;
         } else if (std::strncmp(arg, "--ticks=", 8) == 0) {
           args.ticks = std::atoll(arg + 8);
         } else if (std::strncmp(arg, "--corrupt=", 10) == 0) {
@@ -82,8 +88,8 @@ Args parse_args(int argc, char** argv) {
         return true;
       },
       "[--out-of-spec] [--no-shrink] [--runs=N] [--participants=N] "
-      "[--artifacts=DIR] [--replay=FILE] [--mission] [--ticks=N] "
-      "[--corrupt=P]");
+      "[--artifacts=DIR] [--replay=FILE] [--formulas] [--mission] "
+      "[--ticks=N] [--corrupt=P]");
   args.json = common.json;
   if (common.threads > 0) args.threads = common.threads;
   if (common.participants > 0) args.participants = common.participants;
@@ -210,6 +216,7 @@ int run_missions(const Args& args) {
   int exit_code = 0;
   for (const chaos::Variant variant : kVariants) {
     chaos::MissionOptions options;
+    if (args.formulas) options.formulas = rv::pltl::shipped_monitor_specs();
     options.spec.variant = variant;
     options.spec.tmin = 4;
     options.spec.tmax = 10;
@@ -230,8 +237,22 @@ int run_missions(const Args& args) {
         wall_s * kTicksPerSimHour / static_cast<double>(args.ticks);
 
     const auto& integ = result.integrity;
-    const bool clean = result.violations_total == 0 && integ.fail_safe();
+    const bool clean = result.violations_total == 0 &&
+                       result.formula_violations_total == 0 &&
+                       integ.fail_safe();
     if (!result.out_of_spec && !clean) exit_code = 1;
+    // Extra fields only when --formulas was passed, so the default
+    // output stays byte-identical.
+    char formula_json[64] = "";
+    char formula_text[64] = "";
+    if (args.formulas) {
+      std::snprintf(formula_json, sizeof formula_json,
+                    ", \"formula_violations\": %" PRIu64,
+                    result.formula_violations_total);
+      std::snprintf(formula_text, sizeof formula_text,
+                    ", %" PRIu64 " formula violation(s)",
+                    result.formula_violations_total);
+    }
     if (args.json) {
       std::printf(
           "{\"bench\": \"chaos/mission\", \"variant\": \"%s\", "
@@ -239,23 +260,23 @@ int run_missions(const Args& args) {
           ", \"out_of_spec\": %s, \"corrupted\": %" PRIu64
           ", \"corrupted_delivered\": %" PRIu64 ", \"rejected\": %" PRIu64
           ", \"accepted\": %" PRIu64 ", \"spurious_rejections\": %" PRIu64
-          ", \"integrity_high_water\": %zu, \"checkpoints\": %zu"
+          ", \"integrity_high_water\": %zu, \"checkpoints\": %zu%s"
           ", \"fingerprint\": \"%016" PRIx64
           "\", \"wall_s_per_sim_hour\": %.3f}\n",
           proto::to_string(variant), result.spec.horizon,
           result.violations_total, result.out_of_spec ? "true" : "false",
           integ.corrupted, integ.corrupted_delivered, integ.rejected_corrupted,
           integ.accepted, integ.spurious_rejections,
-          result.integrity_high_water, result.checkpoints.size(),
+          result.integrity_high_water, result.checkpoints.size(), formula_json,
           result.fingerprint, wall_s_per_sim_hour);
     } else {
       std::printf("mission %-13s %" PRId64 " ticks: %" PRIu64
-                  " violation(s), %" PRIu64 " corrupted / %" PRIu64
+                  " violation(s)%s, %" PRIu64 " corrupted / %" PRIu64
                   " rejected / %" PRIu64
                   " accepted, fingerprint %016" PRIx64
                   ", %.3f wall s per sim hour\n",
                   proto::to_string(variant), result.spec.horizon,
-                  result.violations_total, integ.corrupted,
+                  result.violations_total, formula_text, integ.corrupted,
                   integ.rejected_corrupted, integ.accepted, result.fingerprint,
                   wall_s_per_sim_hour);
     }
@@ -281,6 +302,7 @@ int main(int argc, char** argv) {
   options.out_of_spec = args.out_of_spec;
   options.threads = args.threads;
   options.shrink = args.shrink;
+  if (args.formulas) options.formulas = rv::pltl::shipped_monitor_specs();
 
   const auto campaign_start = std::chrono::steady_clock::now();
   const chaos::CampaignResult result = chaos::run_campaign(options);
@@ -295,10 +317,18 @@ int main(int argc, char** argv) {
   const char* profile = args.out_of_spec ? "out-of-spec" : "in-spec";
   const double monitor_ns = measure_monitor_ns_per_event(args.participants);
   const auto& avail = result.availability;
-  const double detection_mean =
-      avail.detections > 0 ? static_cast<double>(avail.detection_total) /
-                                 static_cast<double>(avail.detections)
-                           : 0;
+  const double detection_mean = avail.detection_mean();
+
+  // Extra fields only when --formulas was passed, so the default output
+  // stays byte-identical (and so does the campaign fingerprint: formula
+  // verdicts are aggregated apart from the hand-written monitors').
+  char formula_json[96] = "";
+  if (args.formulas) {
+    std::snprintf(formula_json, sizeof formula_json,
+                  ", \"formula_violations\": %" PRIu64
+                  ", \"formula_violating_runs\": %" PRIu64,
+                  result.formula_violations, result.formula_violating_runs);
+  }
 
   if (args.json) {
     std::printf(
@@ -312,7 +342,7 @@ int main(int argc, char** argv) {
         ", \"detection_max\": %" PRId64 ", \"monitor_ns_per_event\": %.1f"
         ", \"corrupted\": %" PRIu64 ", \"rejected\": %" PRIu64
         ", \"integrity_violations\": %" PRIu64
-        ", \"wall_s_per_sim_hour\": %.3f"
+        ", \"wall_s_per_sim_hour\": %.3f%s"
         ", \"threads\": %u, \"fingerprint\": \"%016" PRIx64 "\"}\n",
         profile, result.runs, result.violating_runs, result.totals.sent,
         result.totals.delivered, result.totals.lost, result.totals.blocked,
@@ -321,12 +351,17 @@ int main(int argc, char** argv) {
         avail.recoveries, avail.detections, detection_mean,
         avail.detection_max, monitor_ns, result.integrity.corrupted,
         result.integrity.rejected_corrupted, result.integrity.violations,
-        wall_s_per_sim_hour, args.threads, result.fingerprint);
+        wall_s_per_sim_hour, formula_json, args.threads, result.fingerprint);
   } else {
     std::printf("chaos campaign (%s): %" PRIu64 " runs, %" PRIu64
                 " violating, fingerprint %016" PRIx64 "\n",
                 profile, result.runs, result.violating_runs,
                 result.fingerprint);
+    if (args.formulas) {
+      std::printf("formulas: %" PRIu64 " violation(s) across %" PRIu64
+                  " run(s)\n",
+                  result.formula_violations, result.formula_violating_runs);
+    }
     std::printf("availability: %.2f%% up, %" PRIu64 " recoveries, %" PRIu64
                 " detections (mean %.1f, max %" PRId64
                 " ticks); monitors cost %.1f ns/event\n",
@@ -351,7 +386,13 @@ int main(int argc, char** argv) {
   if (!args.artifacts_dir.empty()) write_artifacts(args, result);
 
   // In-spec violations are bugs; an out-of-spec campaign that never
-  // trips the monitors means the negative control is broken.
-  if (!args.out_of_spec) return result.violating_runs == 0 ? 0 : 1;
+  // trips the monitors means the negative control is broken. Attached
+  // formulas are held to the same standard as the hand-written
+  // monitors: silent in spec, firing out of spec.
+  if (!args.out_of_spec) {
+    return result.violating_runs == 0 && result.formula_violations == 0 ? 0
+                                                                        : 1;
+  }
+  if (args.formulas && result.formula_violating_runs == 0) return 1;
   return result.violating_runs > 0 ? 0 : 1;
 }

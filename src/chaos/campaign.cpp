@@ -581,7 +581,9 @@ CampaignResult run_campaign(const CampaignOptions& options) {
     for (std::size_t i = next.fetch_add(1); i < specs.size();
          i = next.fetch_add(1)) {
       const MonitorBounds bounds = bounds_for(specs[i]);
-      slots[i].result = run_chaos(specs[i], &bounds, options.fingerprint);
+      slots[i].result =
+          run_chaos(specs[i], &bounds, options.fingerprint, false,
+                    options.formulas.empty() ? nullptr : &options.formulas);
       if (options.fingerprint) {
         slots[i].hash =
             fnv1a(serialize_run(specs[i]) + slots[i].result.trace);
@@ -610,6 +612,10 @@ CampaignResult run_campaign(const CampaignOptions& options) {
     add_stats(result.totals, slots[i].result.net_stats);
     result.availability += slots[i].result.availability;
     result.integrity += slots[i].result.integrity;
+    if (!slots[i].result.formula_violations.empty()) {
+      ++result.formula_violating_runs;
+      result.formula_violations += slots[i].result.formula_violations.size();
+    }
     fingerprint = (fingerprint ^ slots[i].hash) * 1099511628211ULL;
     if (slots[i].result.violations.empty()) continue;
     ++result.violating_runs;

@@ -44,6 +44,12 @@ struct CampaignOptions {
   Time extra_r1_slack = 0;
   Time extra_r2_window = 0;
   Time extra_r3_slack = 0;
+  /// pLTL formulas compiled per run (against that run's variant/timing)
+  /// and attached next to the hand-written monitors. Their verdicts are
+  /// aggregated separately (formula_violations below), so attaching
+  /// formulas never changes violating-run counts, shrinking, or the
+  /// campaign fingerprint.
+  std::vector<rv::pltl::FormulaSpec> formulas;
 };
 
 struct ViolatingRun {
@@ -67,6 +73,10 @@ struct CampaignResult {
   /// Payload-integrity counters summed over every run.
   rv::IntegritySummary integrity;
   std::vector<ViolatingRun> violating;
+  /// Totals over the attached pLTL formula monitors (0 when
+  /// CampaignOptions::formulas is empty).
+  std::uint64_t formula_violations = 0;
+  std::uint64_t formula_violating_runs = 0;
   /// FNV-1a over every run's serialized spec + protocol trace, folded
   /// in run order; byte-equal across repeats and thread counts.
   std::uint64_t fingerprint = 0;

@@ -95,6 +95,19 @@ MissionResult run_mission(const MissionOptions& options) {
   cluster.add_sink(&availability);
   integrity.attach(cluster);
 
+  std::vector<std::unique_ptr<rv::pltl::FormulaMonitor>> formula_monitors;
+  {
+    rv::pltl::BindParams params{spec.variant, spec.timing(), spec.fixed_bounds,
+                                spec.participants, 2};
+    for (const auto& formula_spec : options.formulas) {
+      auto made = rv::pltl::make_monitor(formula_spec, params);
+      AHB_EXPECTS(made.ok());
+      made.monitor->set_max_recorded(options.max_recorded_violations);
+      cluster.add_sink(made.monitor.get());
+      formula_monitors.push_back(std::move(made.monitor));
+    }
+  }
+
   schedule_actions(cluster, spec);
   cluster.start();
 
@@ -126,6 +139,10 @@ MissionResult run_mission(const MissionOptions& options) {
       take_capped(result.violations, integrity.violations(), cap);
   result.violations_total +=
       integrity.summary().violations - integrity.violations().size();
+  for (const auto& formula_monitor : formula_monitors) {
+    take_capped(result.formula_violations, formula_monitor->violations(), cap);
+    result.formula_violations_total += formula_monitor->violations_total();
+  }
   result.availability = availability.summary();
   result.integrity = integrity.summary();
   result.net_stats = cluster.network_stats();

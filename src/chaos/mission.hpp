@@ -37,6 +37,13 @@ struct MissionOptions {
   /// IntegrityMonitor prune window; 0 derives a safe default (8 tmax,
   /// far past any delivery or duplicate of a corrupted send).
   Time integrity_prune_window = 0;
+  /// pLTL formulas attached next to the hand-written monitors. A
+  /// formula monitor's memory is O(subformulas) regardless of horizon,
+  /// so formulas are mission-safe; their verdicts land in
+  /// MissionResult::formula_violations (recorded up to
+  /// max_recorded_violations) and never affect the checkpoint
+  /// fingerprints.
+  std::vector<rv::pltl::FormulaSpec> formulas;
 };
 
 struct MissionCheckpoint {
@@ -52,6 +59,10 @@ struct MissionResult {
   /// monitor (R1–R3, then suspicion, then integrity).
   std::vector<Violation> violations;
   std::uint64_t violations_total = 0;
+  /// From MissionOptions::formulas, kept apart from the hand-written
+  /// monitors' verdicts (capped like `violations`; the total counts).
+  std::vector<Violation> formula_violations;
+  std::uint64_t formula_violations_total = 0;
   rv::AvailabilitySummary availability;
   rv::IntegritySummary integrity;
   sim::NetworkStats net_stats;

@@ -201,7 +201,8 @@ hb::ClusterConfig cluster_config_for(const RunSpec& spec) {
 }
 
 RunResult run_chaos(const RunSpec& spec, const MonitorBounds* bounds,
-                    bool record_trace, bool record_events) {
+                    bool record_trace, bool record_events,
+                    const std::vector<rv::pltl::FormulaSpec>* formulas) {
   AHB_EXPECTS(spec.participants >= 1);
   AHB_EXPECTS(spec.timing().valid());
   AHB_EXPECTS(spec.horizon > 0);
@@ -232,6 +233,24 @@ RunResult run_chaos(const RunSpec& spec, const MonitorBounds* bounds,
   cluster.add_sink(&availability);
   integrity.attach(cluster);
 
+  // Compiled formula monitors ride the same chain; they read the event
+  // stream without touching it, so traces (and campaign fingerprints)
+  // are identical with or without them.
+  std::vector<std::unique_ptr<rv::pltl::FormulaMonitor>> formula_monitors;
+  if (formulas != nullptr) {
+    rv::pltl::BindParams params{spec.variant, spec.timing(), spec.fixed_bounds,
+                                spec.participants, 2};
+    for (const auto& formula_spec : *formulas) {
+      auto made = rv::pltl::make_monitor(formula_spec, params);
+      if (!made.ok()) {
+        std::fprintf(stderr, "run_chaos: %s\n", made.error.c_str());
+      }
+      AHB_EXPECTS(made.ok());
+      cluster.add_sink(made.monitor.get());
+      formula_monitors.push_back(std::move(made.monitor));
+    }
+  }
+
   RunResult result;
   result.out_of_spec = spec.out_of_spec();
 
@@ -261,6 +280,11 @@ RunResult run_chaos(const RunSpec& spec, const MonitorBounds* bounds,
   result.violations.insert(result.violations.end(),
                            integrity.violations().begin(),
                            integrity.violations().end());
+  for (const auto& formula_monitor : formula_monitors) {
+    result.formula_violations.insert(result.formula_violations.end(),
+                                     formula_monitor->violations().begin(),
+                                     formula_monitor->violations().end());
+  }
   result.availability = availability.summary();
   result.integrity = integrity.summary();
   result.net_stats = cluster.network_stats();

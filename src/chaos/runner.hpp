@@ -15,6 +15,7 @@
 #include "hb/cluster.hpp"
 #include "rv/availability.hpp"
 #include "rv/integrity.hpp"
+#include "rv/pltl/eval.hpp"
 
 namespace ahb::chaos {
 
@@ -39,6 +40,10 @@ struct RunResult {
   /// input replay_cluster_trace needs to feed a chaos run through the
   /// conformance layer.
   std::vector<hb::ProtocolEvent> events;
+  /// Violations reported by attached pLTL formula monitors, kept apart
+  /// from `violations` so formulas ride along without perturbing the
+  /// campaign's violating-run bookkeeping or the shrinker.
+  std::vector<Violation> formula_violations;
 };
 
 /// Runs `spec` to its horizon with the full rv monitor stack attached
@@ -48,8 +53,13 @@ struct RunResult {
 /// tests and applies to the suspicion bounds carried in MonitorBounds
 /// too). `record_trace` fills RunResult::trace, `record_events` fills
 /// RunResult::events.
+/// `formulas` (optional) compiles each pLTL spec against this run's
+/// timing/variant and attaches the resulting monitors next to the
+/// hand-written stack; their verdicts land in
+/// RunResult::formula_violations. Every spec must compile (contract).
 RunResult run_chaos(const RunSpec& spec, const MonitorBounds* bounds = nullptr,
-                    bool record_trace = false, bool record_events = false);
+                    bool record_trace = false, bool record_events = false,
+                    const std::vector<rv::pltl::FormulaSpec>* formulas = nullptr);
 
 /// The cluster configuration a chaos run executes under (exposed so the
 /// conformance layer can replay a recorded chaos trace through the model

@@ -121,6 +121,10 @@ class Cluster {
   /// run_until does not call finish on the sinks — drive
   /// `sinks().finish(horizon)` when the run ends.
   void add_sink(rv::EventSink* sink) { sinks_.add(sink); }
+  /// Deregisters a sink mid-run (between run_until calls), so it can be
+  /// destroyed before the cluster without leaving a dangling pointer in
+  /// the chain.
+  void remove_sink(rv::EventSink* sink) { sinks_.remove(sink); }
   rv::SinkChain& sinks() { return sinks_; }
 
   // Legacy lambda observers, kept as a thin adapter over the sink chain

@@ -92,6 +92,10 @@ class ScaleCluster {
   /// call finish on the sinks — drive `sinks().finish(horizon)` when
   /// the run ends.
   void add_sink(rv::EventSink* sink) { sinks_.add(sink); }
+  /// Deregisters a sink mid-run (between run_until calls), so it can be
+  /// destroyed before the cluster without leaving a dangling pointer in
+  /// the chain.
+  void remove_sink(rv::EventSink* sink) { sinks_.remove(sink); }
   rv::SinkChain& sinks() { return sinks_; }
 
   // Legacy lambda observers, the same thin adapter over the sink chain

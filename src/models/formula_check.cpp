@@ -1,0 +1,393 @@
+#include "models/formula_check.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "hb/protocol_event.hpp"
+#include "hb/types.hpp"
+#include "rv/pltl/eval.hpp"
+#include "ta/network.hpp"
+#include "util/contracts.hpp"
+#include "util/strings.hpp"
+
+namespace ahb::models {
+
+namespace {
+
+namespace pltl = ahb::rv::pltl;
+
+/// One node of the lowered state predicate; `a`/`b` index earlier
+/// entries of Lowered::pnodes (the vector is in postorder).
+struct PNode {
+  enum class Kind : std::uint8_t { Const, Coord, Obs, Not, And, Or, Iff };
+  Kind kind = Kind::Const;
+  bool cval = false;  ///< Const: value; Coord: required active0 value
+  int a = -1;
+  int b = -1;
+  int obs = -1;  ///< Obs: index into Lowered::observers
+};
+
+/// A `within[<= k]` over a disjunction of c_recv_beat atoms and `init`,
+/// realised as a watchdog-style observer automaton. The request fields
+/// are filled by the analyzer; the handle fields by the instrument hook
+/// while the model builds.
+struct Observer {
+  // request
+  bool any = false;        ///< listen to every participant's deliveries
+  std::vector<int> nodes;  ///< otherwise: these 1-based participant ids
+  bool has_init = false;   ///< `init` in the disjunction: start armed
+  int bound = 0;
+  pltl::Cmp cmp = pltl::Cmp::Le;
+  // handles
+  ta::AutomatonId aut{};
+  int armed = -1;
+  ta::ClockId clk{};
+};
+
+/// Everything the final predicates close over. Heap-allocated and
+/// shared between the instrument hook, `violation` and `accepting`, so
+/// the handles written during build are visible to the predicates.
+struct Lowered {
+  std::vector<PNode> pnodes;
+  std::vector<Observer> observers;
+  int root = -1;
+  ta::VarId active0{};
+  ta::AutomatonId latch{};
+  int latch_bad = -1;
+};
+
+bool eval_pnode(const Lowered& low, int idx, const ta::StateView& v) {
+  const PNode& pn = low.pnodes[static_cast<std::size_t>(idx)];
+  switch (pn.kind) {
+    case PNode::Kind::Const:
+      return pn.cval;
+    case PNode::Kind::Coord:
+      return (v.var(low.active0) == 1) == pn.cval;
+    case PNode::Kind::Obs: {
+      const Observer& ob = low.observers[static_cast<std::size_t>(pn.obs)];
+      if (v.loc(ob.aut) != ob.armed) return false;
+      const int clk = v.clk(ob.clk);
+      return ob.cmp == pltl::Cmp::Lt ? clk < ob.bound : clk <= ob.bound;
+    }
+    case PNode::Kind::Not:
+      return !eval_pnode(low, pn.a, v);
+    case PNode::Kind::And:
+      return eval_pnode(low, pn.a, v) && eval_pnode(low, pn.b, v);
+    case PNode::Kind::Or:
+      return eval_pnode(low, pn.a, v) || eval_pnode(low, pn.b, v);
+    case PNode::Kind::Iff:
+      return eval_pnode(low, pn.a, v) == eval_pnode(low, pn.b, v);
+  }
+  AHB_UNREACHABLE("exhaustive switch");
+}
+
+/// The event-atom side of the analysis: a disjunction of c_recv_beat
+/// atoms and `init`, meaningful only as the operand of a bounded once.
+struct EventSet {
+  bool any = false;
+  std::vector<int> nodes;
+  bool has_init = false;
+};
+
+constexpr const char* kFragmentHint =
+    " (the model backend lowers boolean connectives, coord_live/"
+    "coord_stopped, and within[<= k] over disjunctions of c_recv_beat "
+    "and init)";
+
+/// Walks the compiled postorder instruction array and produces the
+/// PNode tree + observer requests, or a diagnostic. Working on the
+/// compiled form (not the AST) means quantifiers arrive pre-expanded
+/// and every bound is already a concrete tick count.
+struct Analyzer {
+  const std::vector<pltl::Instr>& instrs;
+  Lowered& low;
+  std::string error;
+
+  std::vector<int> pidx;                ///< per instr: PNode index or -1
+  std::vector<int> eidx;                ///< per instr: EventSet index or -1
+  std::vector<EventSet> esets;
+
+  bool fail(std::string msg) {
+    if (error.empty()) error = std::move(msg);
+    return false;
+  }
+
+  int add_pnode(PNode pn) {
+    low.pnodes.push_back(pn);
+    return static_cast<int>(low.pnodes.size()) - 1;
+  }
+
+  int add_eset(EventSet es) {
+    esets.push_back(std::move(es));
+    return static_cast<int>(esets.size()) - 1;
+  }
+
+  bool pred_operand(int instr_index) {
+    if (pidx[static_cast<std::size_t>(instr_index)] >= 0) return true;
+    return fail(std::string("event atoms and init may only appear inside a "
+                            "within/once[...] disjunction") +
+                kFragmentHint);
+  }
+
+  bool binary_pred(std::size_t i, PNode::Kind kind, bool negate_a) {
+    const pltl::Instr& ins = instrs[i];
+    if (!pred_operand(ins.a) || !pred_operand(ins.b)) return false;
+    int a = pidx[static_cast<std::size_t>(ins.a)];
+    const int b = pidx[static_cast<std::size_t>(ins.b)];
+    if (negate_a) a = add_pnode({.kind = PNode::Kind::Not, .a = a});
+    pidx[i] = add_pnode({.kind = kind, .a = a, .b = b});
+    return true;
+  }
+
+  bool visit(std::size_t i) {
+    using K = pltl::Node::Kind;
+    const pltl::Instr& ins = instrs[i];
+    switch (ins.op) {
+      case K::True:
+      case K::False:
+        pidx[i] = add_pnode({.kind = PNode::Kind::Const,
+                             .cval = ins.op == K::True});
+        return true;
+      case K::Init:
+        eidx[i] = add_eset({.has_init = true});
+        return true;
+      case K::Event: {
+        const auto beat_bit =
+            1u << static_cast<int>(
+                hb::ProtocolEvent::Kind::CoordinatorReceivedBeat);
+        if (ins.protocol_bits != beat_bit || ins.channel_bits != 0) {
+          return fail(std::string("unsupported event atom for the model "
+                                  "backend: only c_recv_beat deliveries are "
+                                  "observable on the model's channels") +
+                      kFragmentHint);
+        }
+        EventSet es;
+        if (ins.node < 0) {
+          es.any = true;
+        } else {
+          es.nodes.push_back(ins.node);
+        }
+        eidx[i] = add_eset(std::move(es));
+        return true;
+      }
+      case K::Fluent:
+        if (ins.fluent == pltl::Fluent::CoordLive ||
+            ins.fluent == pltl::Fluent::CoordStopped) {
+          pidx[i] = add_pnode({.kind = PNode::Kind::Coord,
+                               .cval = ins.fluent == pltl::Fluent::CoordLive});
+          return true;
+        }
+        return fail(std::string("unsupported fluent for the model backend: "
+                                "only coord_live/coord_stopped map onto "
+                                "model state") +
+                    kFragmentHint);
+      case K::Not:
+        if (!pred_operand(ins.a)) return false;
+        pidx[i] = add_pnode({.kind = PNode::Kind::Not,
+                             .a = pidx[static_cast<std::size_t>(ins.a)]});
+        return true;
+      case K::And:
+        return binary_pred(i, PNode::Kind::And, /*negate_a=*/false);
+      case K::Implies:
+        return binary_pred(i, PNode::Kind::Or, /*negate_a=*/true);
+      case K::Iff:
+        return binary_pred(i, PNode::Kind::Iff, /*negate_a=*/false);
+      case K::Or: {
+        const int ea = eidx[static_cast<std::size_t>(ins.a)];
+        const int eb = eidx[static_cast<std::size_t>(ins.b)];
+        if (ea >= 0 && eb >= 0) {
+          EventSet merged = esets[static_cast<std::size_t>(ea)];
+          const EventSet& rhs = esets[static_cast<std::size_t>(eb)];
+          merged.any = merged.any || rhs.any;
+          merged.has_init = merged.has_init || rhs.has_init;
+          merged.nodes.insert(merged.nodes.end(), rhs.nodes.begin(),
+                              rhs.nodes.end());
+          eidx[i] = add_eset(std::move(merged));
+          return true;
+        }
+        if (ea >= 0 || eb >= 0) {
+          return fail(std::string("cannot mix event atoms and state "
+                                  "predicates in one disjunction; split the "
+                                  "formula") +
+                      kFragmentHint);
+        }
+        return binary_pred(i, PNode::Kind::Or, /*negate_a=*/false);
+      }
+      case K::Once: {
+        if (ins.bound == hb::kNever) {
+          return fail(std::string("unbounded once is not supported by the "
+                                  "model backend; state the deadline with "
+                                  "within[<= k]") +
+                      kFragmentHint);
+        }
+        const int ea = eidx[static_cast<std::size_t>(ins.a)];
+        if (ea < 0) {
+          return fail(std::string("within/once in the model backend must "
+                                  "range over c_recv_beat/init atoms") +
+                      kFragmentHint);
+        }
+        // Clocks are int-typed slots; keep caps far inside Slot range.
+        if (ins.bound > 8192) {
+          return fail("within bound too large to model-check (resolved to " +
+                      std::to_string(ins.bound) + " ticks, cap is 8192)");
+        }
+        const EventSet& es = esets[static_cast<std::size_t>(ea)];
+        Observer ob;
+        ob.any = es.any;
+        ob.nodes = es.nodes;
+        ob.has_init = es.has_init;
+        ob.bound = static_cast<int>(ins.bound);
+        ob.cmp = ins.cmp;
+        low.observers.push_back(std::move(ob));
+        pidx[i] = add_pnode(
+            {.kind = PNode::Kind::Obs,
+             .obs = static_cast<int>(low.observers.size()) - 1});
+        return true;
+      }
+      case K::Previously:
+      case K::Historically:
+      case K::Since:
+      case K::Before:
+      case K::Holds:
+        return fail(std::string("unbounded-history operator is not "
+                                "supported by the model backend") +
+                    kFragmentHint);
+      case K::Forall:
+      case K::Exists:
+        break;  // expanded by compile(); unreachable below
+    }
+    AHB_UNREACHABLE("quantifiers are expanded at compile time");
+  }
+
+  bool run() {
+    pidx.assign(instrs.size(), -1);
+    eidx.assign(instrs.size(), -1);
+    for (std::size_t i = 0; i < instrs.size(); ++i) {
+      if (!visit(i)) return false;
+    }
+    const int root = pidx.back();
+    if (root < 0) {
+      return fail(std::string("the formula's root is a bare event "
+                              "disjunction; wrap it in within[...]") +
+                  kFragmentHint);
+    }
+    low.root = root;
+    return true;
+  }
+};
+
+}  // namespace
+
+FormulaModel build_formula_model(Flavor flavor, const BuildOptions& options,
+                                 std::string_view formula_text) {
+  FormulaModel result;
+
+  auto parsed = pltl::parse(formula_text);
+  if (!parsed.ok()) {
+    result.error = "parse error at offset " +
+                   std::to_string(parsed.error_at) + ": " + parsed.error;
+    return result;
+  }
+
+  const int n = is_multi(flavor) ? options.participants : 1;
+  pltl::BindParams params;
+  params.variant = flavor;
+  params.timing = options.timing.to_proto();
+  params.fixed_bounds = options.use_corrected_bounds();
+  params.participants = n;
+  auto compiled = pltl::compile(*parsed.formula, params);
+  if (!compiled.ok()) {
+    result.error = "compile error: " + compiled.error;
+    return result;
+  }
+
+  auto low = std::make_shared<Lowered>();
+  Analyzer analyzer{compiled.compiled.instrs, *low};
+  if (!analyzer.run()) {
+    result.error = "lowering error: " + analyzer.error;
+    return result;
+  }
+
+  HeartbeatModel::Instrument instrument = [low](ta::Network& net,
+                                                HeartbeatModel::Handles& h) {
+    low->active0 = h.active0;
+    for (std::size_t k = 0; k < low->observers.size(); ++k) {
+      Observer& ob = low->observers[k];
+      const int id = static_cast<int>(k) + 1;
+      ob.aut = net.add_automaton(strprintf("pltl_obs%d", id));
+      ob.clk = net.add_clock(strprintf("pltl_obs%d_clk", id), ob.bound + 1);
+      // With `init` in the disjunction the observer is born armed with
+      // its clock at 0 (time 0 counts as a witness); otherwise it waits
+      // for the first matching delivery, exactly like the join-flavor
+      // watchdogs.
+      int wait = -1;
+      if (!ob.has_init) wait = net.add_location(ob.aut, "Waiting");
+      ob.armed = net.add_location(ob.aut, "Armed");
+      const ta::ClockId clk = ob.clk;
+      const auto listen = [&](ta::ChanId chan) {
+        if (chan.value < 0) return;
+        if (wait >= 0) {
+          net.add_edge(ob.aut,
+                       ta::Edge{.src = wait,
+                                .dst = ob.armed,
+                                .chan = chan,
+                                .dir = ta::SyncDir::Recv,
+                                .effect =
+                                    [clk](ta::StateMut& m) { m.reset(clk); },
+                                .label = "pltl_arm"});
+        }
+        net.add_edge(ob.aut,
+                     ta::Edge{.src = ob.armed,
+                              .dst = ob.armed,
+                              .chan = chan,
+                              .dir = ta::SyncDir::Recv,
+                              .effect =
+                                  [clk](ta::StateMut& m) { m.reset(clk); },
+                              .label = "pltl_observe"});
+      };
+      for (std::size_t pi = 0; pi < h.parts.size(); ++pi) {
+        const int node = static_cast<int>(pi) + 1;
+        if (!ob.any && std::find(ob.nodes.begin(), ob.nodes.end(), node) ==
+                           ob.nodes.end()) {
+          continue;
+        }
+        // CoordinatorReceivedBeat covers reply and join deliveries,
+        // mirroring the runtime event and the R1 watchdog.
+        listen(h.parts[pi].ch_deliver_beat);
+        listen(h.parts[pi].ch_deliver_join);
+      }
+    }
+
+    low->latch = net.add_automaton("pltl_latch");
+    const int ok = net.add_location(low->latch, "Ok");
+    low->latch_bad = net.add_location(low->latch, "Bad");
+    const std::shared_ptr<const Lowered> shared = low;
+    net.add_edge(low->latch,
+                 ta::Edge{.src = ok,
+                          .dst = low->latch_bad,
+                          .guard =
+                              [shared](const ta::StateView& v) {
+                                return !eval_pnode(*shared, shared->root, v);
+                              },
+                          .label = "pltl_violate"});
+    // The absorbing Bad location carries an always-enabled self-loop so
+    // every violating run extends to an accepting cycle: NDFS finds a
+    // cycle iff a violation is reachable.
+    net.add_edge(low->latch, ta::Edge{.src = low->latch_bad,
+                                      .dst = low->latch_bad,
+                                      .label = "pltl_stay_bad"});
+  };
+
+  result.model = std::make_unique<HeartbeatModel>(
+      HeartbeatModel::build(flavor, options, instrument));
+  const std::shared_ptr<const Lowered> shared = low;
+  result.violation = [shared](const ta::StateView& v) {
+    return !eval_pnode(*shared, shared->root, v);
+  };
+  result.accepting = [shared](const ta::StateView& v) {
+    return v.loc(shared->latch) == shared->latch_bad;
+  };
+  return result;
+}
+
+}  // namespace ahb::models

@@ -1,0 +1,60 @@
+// Backend 2 of the pLTL toolchain: lower a past-time-LTL formula onto
+// the timed-automata model, so the same requirement text the runtime
+// monitors check (src/rv/pltl) can also be verified exhaustively by the
+// mc explorer and the NDFS accepting-cycle search.
+//
+// The lowering compiles the formula with the shared rv::pltl compiler
+// (quantifiers expanded, bounds resolved against the model's timing),
+// then maps the supported fragment onto history variables:
+//  - `coord_live` / `coord_stopped` read the model's active0 flag,
+//  - `within[<= k] (c_recv_beat [(i)] || init)` becomes an observer
+//    automaton that resets a clock on every matching delivery to p[0]
+//    (the exact idiom of the hand-built R1 watchdog, Fig. 9),
+//  - boolean connectives become a state predicate over those pieces,
+//  - a latch automaton (Ok -> Bad on a violating state, Bad absorbing
+//    with a self-loop) turns the safety property into Büchi acceptance:
+//    `accepting` marks exactly the runs that violated the formula.
+//
+// Everything outside that fragment (unbounded past operators, event
+// atoms outside a within-disjunction, participant fluents) is rejected
+// with a diagnostic rather than lowered approximately: a formula model
+// either means exactly what the streaming monitor means, or it refuses
+// to build.
+//
+// Instrumented models add automata outside the declared symmetry
+// blocks; explore them with default SearchLimits (no symmetry, no POR).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "mc/explorer.hpp"
+#include "models/heartbeat_model.hpp"
+
+namespace ahb::models {
+
+struct FormulaModel {
+  /// The instrumented model; null when the formula failed to parse,
+  /// compile, or fit the lowerable fragment (see `error`).
+  std::unique_ptr<HeartbeatModel> model;
+  /// True on states whose current formula value is false — feed to
+  /// Explorer::reach for the safety verdict.
+  mc::Pred violation;
+  /// True once the latch has recorded a violation — feed to
+  /// mc::find_accepting_cycle; a cycle exists iff a violation is
+  /// reachable (the Bad location is absorbing and admits a self-loop).
+  mc::Pred accepting;
+  std::string error;
+
+  bool ok() const { return model != nullptr; }
+};
+
+/// Builds the model for `flavor`/`options` with the formula's observers
+/// and latch instrumented in. The formula's named bound parameters
+/// (r1_bound, tmax, ...) resolve against `options` exactly as the
+/// runtime monitors resolve them against a RunSpec.
+FormulaModel build_formula_model(Flavor flavor, const BuildOptions& options,
+                                 std::string_view formula_text);
+
+}  // namespace ahb::models

@@ -134,6 +134,16 @@ class Builder {
     }
 
     h_.parts.resize(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      auto& p = h_.parts[static_cast<std::size_t>(i)];
+      p.ch_deliver_beat = deliver_p0_true_[static_cast<std::size_t>(i)];
+      if (leaves()) {
+        p.ch_deliver_leave = deliver_p0_false_[static_cast<std::size_t>(i)];
+      }
+      if (has_join_phase()) {
+        p.ch_deliver_join = deliver_p0_join_[static_cast<std::size_t>(i)];
+      }
+    }
     build_p0(n);
     for (int i = 0; i < n; ++i) build_participant(i);
     for (int i = 0; i < n; ++i) build_channel(i);
@@ -144,8 +154,18 @@ class Builder {
       for (int i = 0; i < n; ++i) build_monitor(i);
     }
 
+    // Instrument hooks see the finished protocol (including watchdogs)
+    // but run before reductions are declared and the network freezes,
+    // so observer automata they add can still declare locations, clocks
+    // and edges. They stay outside every symmetry block by design.
+    if (instrument_ != nullptr && *instrument_) (*instrument_)(net_, h_);
+
     declare_reductions(n);
     net_.freeze();
+  }
+
+  void set_instrument(const HeartbeatModel::Instrument* instrument) {
+    instrument_ = instrument;
   }
 
  private:
@@ -930,6 +950,7 @@ class Builder {
   std::vector<ChanId> deliver_p0_false_;
   std::vector<ChanId> join_send_;
   std::vector<ChanId> deliver_p0_join_;
+  const HeartbeatModel::Instrument* instrument_ = nullptr;
 };
 
 }  // namespace
@@ -941,6 +962,18 @@ HeartbeatModel HeartbeatModel::build(Flavor flavor,
   model.flavor_ = flavor;
   model.options_ = options;
   Builder builder{flavor, options, model.net_, *model.handles_};
+  builder.build();
+  return model;
+}
+
+HeartbeatModel HeartbeatModel::build(Flavor flavor, const BuildOptions& options,
+                                     const Instrument& instrument) {
+  HeartbeatModel model;
+  model.handles_ = std::make_unique<Handles>();
+  model.flavor_ = flavor;
+  model.options_ = options;
+  Builder builder{flavor, options, model.net_, *model.handles_};
+  builder.set_instrument(&instrument);
   builder.build();
   return model;
 }

@@ -6,6 +6,7 @@
 // violations.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -59,6 +60,15 @@ class HeartbeatModel {
     int mon_armed = -1;
     int mon_error = -1;
     ta::ClockId mdelay{};
+
+    // Delivery channels towards p[0], exposed so instrument hooks
+    // (models/formula_check.hpp) can attach observer automata to the
+    // events the runtime layer reports as CoordinatorReceivedBeat /
+    // CoordinatorReceivedLeave. Invalid (-1) where the flavor has no
+    // such channel.
+    ta::ChanId ch_deliver_beat{};   ///< reply-beat deliveries to p[0]
+    ta::ChanId ch_deliver_join{};   ///< join-beat deliveries (expanding/dynamic)
+    ta::ChanId ch_deliver_leave{};  ///< leave-beat deliveries (dynamic)
   };
 
   struct Handles {
@@ -88,7 +98,17 @@ class HeartbeatModel {
     std::vector<Participant> parts;
   };
 
+  /// Instrument hook: runs after the protocol (and, when enabled, the
+  /// R1 watchdogs) is fully built but before reduction declarations and
+  /// freeze, so it may add observer automata that synchronise on the
+  /// broadcast delivery channels. Observers added here are NOT part of
+  /// the symmetry blocks — an instrumented model must be explored with
+  /// reductions off (default SearchLimits).
+  using Instrument = std::function<void(ta::Network&, Handles&)>;
+
   static HeartbeatModel build(Flavor flavor, const BuildOptions& options);
+  static HeartbeatModel build(Flavor flavor, const BuildOptions& options,
+                              const Instrument& instrument);
 
   const ta::Network& net() const { return net_; }
   const Handles& handles() const { return *handles_; }

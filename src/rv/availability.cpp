@@ -28,6 +28,12 @@ double AvailabilitySummary::up_fraction() const {
   return static_cast<double>(up_time) / static_cast<double>(total);
 }
 
+double AvailabilitySummary::detection_mean() const {
+  if (detections == 0) return 0.0;
+  return static_cast<double>(detection_total) /
+         static_cast<double>(detections);
+}
+
 AvailabilityStats::AvailabilityStats(int participants)
     : participants_(participants) {
   AHB_EXPECTS(participants >= 1);

@@ -35,6 +35,10 @@ struct AvailabilitySummary {
   AvailabilitySummary& operator+=(const AvailabilitySummary& other);
   /// Fraction of node-time spent up; 1.0 for an empty summary.
   double up_fraction() const;
+  /// Mean sampled detection latency; 0.0 when nothing was sampled, so
+  /// the value is always finite (the benches emit it as JSON, and NaN
+  /// is not valid JSON).
+  double detection_mean() const;
 };
 
 class AvailabilityStats final : public EventSink {

@@ -1,0 +1,55 @@
+// Build-time validation of the shipped formula files: every embedded
+// formula must parse, round-trip through the printer, and compile
+// against a spread of timing points, so a grammar or vocabulary
+// regression fails the build instead of the first campaign that
+// attaches the formulas. Run automatically as a POST_BUILD step of the
+// pltl_check target.
+#include <cstdio>
+
+#include "rv/pltl/eval.hpp"
+#include "rv/pltl/formulas.hpp"
+
+namespace pltl = ahb::rv::pltl;
+
+int main() {
+  const pltl::BindParams points[] = {
+      {ahb::proto::Variant::Binary, {2, 10}, true, 1, 2},
+      {ahb::proto::Variant::Binary, {6, 10}, true, 3, 2},
+      {ahb::proto::Variant::Static, {4, 20}, false, 2, 2},
+      {ahb::proto::Variant::Dynamic, {4, 20}, true, 4, 3},
+  };
+  int failures = 0;
+  for (const auto& formula : pltl::shipped_formulas()) {
+    const pltl::ParseResult parsed = pltl::parse(formula.text);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "pltl_check: %.*s: parse error at offset %zu: %s\n",
+                   static_cast<int>(formula.name.size()), formula.name.data(),
+                   parsed.error_at, parsed.error.c_str());
+      ++failures;
+      continue;
+    }
+    const pltl::ParseResult reparsed = pltl::parse(pltl::print(*parsed.formula));
+    if (!reparsed.ok() || !pltl::equal(*parsed.formula, *reparsed.formula)) {
+      std::fprintf(stderr, "pltl_check: %.*s: print/parse round-trip failed\n",
+                   static_cast<int>(formula.name.size()), formula.name.data());
+      ++failures;
+      continue;
+    }
+    for (const auto& params : points) {
+      const pltl::CompileResult compiled =
+          pltl::compile(*parsed.formula, params);
+      if (!compiled.ok()) {
+        std::fprintf(stderr, "pltl_check: %.*s: compile error: %s\n",
+                     static_cast<int>(formula.name.size()), formula.name.data(),
+                     compiled.error.c_str());
+        ++failures;
+        break;
+      }
+    }
+  }
+  if (failures == 0) {
+    std::printf("pltl_check: %zu shipped formulas ok\n",
+                pltl::shipped_formulas().size());
+  }
+  return failures == 0 ? 0 : 1;
+}

@@ -33,6 +33,15 @@ class SinkChain {
     refresh();
   }
 
+  /// Deregisters `sink` so it can be destroyed while the engine lives
+  /// on; a sink that was never registered is a no-op. Like add(), not
+  /// safe while an emit is in flight.
+  void remove(EventSink* sink) {
+    std::erase_if(entries_,
+                  [sink](const Entry& entry) { return entry.sink == sink; });
+    refresh();
+  }
+
   /// Re-caches every sink's interest masks. Call after a sink's
   /// interests change (e.g. a callback adapter gained a callback).
   void refresh() {
